@@ -1,0 +1,185 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the extra experiments DESIGN.md lists, plus Bechamel
+   microbenchmarks of the real data-touching primitives.
+
+   Usage:  main.exe [target ...]
+   Targets: fig5 fig6 table1 table2 analysis hol alignment pincache
+            autodma smallwrite interop micro all paper
+   Default: all. *)
+
+let run_fig5 () =
+  let report = Exp_figures.run ~profile:Host_profile.alpha400 () in
+  Exp_figures.print ~figure:"Figure 5" report;
+  Exp_figures.plot_charts ~figure:"Figure 5" report;
+  (match Exp_figures.crossover report with
+  | Some (a, b) ->
+      Printf.printf
+        "\n  efficiency crossover between %dK and %dK writes (paper: between \
+         8K and 16K)\n"
+        (a / 1024) (b / 1024)
+  | None -> Printf.printf "\n  no efficiency crossover found\n");
+  Printf.printf
+    "  single-copy/unmodified efficiency at 512K: %.2fx (paper: ~2.7x)\n"
+    (Exp_figures.large_write_efficiency_ratio report);
+  report
+
+let run_fig6 () =
+  let report = Exp_figures.run ~profile:Host_profile.alpha300lx () in
+  Exp_figures.print ~figure:"Figure 6" report;
+  Exp_figures.plot_charts ~figure:"Figure 6" report;
+  Printf.printf
+    "\n  (half-speed host: the more efficient single-copy stack now wins on \
+     throughput too)\n";
+  report
+
+let run_table1 () = Exp_tables.print_table1 ~profile:Host_profile.alpha400
+
+let run_table2 () =
+  Exp_tables.print_table2 (Exp_tables.run_table2 ~profile:Host_profile.alpha400)
+
+let run_analysis measured =
+  let a =
+    Exp_tables.run_analysis ?measured ~profile:Host_profile.alpha400
+      ~packet:32768 ()
+  in
+  Exp_tables.print_analysis a
+
+let run_hol () = Exp_hol.print (Exp_hol.run ~seed:20260706 ())
+
+(* ---------------- Bechamel microbenchmarks ---------------- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let buf32k = Bytes.create 32768 in
+  for i = 0 to Bytes.length buf32k - 1 do
+    Bytes.set_uint8 buf32k i (i land 0xff)
+  done;
+  let chain = Mbuf.of_bytes ~pkthdr:true buf32k in
+  let region = Region.of_bytes ~vaddr:0 (Bytes.copy buf32k) in
+  let dst = Bytes.create 32768 in
+  let tests =
+    [
+      Test.make ~name:"inet_csum/32K" (Staged.stage (fun () ->
+          ignore (Inet_csum.of_bytes buf32k)));
+      Test.make ~name:"inet_csum/chain-32K" (Staged.stage (fun () ->
+          ignore (Mbuf.checksum chain ~off:0 ~len:32768)));
+      Test.make ~name:"mbuf/copy_range-32K" (Staged.stage (fun () ->
+          Mbuf.free (Mbuf.copy_range chain ~off:100 ~len:30000)));
+      Test.make ~name:"mbuf/of_bytes-32K" (Staged.stage (fun () ->
+          Mbuf.free (Mbuf.of_bytes buf32k)));
+      Test.make ~name:"region/blit-32K" (Staged.stage (fun () ->
+          Region.blit_to_bytes region ~src_off:0 dst ~dst_off:0 ~len:32768));
+      Test.make ~name:"event_queue/push-pop-64" (Staged.stage (fun () ->
+          let q = Event_queue.create () in
+          for i = 0 to 63 do
+            Event_queue.push q ~time:((i * 7919) land 0xffff) i
+          done;
+          while Event_queue.pop q <> None do () done));
+      Test.make ~name:"tcp_header/encode-decode" (Staged.stage (fun () ->
+          let h =
+            Tcp_header.make ~flags:[ Tcp_header.ACK ] ~src_port:1 ~dst_port:2
+              ~seq:42 ~ack:43 ()
+          in
+          let b = Bytes.create 20 in
+          Tcp_header.encode h ~csum:0 b ~off:0;
+          ignore (Tcp_header.decode b ~off:0 ~len:20)));
+      Test.make ~name:"sim/ttcp-64K-single-copy" (Staged.stage (fun () ->
+          let tb = Testbed.create () in
+          ignore
+            (Ttcp.run ~tb ~wsize:65536 ~total:(1 lsl 20) ~verify:false ())));
+    ]
+  in
+  Tabulate.print_header "Microbenchmarks (real CPU time, Bechamel OLS)";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests)
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |])
+      Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let widths = [ 32; 16; 8 ] in
+  Tabulate.print_row ~widths [ "benchmark"; "ns/run"; "r2" ];
+  Tabulate.print_rule ~widths;
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%.1f" e
+        | _ -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      Tabulate.print_row ~widths [ name; est; r2 ])
+    rows
+
+(* ---------------- dispatch ---------------- *)
+
+let fig5_cache : Exp_figures.report option ref = ref None
+
+let run_target = function
+  | "fig5" -> fig5_cache := Some (run_fig5 ())
+  | "fig6" -> ignore (run_fig6 ())
+  | "table1" -> run_table1 ()
+  | "table2" -> run_table2 ()
+  | "analysis" ->
+      (* Reuse fig5 data when it was produced in the same invocation. *)
+      let measured =
+        match !fig5_cache with
+        | Some r -> Some r
+        | None -> Some (Exp_figures.run ~sizes:[ 524288 ] ~profile:Host_profile.alpha400 ())
+      in
+      run_analysis measured
+  | "hol" -> run_hol ()
+  | "alignment" -> Exp_extras.print_alignment ()
+  | "pincache" -> Exp_extras.print_pin_cache ()
+  | "autodma" -> Exp_extras.print_autodma_sweep ()
+  | "smallwrite" -> Exp_extras.print_small_write_policies ()
+  | "interop" -> Exp_extras.print_interop ()
+  | "incast" ->
+      Exp_incast.print (Exp_incast.run ~mode:Stack_mode.Unmodified ());
+      Exp_incast.print (Exp_incast.run ~mode:Stack_mode.Single_copy ())
+  | "allpairs" -> Exp_incast.print_all_pairs (Exp_incast.run_all_pairs ())
+  | "scaling" -> Exp_scaling.print (Exp_scaling.run ())
+  | "netmem" -> Exp_netmem.print (Exp_netmem.run ())
+  | "serverapi" -> Exp_serverapi.print (Exp_serverapi.run ())
+  | "rpc" -> Exp_rpc.print (Exp_rpc.run ())
+  | "window" -> Exp_window.print (Exp_window.run ())
+  | "micro" -> micro ()
+  | t ->
+      Printf.eprintf "unknown target %S\n" t;
+      exit 2
+
+let paper_targets = [ "table1"; "table2"; "fig5"; "fig6"; "analysis"; "hol" ]
+
+let all_targets =
+  paper_targets
+  @ [ "alignment"; "pincache"; "autodma"; "smallwrite"; "interop"; "incast";
+      "allpairs"; "scaling"; "netmem"; "serverapi"; "rpc"; "window";
+      "micro" ]
+
+let () =
+  Tracelog.init_from_env ();
+  let args = List.tl (Array.to_list Sys.argv) in
+  let targets =
+    match args with
+    | [] | [ "all" ] -> all_targets
+    | [ "paper" ] -> paper_targets
+    | ts -> ts
+  in
+  Printf.printf
+    "Software Support for Outboard Buffering and Checksumming (SIGCOMM '95)\n\
+     — simulation reproduction; targets: %s\n"
+    (String.concat " " targets);
+  List.iter run_target targets

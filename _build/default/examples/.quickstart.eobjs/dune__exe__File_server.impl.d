@@ -1,0 +1,1 @@
+examples/file_server.ml: Addr_space Bytes Cab Cab_driver Mbuf Netstack Option Printf Sim Simtime Socket Stack_mode Tcp Testbed

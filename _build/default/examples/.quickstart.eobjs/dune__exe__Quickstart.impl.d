@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cab Cab_driver Format Measurement Printf Simtime Socket Stack_mode Tcp Testbed Ttcp

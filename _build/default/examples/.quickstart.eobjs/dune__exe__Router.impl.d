@@ -1,0 +1,1 @@
+examples/router.ml: Addr_space Cab Cab_driver Hippi_link Host_profile Inaddr Ipv4 Netstack Option Printf Region Sim Simtime Socket Stack_mode Tcp

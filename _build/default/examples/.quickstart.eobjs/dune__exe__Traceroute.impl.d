@@ -1,0 +1,1 @@
+examples/traceroute.ml: Cab Cab_driver Hippi_link Host_profile Icmp Inaddr Ipv4 Ipv4_header Mbuf Netstack Printf Sim Simtime Stack_mode

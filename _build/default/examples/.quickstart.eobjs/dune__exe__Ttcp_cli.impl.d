@@ -1,0 +1,1 @@
+examples/ttcp_cli.ml: Arg Ascii_plot Cab_driver Capture Cmd Cmdliner Format Host_profile List Measurement Printf Simtime Stack_mode Stats Tcp Term Testbed Ttcp

@@ -1,0 +1,1 @@
+examples/ttcp_cli.mli:

@@ -1,0 +1,1 @@
+examples/udp_stream.ml: Bytes Cab_driver Char Interop Mbuf Netstack Printf Sim Simtime Stack_mode String Testbed Udp

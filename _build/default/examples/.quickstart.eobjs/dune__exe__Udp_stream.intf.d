@@ -1,0 +1,1 @@
+examples/udp_stream.mli:

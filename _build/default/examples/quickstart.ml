@@ -1,0 +1,52 @@
+(* Quickstart: the smallest complete use of the library.
+
+   Builds the paper's two-host testbed (two simulated Alphas with CAB
+   adaptors on a HIPPI link), opens a TCP stream through the single-copy
+   stack, pushes 4 MBytes through it, and prints what happened — including
+   the single-copy machinery at work: checksum offload, M_UIO -> M_WCAB
+   conversion, hardware-verified receive.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A simulated world: hostA (10.0.0.1) and hostB (10.0.0.2). *)
+  let tb = Testbed.create ~mode:Stack_mode.Single_copy () in
+
+  (* 2. A ttcp-style transfer: 64 KByte writes, 4 MByte total. *)
+  let wsize = 65536 and total = 4 * 1024 * 1024 in
+  let result = Ttcp.run ~tb ~wsize ~total () in
+
+  (* 3. Report. *)
+  Printf.printf "transferred %d MB in %s of simulated time\n"
+    (total / 1024 / 1024)
+    (Format.asprintf "%a" Simtime.pp result.Ttcp.sender.Measurement.elapsed);
+  Printf.printf "  throughput : %.1f Mbit/s\n"
+    result.Ttcp.sender.Measurement.throughput_mbit;
+  Printf.printf "  sender CPU : %.1f%% busy (efficiency %.0f Mbit/s)\n"
+    (100. *. result.Ttcp.sender.Measurement.utilization)
+    result.Ttcp.sender.Measurement.efficiency_mbit;
+  Printf.printf "  data intact: %b\n" result.Ttcp.verified;
+
+  let st = result.Ttcp.sender_tcp in
+  Printf.printf "\nsingle-copy path at work (sender TCP):\n";
+  Printf.printf "  segments sent          : %d\n" st.Tcp.segs_sent;
+  Printf.printf "  checksums offloaded    : %d (host computed: %d)\n"
+    st.Tcp.csum_offloaded_tx st.Tcp.csum_host_tx;
+  Printf.printf "  send ranges -> M_WCAB  : %d\n" st.Tcp.wcab_converted;
+  let str = result.Ttcp.receiver_tcp in
+  Printf.printf "receiver TCP:\n";
+  Printf.printf "  hardware-verified      : %d (host verified: %d)\n"
+    str.Tcp.csum_hw_verified_rx str.Tcp.csum_host_verified_rx;
+  let sock = result.Ttcp.sender_socket in
+  Printf.printf "socket layer (sender):\n";
+  Printf.printf "  UIO (single-copy) writes: %d; copy writes: %d\n"
+    sock.Socket.uio_writes sock.Socket.copy_writes;
+  let drv = Cab_driver.stats tb.Testbed.a.Testbed.driver in
+  Printf.printf "CAB driver (sender):\n";
+  Printf.printf "  payload DMAed straight from user memory: %d segments\n"
+    drv.Cab_driver.tx_uio_segments;
+
+  (* Every stats record has a one-line printer for quick inspection: *)
+  Format.printf "\nfull counters:\n  tcp: %a\n  sock: %a\n  drv: %a\n  cab: %a\n"
+    Tcp.pp_stats st Socket.pp_stats sock Cab_driver.pp_stats drv
+    Cab.pp_stats (Cab.stats tb.Testbed.a.Testbed.cab)

@@ -1,0 +1,1 @@
+lib/apps/blockfile.ml: Addr_space Buffer Bytes Host Int32 Mbuf Netstack Option Region Sim Simtime Socket Stats Tcp

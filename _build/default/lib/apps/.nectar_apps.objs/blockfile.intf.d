@@ -1,0 +1,1 @@
+lib/apps/blockfile.mli: Inaddr Netstack Region Socket Stats

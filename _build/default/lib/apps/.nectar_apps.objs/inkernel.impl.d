@@ -1,0 +1,1 @@
+lib/apps/inkernel.ml: Interop Ipv4 List Mbuf Netstack Tcp Udp

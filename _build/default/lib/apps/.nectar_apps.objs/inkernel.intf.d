@@ -1,0 +1,1 @@
+lib/apps/inkernel.mli: Inaddr Netstack

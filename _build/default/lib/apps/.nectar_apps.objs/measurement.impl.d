@@ -1,0 +1,1 @@
+lib/apps/measurement.ml: Cpu Format List Simtime

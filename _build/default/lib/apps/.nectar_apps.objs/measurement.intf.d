@@ -1,0 +1,1 @@
+lib/apps/measurement.mli: Cpu Format Simtime

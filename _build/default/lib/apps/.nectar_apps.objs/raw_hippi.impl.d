@@ -1,0 +1,1 @@
+lib/apps/raw_hippi.ml: Bytes Cab Hippi_framing Host Memcost Netmem Netstack Sim Simtime Testbed

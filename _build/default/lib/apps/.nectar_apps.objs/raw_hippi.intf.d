@@ -1,0 +1,1 @@
+lib/apps/raw_hippi.mli: Simtime Testbed

@@ -1,0 +1,1 @@
+lib/apps/ttcp.ml: Addr_space Cpu Host Measurement Netstack Region Sim Simtime Socket Stats Tcp Testbed

@@ -1,0 +1,1 @@
+lib/apps/ttcp.mli: Measurement Simtime Socket Stats Tcp Testbed

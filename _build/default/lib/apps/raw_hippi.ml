@@ -1,0 +1,66 @@
+type result = {
+  packet_size : int;
+  packets : int;
+  bytes : int;
+  elapsed : Simtime.t;
+  throughput_mbit : float;
+}
+
+let run ~tb ~packet_size ~total =
+  if packet_size <= Hippi_framing.size then
+    invalid_arg "Raw_hippi.run: packet too small";
+  let sim = tb.Testbed.sim in
+  let cab_a = tb.Testbed.a.Testbed.cab in
+  let cab_b = tb.Testbed.b.Testbed.cab in
+  let host_a = tb.Testbed.a.Testbed.stack.Netstack.host in
+  let npackets = (total + packet_size - 1) / packet_size in
+  let payload = packet_size - Hippi_framing.size in
+  let received = ref 0 in
+  let done_at = ref Simtime.zero in
+  (* B: count arrivals and free immediately. *)
+  Cab.set_interrupt_handler cab_b (fun i ->
+      match i with
+      | Cab.Rx_packet info ->
+          incr received;
+          Cab.rx_free cab_b info.Cab.rx_pkt;
+          if !received = npackets then done_at := Sim.now sim
+      | Cab.Sdma_done _ -> ());
+  Cab.set_interrupt_handler cab_a (fun _ -> ());
+  (* A: post packets back to back; the next SDMA is posted as soon as the
+     previous one is accepted by the adaptor, so SDMA and MDMA pipeline. *)
+  let hdr = Bytes.create Hippi_framing.size in
+  Hippi_framing.encode
+    (Hippi_framing.make ~src:1 ~dst:2 ~channel:0 ~payload_len:payload)
+    hdr ~off:0;
+  let body = Bytes.create payload in
+  let t0 = Sim.now sim in
+  let rec send n =
+    if n < npackets then
+      match Cab.tx_alloc cab_a ~len:packet_size with
+      | None ->
+          (* Adaptor busy: retry shortly. *)
+          ignore (Sim.after sim (Simtime.us 20.) (fun () -> send n))
+      | Some pkt ->
+          Host.in_proc host_a ~proc:"rawhippi"
+            (2 * Memcost.dma_post host_a.Host.profile) (fun () ->
+              Cab.sdma_header cab_a pkt ~header:hdr ~csum:None ();
+              Cab.sdma_payload cab_a pkt ~src:(Cab.From_kernel body)
+                ~pkt_off:Hippi_framing.size
+                ~on_complete:(fun () -> send (n + 1))
+                ();
+              pkt.Netmem.len <- packet_size;
+              Cab.mdma_send cab_a pkt ~dst:2 ~channel:0 ~keep:false)
+  in
+  send 0;
+  Sim.run ~until:(Simtime.s 600.) sim;
+  let elapsed =
+    if !done_at > t0 then Simtime.sub !done_at t0 else Simtime.sub (Sim.now sim) t0
+  in
+  let bytes = !received * payload in
+  {
+    packet_size;
+    packets = !received;
+    bytes;
+    elapsed;
+    throughput_mbit = Simtime.rate_mbit ~bytes elapsed;
+  }

@@ -1,0 +1,19 @@
+(** Raw HIPPI throughput test (§7.2).
+
+    Drives the CAB directly — no protocol stack: well-formed HIPPI packets
+    of a given size, posted back-to-back with double buffering so the
+    SDMA of packet n+1 overlaps the media transfer of packet n.  "The raw
+    HIPPI results represent the highest throughput one can expect for a
+    given packet size." *)
+
+type result = {
+  packet_size : int;
+  packets : int;
+  bytes : int;
+  elapsed : Simtime.t;
+  throughput_mbit : float;
+}
+
+val run : tb:Testbed.t -> packet_size:int -> total:int -> result
+(** Sends ceil(total/packet_size) packets from A to B and measures
+    delivered throughput at B. *)

@@ -1,0 +1,102 @@
+type result = {
+  sender : Measurement.t;
+  receiver : Measurement.t;
+  wsize : int;
+  total : int;
+  verified : bool;
+  retransmits : int;
+  write_latency_p50 : Simtime.t;
+  write_latency_p99 : Simtime.t;
+  rx_timeline : Stats.Timeseries.t;
+  sender_tcp : Tcp.pcb_stats;
+  receiver_tcp : Tcp.pcb_stats;
+  sender_socket : Socket.stats;
+  receiver_socket : Socket.stats;
+}
+
+(* ttcp's own loop overhead per write/read call, charged as user time. *)
+let loop_cost_us = 5.
+
+let run ~tb ~wsize ~total ?(force_uio = true) ?(verify = true) ?(port = 5001)
+    () =
+  if total mod wsize <> 0 then
+    invalid_arg "Ttcp.run: total must be a multiple of wsize";
+  let paths = { Socket.default_paths with Socket.force_uio } in
+  let sim = tb.Testbed.sim in
+  let a_host = tb.Testbed.a.Testbed.stack.Netstack.host in
+  let b_host = tb.Testbed.b.Testbed.stack.Netstack.host in
+  let finished = ref None in
+  let all_ok = ref true in
+  let write_lat = Stats.Histogram.create () in
+  let rx_timeline = Stats.Timeseries.create ~bucket:(Simtime.ms 10.) in
+  Testbed.establish_stream tb ~port ~a_paths:paths ~b_paths:paths
+    (fun sa sb ->
+      (* Measurement window starts once the connection is up: reset the
+         books and start the util soakers. *)
+      Cpu.reset_accounting a_host.Host.cpu;
+      Cpu.reset_accounting b_host.Host.cpu;
+      Cpu.set_idle_proc a_host.Host.cpu "util";
+      Cpu.set_idle_proc b_host.Host.cpu "util";
+      let t0 = Sim.now sim in
+      let a_space = Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"ttcp" in
+      let b_space = Netstack.make_space tb.Testbed.b.Testbed.stack ~name:"ttcp" in
+      let src = Addr_space.alloc a_space wsize in
+      let dst = Addr_space.alloc b_space wsize in
+      Region.fill_pattern src ~seed:1234;
+      let rec send_loop sent =
+        if sent >= total then Socket.close sa
+        else
+          Host.in_proc a_host ~proc:"ttcp" ~mode:Cpu.User
+            (Simtime.us loop_cost_us) (fun () ->
+              let t_write = Sim.now sim in
+              Socket.write sa src (fun () ->
+                  Stats.Histogram.add write_lat
+                    (Simtime.sub (Sim.now sim) t_write);
+                  send_loop (sent + wsize)))
+      in
+      let rec recv_loop got =
+        if got >= total then begin
+          let t1 = Sim.now sim in
+          finished := Some (t0, t1, got, sa, sb)
+        end
+        else
+          Host.in_proc b_host ~proc:"ttcp" ~mode:Cpu.User
+            (Simtime.us loop_cost_us) (fun () ->
+              Socket.read_exact sb dst (fun n ->
+                  if n > 0 then
+                    Stats.Timeseries.add rx_timeline ~time:(Sim.now sim) n;
+                  if n = 0 then begin
+                    all_ok := false;
+                    let t1 = Sim.now sim in
+                    finished := Some (t0, t1, got + n, sa, sb)
+                  end
+                  else begin
+                    if verify && not (Region.equal_contents src dst) then
+                      all_ok := false;
+                    recv_loop (got + n)
+                  end))
+      in
+      send_loop 0;
+      recv_loop 0);
+  Sim.run ~until:(Simtime.s 600.) sim;
+  match !finished with
+  | None -> failwith "Ttcp.run: transfer did not complete"
+  | Some (t0, t1, got, sa, sb) ->
+      let elapsed = Simtime.sub t1 t0 in
+      {
+        sender =
+          Measurement.of_cpu ~cpu:a_host.Host.cpu ~elapsed ~bytes:got;
+        receiver =
+          Measurement.of_cpu ~cpu:b_host.Host.cpu ~elapsed ~bytes:got;
+        wsize;
+        total;
+        verified = !all_ok;
+        retransmits = (Tcp.pcb_stats (Socket.pcb sa)).Tcp.retransmits;
+        sender_tcp = Tcp.pcb_stats (Socket.pcb sa);
+        receiver_tcp = Tcp.pcb_stats (Socket.pcb sb);
+        rx_timeline;
+        write_latency_p50 = Stats.Histogram.percentile write_lat 50.;
+        write_latency_p99 = Stats.Histogram.percentile write_lat 99.;
+        sender_socket = Socket.stats sa;
+        receiver_socket = Socket.stats sb;
+      }

@@ -1,0 +1,43 @@
+(** The ttcp bulk-throughput benchmark (§7.1).
+
+    Sender writes [total] bytes as [wsize]-byte socket writes out of one
+    reused buffer; receiver reads [wsize]-byte chunks into one reused
+    buffer.  Both nodes run the util idle-soaker so utilization can be
+    computed with the paper's formula ({!Measurement}).
+
+    The run completes when the receiver has consumed every byte; results
+    cover both directions' hosts. *)
+
+type result = {
+  sender : Measurement.t;
+  receiver : Measurement.t;
+  wsize : int;
+  total : int;
+  verified : bool;  (** payload pattern checked at the receiver *)
+  retransmits : int;
+  write_latency_p50 : Simtime.t;
+      (** median time a write call blocked the application (copy-semantics
+          completion) *)
+  write_latency_p99 : Simtime.t;
+  rx_timeline : Stats.Timeseries.t;
+      (** bytes delivered to the receiving application per 10 ms bucket *)
+  sender_tcp : Tcp.pcb_stats;
+  receiver_tcp : Tcp.pcb_stats;
+  sender_socket : Socket.stats;
+  receiver_socket : Socket.stats;
+}
+
+val run :
+  tb:Testbed.t ->
+  wsize:int ->
+  total:int ->
+  ?force_uio:bool ->
+  ?verify:bool ->
+  ?port:int ->
+  unit ->
+  result
+(** Builds the workload on the testbed and runs the simulation to
+    completion.  [force_uio] (default true) reproduces the paper's
+    measurement configuration: the single-copy stack always takes the
+    single-copy path regardless of write size.  Raises [Failure] if the
+    transfer does not finish within simulated 10 minutes. *)

@@ -1,0 +1,1 @@
+lib/cab/cab.ml: Bytes Csum_offload Format Hashtbl Hippi_framing Host_profile Inet_csum Memcost Netif Netmem Printf Region Resource Sim

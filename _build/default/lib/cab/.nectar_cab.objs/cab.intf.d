@@ -1,0 +1,1 @@
+lib/cab/cab.mli: Bytes Csum_offload Format Host_profile Inet_csum Netif Netmem Region Sim Simtime

@@ -1,0 +1,1 @@
+lib/cab/netmem.ml: Bytes Csum_offload Hashtbl Inet_csum Page Printf

@@ -1,0 +1,1 @@
+lib/cab/netmem.mli: Bytes Csum_offload Inet_csum

@@ -1,0 +1,312 @@
+type rx_info = {
+  rx_pkt : Netmem.packet;
+  rx_head : Bytes.t;
+  rx_head_len : int;
+  rx_total_len : int;
+  rx_engine_sum : Inet_csum.sum;
+  rx_complete : bool;
+  rx_channel : int;
+}
+
+type intr = Sdma_done of int | Rx_packet of rx_info
+
+type tx_src = From_user of Region.t | From_kernel of Bytes.t
+
+type stats = {
+  sdma_transfers : int;
+  sdma_bytes : int;
+  mdma_packets : int;
+  mdma_bytes : int;
+  rx_packets : int;
+  rx_bytes : int;
+  rx_dropped : int;
+  interrupts : int;
+}
+
+type pending_mdma = { dst : int; channel : int; keep : bool }
+
+type t = {
+  sim : Sim.t;
+  profile : Host_profile.t;
+  name : string;
+  mem : Netmem.t;
+  addr : int;
+  transmit : Bytes.t -> dst:int -> channel:int -> unit;
+  bus : Resource.t;
+  mutable intr_handler : intr -> unit;
+  mutable autodma_words : int;
+  mdma_waiting : (int, pending_mdma) Hashtbl.t;
+  (* statistics *)
+  mutable sdma_transfers : int;
+  mutable sdma_bytes : int;
+  mutable mdma_packets : int;
+  mutable mdma_bytes : int;
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable rx_dropped : int;
+  mutable interrupts : int;
+}
+
+let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
+  {
+    sim;
+    profile;
+    name;
+    mem = Netmem.create ~pages:netmem_pages;
+    addr = hippi_addr;
+    transmit;
+    bus = Resource.create ~sim ~name:(name ^ ".turbochannel");
+    intr_handler =
+      (fun _ -> invalid_arg (name ^ ": no interrupt handler installed"));
+    (* 176 words: "the checksum is passed up the stack together with the
+       first 176 words of the packet (data size of the mbuf)" — §4.3. *)
+    autodma_words = 176;
+    mdma_waiting = Hashtbl.create 16;
+    sdma_transfers = 0;
+    sdma_bytes = 0;
+    mdma_packets = 0;
+    mdma_bytes = 0;
+    rx_packets = 0;
+    rx_bytes = 0;
+    rx_dropped = 0;
+    interrupts = 0;
+  }
+
+let name t = t.name
+let hippi_addr t = t.addr
+let netmem t = t.mem
+let sim t = t.sim
+let profile t = t.profile
+
+let set_interrupt_handler t f = t.intr_handler <- f
+let set_autodma_words t w =
+  if w <= 0 then invalid_arg "Cab.set_autodma_words: must be positive";
+  t.autodma_words <- w
+
+let autodma_words t = t.autodma_words
+
+let raise_intr t i =
+  t.interrupts <- t.interrupts + 1;
+  t.intr_handler i
+
+let require_word_aligned what v =
+  if v land 3 <> 0 then
+    invalid_arg
+      (Printf.sprintf "Cab: %s (%d) violates the word-alignment restriction"
+         what v)
+
+(* ---- transmit ---- *)
+
+let tx_alloc t ~len = Netmem.alloc t.mem ~len ~state:Netmem.Filling
+
+let finalize_csum (pkt : Netmem.packet) =
+  match pkt.csum with
+  | None -> ()
+  | Some c ->
+      let field =
+        Csum_offload.tx_finalize ~header_sum:pkt.header_sum
+          ~body_sum:pkt.body_sum
+      in
+      Bytes.set_uint16_be pkt.buf c.Csum_offload.csum_offset field
+
+let do_mdma t (pkt : Netmem.packet) { dst; channel; keep } =
+  finalize_csum pkt;
+  let frame = Bytes.sub pkt.buf 0 pkt.len in
+  t.mdma_packets <- t.mdma_packets + 1;
+  t.mdma_bytes <- t.mdma_bytes + pkt.len;
+  t.transmit frame ~dst ~channel;
+  if keep then pkt.state <- Netmem.Held
+  else begin
+    pkt.state <- Netmem.Ready;
+    Netmem.free t.mem pkt
+  end
+
+let sdma_finished t (pkt : Netmem.packet) =
+  pkt.sdma_pending <- pkt.sdma_pending - 1;
+  if pkt.sdma_pending = 0 then
+    match Hashtbl.find_opt t.mdma_waiting pkt.Netmem.id with
+    | None -> ()
+    | Some req ->
+        Hashtbl.remove t.mdma_waiting pkt.Netmem.id;
+        do_mdma t pkt req
+
+(* Common SDMA machinery: occupy the TurboChannel, then apply [commit]
+   (blit + checksum-engine update), then completion notifications. *)
+let sdma t (pkt : Netmem.packet) ~bytes ~cookie ~interrupt ~on_complete commit
+    =
+  pkt.sdma_pending <- pkt.sdma_pending + 1;
+  let duration = Memcost.bus_transfer t.profile bytes in
+  Resource.acquire t.bus duration (fun () ->
+      t.sdma_transfers <- t.sdma_transfers + 1;
+      t.sdma_bytes <- t.sdma_bytes + bytes;
+      commit ();
+      (match on_complete with Some f -> f () | None -> ());
+      if interrupt then raise_intr t (Sdma_done cookie);
+      sdma_finished t pkt)
+
+let sdma_header t (pkt : Netmem.packet) ~header ~csum ?(cookie = 0)
+    ?(interrupt = false) ?on_complete () =
+  let len = Bytes.length header in
+  require_word_aligned "header length" len;
+  if len > Bytes.length pkt.buf then
+    invalid_arg "Cab.sdma_header: header larger than packet buffer";
+  sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
+      Bytes.blit header 0 pkt.buf 0 len;
+      pkt.hdr_len <- len;
+      pkt.csum <- csum;
+      match csum with
+      | None -> ()
+      | Some c ->
+          let skip = c.Csum_offload.skip_bytes in
+          if skip > len then
+            invalid_arg "Cab.sdma_header: checksum skip beyond header";
+          pkt.header_sum <-
+            Inet_csum.of_bytes ~off:skip ~len:(len - skip) pkt.buf)
+
+let sdma_payload t (pkt : Netmem.packet) ~src ~pkt_off ?(cookie = 0)
+    ?(interrupt = false) ?on_complete () =
+  require_word_aligned "payload packet offset" pkt_off;
+  let len, read =
+    match src with
+    | From_user region ->
+        require_word_aligned "user source address" (Region.vaddr region);
+        ( Region.length region,
+          fun dst dst_off ->
+            Region.blit_to_bytes region ~src_off:0 dst ~dst_off
+              ~len:(Region.length region) )
+    | From_kernel b ->
+        (Bytes.length b, fun dst dst_off -> Bytes.blit b 0 dst dst_off
+             (Bytes.length b))
+  in
+  if pkt_off + len > Bytes.length pkt.buf then
+    invalid_arg "Cab.sdma_payload: transfer past end of packet buffer";
+  sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
+      read pkt.buf pkt_off;
+      match pkt.csum with
+      | None -> ()
+      | Some _ ->
+          (* Word alignment makes every segment offset even, so the body
+             sums combine without byte-swapping. *)
+          let seg = Inet_csum.of_bytes ~off:pkt_off ~len pkt.buf in
+          pkt.body_sum <- Inet_csum.add pkt.body_sum seg)
+
+let tx_rewrite_header t (pkt : Netmem.packet) ~header ~csum ?(cookie = 0)
+    ?(interrupt = false) ?on_complete () =
+  let len = Bytes.length header in
+  require_word_aligned "header length" len;
+  if pkt.state <> Netmem.Held then
+    invalid_arg "Cab.tx_rewrite_header: packet is not held for retransmit";
+  if len <> pkt.hdr_len then
+    invalid_arg "Cab.tx_rewrite_header: header length changed";
+  pkt.state <- Netmem.Filling;
+  sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
+      Bytes.blit header 0 pkt.buf 0 len;
+      pkt.csum <- csum;
+      match csum with
+      | None -> ()
+      | Some c ->
+          let skip = c.Csum_offload.skip_bytes in
+          pkt.header_sum <-
+            Inet_csum.of_bytes ~off:skip ~len:(len - skip) pkt.buf)
+
+let mdma_send t (pkt : Netmem.packet) ~dst ~channel ~keep =
+  let req = { dst; channel; keep } in
+  if pkt.sdma_pending = 0 then do_mdma t pkt req
+  else begin
+    if Hashtbl.mem t.mdma_waiting pkt.Netmem.id then
+      invalid_arg "Cab.mdma_send: packet already queued for media";
+    Hashtbl.replace t.mdma_waiting pkt.Netmem.id req
+  end
+
+let tx_free t pkt = Netmem.free t.mem pkt
+
+(* ---- receive ---- *)
+
+let rx_csum_start = 4 * Hippi_framing.rx_csum_start_words
+
+let deliver t frame =
+  let len = Bytes.length frame in
+  match Netmem.alloc t.mem ~len ~state:Netmem.Receiving with
+  | None -> t.rx_dropped <- t.rx_dropped + 1
+  | Some pkt ->
+      Bytes.blit frame 0 pkt.buf 0 len;
+      t.rx_packets <- t.rx_packets + 1;
+      t.rx_bytes <- t.rx_bytes + len;
+      (* The receive checksum engine ran while the data streamed off the
+         media (§2.1): the sum is ready with the packet. *)
+      let engine_sum =
+        if len > rx_csum_start then
+          Inet_csum.of_bytes ~off:rx_csum_start ~len:(len - rx_csum_start)
+            pkt.buf
+        else Inet_csum.zero
+      in
+      pkt.body_sum <- engine_sum;
+      let channel =
+        match Hippi_framing.decode pkt.buf ~off:0 with
+        | Ok h -> h.Hippi_framing.channel
+        | Error _ -> 0
+      in
+      let head_len = min (4 * t.autodma_words) len in
+      let complete = len <= head_len in
+      (* Auto-DMA of the prefix into a preallocated host buffer, then the
+         receive interrupt. *)
+      let duration = Memcost.bus_transfer t.profile head_len in
+      Resource.acquire t.bus duration (fun () ->
+          let head = Bytes.sub pkt.buf 0 head_len in
+          pkt.state <- Netmem.Held;
+          raise_intr t
+            (Rx_packet
+               {
+                 rx_pkt = pkt;
+                 rx_head = head;
+                 rx_head_len = head_len;
+                 rx_total_len = len;
+                 rx_engine_sum = engine_sum;
+                 rx_complete = complete;
+                 rx_channel = channel;
+               }))
+
+let sdma_copy_out t (pkt : Netmem.packet) ~off ~len ~dst ?(cookie = 0)
+    ?(interrupt = false) ?on_complete () =
+  require_word_aligned "copy-out packet offset" off;
+  if off + len > pkt.len then
+    invalid_arg "Cab.sdma_copy_out: range past end of packet";
+  (match dst with
+  | Netif.To_user (_, region) ->
+      require_word_aligned "user destination address" (Region.vaddr region);
+      if Region.length region < len then
+        invalid_arg "Cab.sdma_copy_out: destination region too small"
+  | Netif.To_kernel (b, k_off) ->
+      if k_off + len > Bytes.length b then
+        invalid_arg "Cab.sdma_copy_out: kernel destination too small");
+  sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
+      match dst with
+      | Netif.To_user (_, region) ->
+          Region.blit_from_bytes pkt.buf ~src_off:off region ~dst_off:0 ~len
+      | Netif.To_kernel (b, k_off) -> Bytes.blit pkt.buf off b k_off len)
+
+let rx_free t pkt = Netmem.free t.mem pkt
+
+(* ---- statistics ---- *)
+
+let stats t =
+  {
+    sdma_transfers = t.sdma_transfers;
+    sdma_bytes = t.sdma_bytes;
+    mdma_packets = t.mdma_packets;
+    mdma_bytes = t.mdma_bytes;
+    rx_packets = t.rx_packets;
+    rx_bytes = t.rx_bytes;
+    rx_dropped = t.rx_dropped;
+    interrupts = t.interrupts;
+  }
+
+let bus_busy_time t = Resource.busy_time t.bus
+
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "sdma %d xfers / %d B; mdma %d pkts / %d B; rx %d pkts / %d B (%d \
+     dropped); %d interrupts"
+    s.sdma_transfers s.sdma_bytes s.mdma_packets s.mdma_bytes s.rx_packets
+    s.rx_bytes s.rx_dropped s.interrupts

@@ -1,0 +1,171 @@
+(** The Gigabit Nectar CAB (Communication Acceleration Board) adaptor
+    model (§2 of the paper).
+
+    Structure follows Figure 1: network memory feeds one system DMA engine
+    (SDMA, host <-> network memory across the TurboChannel) and media DMA
+    engines (MDMA, network memory <-> HIPPI).  Checksums are computed in
+    hardware: on transmit while data flows *into* network memory (so the
+    result can be placed in the packet header before the media transfer),
+    on receive while data flows *off the media* (so it is available as soon
+    as the packet is).
+
+    Timing: SDMA transfers serialize on the TurboChannel (a {!Resource}),
+    costing the per-transfer engine overhead plus bytes at the calibrated
+    effective bus bandwidth — none of which is host CPU time.  The host
+    pays only the request-posting cost, which the *driver* charges.  Media
+    transfers serialize on whatever the [transmit] hook connects to (link
+    or switch).
+
+    The receive side auto-DMAs the first [autodma_words] words of every
+    arriving packet into preallocated host buffers and interrupts the host
+    (§2.2); packets that fit entirely are complete, larger ones leave the
+    tail in network memory for later SDMA copy-out. *)
+
+type t
+
+(** What an interrupt reports. *)
+type intr =
+  | Sdma_done of int  (** cookie passed with a flagged SDMA request *)
+  | Rx_packet of rx_info
+
+and rx_info = {
+  rx_pkt : Netmem.packet;
+  rx_head : Bytes.t;  (** auto-DMA'd prefix, host memory *)
+  rx_head_len : int;
+  rx_total_len : int;
+  rx_engine_sum : Inet_csum.sum;
+      (** sum over [4 * rx_csum_start_words, len) computed off the media *)
+  rx_complete : bool;  (** whole packet landed in the auto-DMA buffer *)
+  rx_channel : int;
+}
+
+val create :
+  sim:Sim.t ->
+  profile:Host_profile.t ->
+  name:string ->
+  netmem_pages:int ->
+  hippi_addr:int ->
+  transmit:(Bytes.t -> dst:int -> channel:int -> unit) ->
+  unit ->
+  t
+(** [transmit] is the media hook: wire it to a {!Hippi_link} or
+    {!Hippi_switch}.  Use {!deliver} as the receive hook on that fabric. *)
+
+val name : t -> string
+val hippi_addr : t -> int
+val netmem : t -> Netmem.t
+val sim : t -> Sim.t
+val profile : t -> Host_profile.t
+
+val set_interrupt_handler : t -> (intr -> unit) -> unit
+(** The driver's interrupt entry point.  Called in "hardware context": the
+    handler is responsible for charging interrupt CPU time. *)
+
+val set_autodma_words : t -> int -> unit
+(** The host-selectable L of §2.2 (default 176 words = 704 bytes, the
+    paper's mbuf-sized prefix). *)
+
+val autodma_words : t -> int
+
+(** {1 Transmit} *)
+
+val tx_alloc : t -> len:int -> Netmem.packet option
+(** Reserve a page-aligned outboard buffer for a fully formed packet. *)
+
+(** Source of an SDMA transfer into network memory. *)
+type tx_src =
+  | From_user of Region.t  (** DMA directly out of an application buffer *)
+  | From_kernel of Bytes.t  (** DMA out of kernel mbuf storage *)
+
+val sdma_header :
+  t ->
+  Netmem.packet ->
+  header:Bytes.t ->
+  csum:Csum_offload.tx option ->
+  ?cookie:int ->
+  ?interrupt:bool ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  unit
+(** DMA the packet's headers into the front of the outboard buffer.  When
+    [csum] is given, the transmit checksum engine sums the header range
+    from [csum.skip_bytes] (the seed is already in the field).  Word
+    alignment of the header length is required. *)
+
+val sdma_payload :
+  t ->
+  Netmem.packet ->
+  src:tx_src ->
+  pkt_off:int ->
+  ?cookie:int ->
+  ?interrupt:bool ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  unit
+(** DMA payload bytes into the outboard buffer at [pkt_off] (word aligned).
+    The checksum engine accumulates the body sum when the packet has an
+    offload record. *)
+
+val tx_rewrite_header :
+  t ->
+  Netmem.packet ->
+  header:Bytes.t ->
+  csum:Csum_offload.tx option ->
+  ?cookie:int ->
+  ?interrupt:bool ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  unit
+(** Retransmission support (§4.3): DMA a fresh header (with a fresh seed)
+    over the old one; the saved body sum is reused, the data is not
+    touched. *)
+
+val mdma_send :
+  t -> Netmem.packet -> dst:int -> channel:int -> keep:bool -> unit
+(** Queue the packet for media transmission.  Executes once all
+    outstanding SDMAs for the packet have completed; the final checksum is
+    folded into the packet just before it leaves.  [keep = false] frees
+    the outboard buffer after the media transfer (UDP / raw); [keep =
+    true] retains it for retransmission until {!tx_free} (TCP). *)
+
+val tx_free : t -> Netmem.packet -> unit
+(** Release a kept packet (e.g. when the TCP acknowledgement arrives). *)
+
+(** {1 Receive} *)
+
+val deliver : t -> Bytes.t -> unit
+(** Media receive entry: wire as the rx callback of the link/switch. *)
+
+val sdma_copy_out :
+  t ->
+  Netmem.packet ->
+  off:int ->
+  len:int ->
+  dst:Netif.copy_dest ->
+  ?cookie:int ->
+  ?interrupt:bool ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  unit
+(** Copy received outboard data to the host ([off] is relative to the
+    start of the packet).  Word alignment of [off] and of the user
+    destination address is required — the §4.5 restriction. *)
+
+val rx_free : t -> Netmem.packet -> unit
+
+(** {1 Statistics} *)
+
+type stats = {
+  sdma_transfers : int;
+  sdma_bytes : int;
+  mdma_packets : int;
+  mdma_bytes : int;
+  rx_packets : int;
+  rx_bytes : int;
+  rx_dropped : int;  (** network memory exhausted *)
+  interrupts : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+val bus_busy_time : t -> Simtime.t

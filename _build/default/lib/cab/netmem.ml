@@ -1,0 +1,77 @@
+type state = Filling | Ready | Receiving | Held
+
+type packet = {
+  id : int;
+  buf : Bytes.t;
+  mutable len : int;
+  mutable hdr_len : int;
+  mutable header_sum : Inet_csum.sum;
+  mutable body_sum : Inet_csum.sum;
+  mutable csum : Csum_offload.tx option;
+  mutable state : state;
+  mutable sdma_pending : int;
+  pages : int;
+}
+
+type t = {
+  capacity : int;
+  mutable used : int;
+  mutable next_id : int;
+  mutable allocs : int;
+  mutable failures : int;
+  live_ids : (int, int) Hashtbl.t;  (* packet id -> pages *)
+}
+
+let create ~pages =
+  if pages <= 0 then invalid_arg "Netmem.create: pages";
+  {
+    capacity = pages;
+    used = 0;
+    next_id = 0;
+    allocs = 0;
+    failures = 0;
+    live_ids = Hashtbl.create 64;
+  }
+
+let alloc t ~len ~state =
+  if len < 0 then invalid_arg "Netmem.alloc: negative length";
+  let pages =
+    max 1 ((len + Page.cab_page_size - 1) / Page.cab_page_size)
+  in
+  if t.used + pages > t.capacity then begin
+    t.failures <- t.failures + 1;
+    None
+  end
+  else begin
+    t.used <- t.used + pages;
+    t.allocs <- t.allocs + 1;
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace t.live_ids id pages;
+    Some
+      {
+        id;
+        buf = Bytes.create (pages * Page.cab_page_size);
+        len;
+        hdr_len = 0;
+        header_sum = Inet_csum.zero;
+        body_sum = Inet_csum.zero;
+        csum = None;
+        state;
+        sdma_pending = 0;
+        pages;
+      }
+  end
+
+let free t pkt =
+  if not (Hashtbl.mem t.live_ids pkt.id) then
+    invalid_arg
+      (Printf.sprintf "Netmem.free: packet %d not live (double free?)" pkt.id);
+  Hashtbl.remove t.live_ids pkt.id;
+  t.used <- t.used - pkt.pages
+
+let capacity_pages t = t.capacity
+let free_pages t = t.capacity - t.used
+let in_use t = Hashtbl.length t.live_ids
+let allocs t = t.allocs
+let failures t = t.failures

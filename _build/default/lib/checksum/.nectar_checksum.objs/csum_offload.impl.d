@@ -1,0 +1,1 @@
+lib/checksum/csum_offload.ml: Inet_csum

@@ -1,0 +1,1 @@
+lib/checksum/inet_csum.ml: Bytes Format Int32

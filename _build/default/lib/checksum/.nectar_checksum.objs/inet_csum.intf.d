@@ -1,0 +1,1 @@
+lib/checksum/inet_csum.mli: Bytes Format

@@ -1,0 +1,57 @@
+type sum = int
+(* Invariant: folded to at most 16 bits by [normalize] after every
+   operation, so [add] cannot overflow even on 32-bit platforms. *)
+
+let zero = 0
+
+let rec normalize s = if s > 0xffff then normalize ((s land 0xffff) + (s lsr 16)) else s
+
+let of_bytes ?(off = 0) ?len buf =
+  let len = match len with Some l -> l | None -> Bytes.length buf - off in
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Inet_csum.of_bytes: range out of bounds";
+  let s = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    s := !s + (Bytes.get_uint8 buf !i lsl 8) + Bytes.get_uint8 buf (!i + 1);
+    i := !i + 2
+  done;
+  if !i < stop then s := !s + (Bytes.get_uint8 buf !i lsl 8);
+  normalize !s
+
+let of_string s = of_bytes (Bytes.unsafe_of_string s)
+
+let add a b = normalize (a + b)
+
+let swab16 s = ((s land 0xff) lsl 8) lor (s lsr 8)
+
+let concat ~first_len a b =
+  if first_len land 1 = 0 then add a b else add a (swab16 (normalize b))
+
+let sub total part =
+  (* a - b in ones-complement: a + ~b. *)
+  normalize (total + (lnot part land 0xffff))
+
+let add_u16 s w = normalize (s + (w land 0xffff))
+
+let fold s = normalize s
+
+let finish s = lnot (fold s) land 0xffff
+
+let is_valid s = fold s = 0xffff
+
+let pseudo_header ~src ~dst ~proto ~len =
+  let hi32 v = Int32.to_int (Int32.shift_right_logical v 16) land 0xffff in
+  let lo32 v = Int32.to_int v land 0xffff in
+  let s = 0 in
+  let s = add_u16 s (hi32 src) in
+  let s = add_u16 s (lo32 src) in
+  let s = add_u16 s (hi32 dst) in
+  let s = add_u16 s (lo32 dst) in
+  let s = add_u16 s (proto land 0xff) in
+  add_u16 s (len land 0xffff)
+
+let equal a b = fold a = fold b
+
+let pp fmt s = Format.fprintf fmt "0x%04x" (fold s)

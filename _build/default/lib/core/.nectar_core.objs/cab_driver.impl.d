@@ -1,0 +1,1 @@
+lib/core/cab_driver.ml: Bytes Cab Csum_offload Format Hashtbl Hippi_framing Host Ipv4 Ipv4_header List Mbuf Memcost Netif Netmem Option Region Stack_mode

@@ -1,0 +1,1 @@
+lib/core/cab_driver.mli: Cab Format Host Inaddr Ipv4 Netif Stack_mode

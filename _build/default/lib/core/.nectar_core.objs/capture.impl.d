@@ -1,0 +1,1 @@
+lib/core/capture.ml: Bytes Format Inaddr Ipv4_header List Mbuf Netif Printf Sim Simtime String Tcp_header Udp_header

@@ -1,0 +1,1 @@
+lib/core/capture.mli: Format Netif Sim Simtime

@@ -1,0 +1,1 @@
+lib/core/ether_driver.ml: Bytes Ether_frame Etherdev Host Interop Ipv4 List Mbuf Memcost Netif Option Printf

@@ -1,0 +1,1 @@
+lib/core/ether_driver.mli: Etherdev Host Inaddr Ipv4 Netif

@@ -1,0 +1,1 @@
+lib/core/interop.ml: Bytes Host List Mbuf Memcost Netif Simtime

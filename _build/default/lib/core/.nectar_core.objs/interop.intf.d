@@ -1,0 +1,1 @@
+lib/core/interop.mli: Bytes Host Mbuf Netif

@@ -1,0 +1,1 @@
+lib/core/loopback.ml: Host Inaddr Interop Ipv4 Mbuf Netif Option Routing Simtime

@@ -1,0 +1,1 @@
+lib/core/loopback.mli: Host Ipv4 Netif

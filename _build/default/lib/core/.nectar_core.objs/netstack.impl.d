@@ -1,0 +1,1 @@
+lib/core/netstack.ml: Addr_space Cab_driver Ether_driver Host Int32 Ipv4 Loopback Routing Stack_mode Tcp Udp

@@ -1,0 +1,1 @@
+lib/core/netstack.mli: Addr_space Cab Cab_driver Ether_driver Etherdev Host Host_profile Inaddr Ipv4 Loopback Netif Sim Stack_mode Tcp Udp

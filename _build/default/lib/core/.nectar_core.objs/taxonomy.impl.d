@@ -1,0 +1,1 @@
+lib/core/taxonomy.ml: Format Host_profile List Memcost Simtime

@@ -1,0 +1,1 @@
+lib/core/testbed.ml: Cab Cab_driver Hippi_link Host_profile Inaddr List Netstack Option Sim Socket Stack_mode Tcp

@@ -1,0 +1,1 @@
+lib/core/testbed.mli: Cab Cab_driver Hippi_link Host_profile Inaddr Netstack Sim Socket Stack_mode Tcp

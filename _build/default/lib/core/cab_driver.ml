@@ -1,0 +1,497 @@
+type driver_stats = {
+  tx_packets : int;
+  tx_uio_segments : int;
+  tx_kernel_segments : int;
+  tx_rewrites : int;
+  tx_adaptor_copies : int;
+  tx_conversions : int;
+  tx_drops : int;
+  rx_packets : int;
+  rx_wcab_delivered : int;
+  rx_copied_kernel : int;
+  copyouts : int;
+  unaligned_staged : int;
+}
+
+type t = {
+  host : Host.t;
+  cab : Cab.t;
+  mode : Stack_mode.t;
+  mutable ifc : Netif.t option;
+  (* WCAB id -> live netmem packet, for retransmit rewrite and copy-out. *)
+  live_outboard : (int, Netmem.packet) Hashtbl.t;
+  mutable s : driver_stats;
+}
+
+let zero_stats =
+  {
+    tx_packets = 0;
+    tx_uio_segments = 0;
+    tx_kernel_segments = 0;
+    tx_rewrites = 0;
+    tx_adaptor_copies = 0;
+    tx_conversions = 0;
+    tx_drops = 0;
+    rx_packets = 0;
+    rx_wcab_delivered = 0;
+    rx_copied_kernel = 0;
+    copyouts = 0;
+    unaligned_staged = 0;
+  }
+
+let iface t = Option.get t.ifc
+let cab t = t.cab
+let stats t = t.s
+
+let hippi_hdr = Hippi_framing.size (* 40 *)
+let net_hdrs = Hippi_framing.size + Ipv4_header.size (* 60 *)
+
+let channel_for dst = dst land 0x7
+
+let word_pad n = (n + 3) land lnot 3
+
+(* Translate the transport-relative offload record to packet offsets: the
+   transport header starts after the HIPPI and IP headers. *)
+let translate_csum (rec_ : Csum_offload.tx) =
+  Csum_offload.make_tx
+    ~csum_offset:(net_hdrs + rec_.Csum_offload.csum_offset)
+    ~skip_bytes:(net_hdrs + rec_.Csum_offload.skip_bytes)
+    ~seed:rec_.Csum_offload.seed
+
+(* ---------- transmit ---------- *)
+
+(* Host-readable prefix: the leading internal/cluster mbufs (headers and
+   any inline data). *)
+let split_prefix chain =
+  let rec go (m : Mbuf.t option) acc =
+    match m with
+    | None -> (acc, [])
+    | Some mb -> (
+        match Mbuf.kind mb with
+        | Mbuf.K_internal | Mbuf.K_cluster -> go mb.Mbuf.next (acc + mb.Mbuf.len)
+        | Mbuf.K_uio | Mbuf.K_wcab ->
+            let rec rest (m : Mbuf.t option) acc2 =
+              match m with
+              | None -> List.rev acc2
+              | Some mb -> rest mb.Mbuf.next (mb :: acc2)
+            in
+            (acc, rest (Some mb) []))
+  in
+  go (Some chain) 0
+
+(* Retransmission fast path: the payload is exactly the outboard image of
+   a packet we still hold (§4.3). *)
+let rewrite_candidate t ~prefix_len pieces =
+  match pieces with
+  | [ (mb : Mbuf.t) ] when Mbuf.kind mb = Mbuf.K_wcab -> (
+      match mb.Mbuf.storage with
+      | Mbuf.Ext_wcab desc -> (
+          match Hashtbl.find_opt t.live_outboard desc.Mbuf.wcab_id with
+          | Some pkt
+            when pkt.Netmem.state = Netmem.Held
+                 && mb.Mbuf.off = 0
+                 && desc.Mbuf.wcab_base = pkt.Netmem.hdr_len
+                 && hippi_hdr + prefix_len = pkt.Netmem.hdr_len
+                 && mb.Mbuf.len = pkt.Netmem.len - pkt.Netmem.hdr_len ->
+              Some pkt
+          | Some _ | None -> None)
+      | _ -> None)
+  | _ -> None
+
+let build_header t ~dst ~payload_total chain ~prefix_len =
+  let hdr_len = word_pad (hippi_hdr + prefix_len) in
+  (* Zero-filled: the word-alignment pad bytes ride through the transmit
+     checksum engine but are never transmitted, so they must be zero (a
+     ones-complement sum is unchanged by zeros). *)
+  let hdr = Bytes.make hdr_len '\000' in
+  Hippi_framing.encode
+    (Hippi_framing.make
+       ~src:(Cab.hippi_addr t.cab)
+       ~dst ~channel:(channel_for dst) ~payload_len:payload_total)
+    hdr ~off:0;
+  Mbuf.copy_into chain ~off:0 ~len:prefix_len hdr ~dst_off:hippi_hdr;
+  hdr
+
+let output t ifc pkt ~next_hop =
+  match Netif.link_addr ifc next_hop with
+  | None ->
+      t.s <- { t.s with tx_drops = t.s.tx_drops + 1 };
+      Mbuf.free pkt
+  | Some dst -> (
+      let total = Mbuf.pkt_len pkt in
+      let prefix_len, pieces = split_prefix pkt in
+      let tx_csum =
+        match pkt.Mbuf.pkthdr with
+        | Some ph -> Option.map translate_csum ph.Mbuf.tx_csum
+        | None -> None
+      in
+      let on_outboard =
+        match pkt.Mbuf.pkthdr with
+        | Some ph -> ph.Mbuf.on_outboard
+        | None -> None
+      in
+      let post_cost = Memcost.dma_post t.host.Host.profile in
+      match rewrite_candidate t ~prefix_len pieces with
+      | Some netpkt ->
+          (* Header rewrite: new header + saved body checksum; the data is
+             not touched (§4.3). *)
+          let hdr = build_header t ~dst ~payload_total:total pkt ~prefix_len in
+          t.s <-
+            {
+              t.s with
+              tx_packets = t.s.tx_packets + 1;
+              tx_rewrites = t.s.tx_rewrites + 1;
+            };
+          Host.in_intr t.host post_cost (fun () ->
+              Cab.tx_rewrite_header t.cab netpkt ~header:hdr ~csum:tx_csum ();
+              Cab.mdma_send t.cab netpkt ~dst ~channel:(channel_for dst)
+                ~keep:true;
+              Mbuf.free pkt)
+      | None -> (
+          let pkt_len = hippi_hdr + total in
+          match Cab.tx_alloc t.cab ~len:(word_pad pkt_len) with
+          | None ->
+              (* Network memory exhausted: drop; TCP retransmission
+                 recovers. *)
+              t.s <- { t.s with tx_drops = t.s.tx_drops + 1 };
+              Mbuf.free pkt
+          | Some netpkt ->
+              netpkt.Netmem.len <- pkt_len;
+              let hdr =
+                build_header t ~dst ~payload_total:total pkt ~prefix_len
+              in
+              let payload_base = hippi_hdr + prefix_len in
+              if payload_base land 3 <> 0 && pieces <> [] then begin
+                (* Unaligned scatter base (a packet mixing inline and
+                   descriptor data): gather the whole packet into one
+                   kernel blob and DMA it as a unit.  The checksum engine
+                   still covers [skip, end) during the single SDMA. *)
+                let blob = Bytes.make (word_pad pkt_len) '\000' in
+                Bytes.blit hdr 0 blob 0 (hippi_hdr + prefix_len);
+                Mbuf.copy_into_raw pkt ~off:prefix_len
+                  ~len:(total - prefix_len) blob
+                  ~dst_off:(hippi_hdr + prefix_len);
+                t.s <- { t.s with tx_packets = t.s.tx_packets + 1 };
+                (* Credit any UIO counters: the gather is the copy. *)
+                Mbuf.iter
+                  (fun (mb : Mbuf.t) ->
+                    match (Mbuf.kind mb, mb.Mbuf.uwhdr) with
+                    | Mbuf.K_uio, Some { Mbuf.notify = Some n; _ } ->
+                        Mbuf.notify_complete_n n mb.Mbuf.len
+                    | _ -> ())
+                  pkt;
+                Mbuf.free pkt;
+                Host.in_intr t.host post_cost (fun () ->
+                    Cab.sdma_header t.cab netpkt
+                      ~header:(Bytes.sub blob 0 (word_pad pkt_len))
+                      ~csum:tx_csum ();
+                    Cab.mdma_send t.cab netpkt ~dst
+                      ~channel:(channel_for dst) ~keep:false)
+              end
+              else begin
+                t.s <- { t.s with tx_packets = t.s.tx_packets + 1 };
+                (* Count payload SDMAs so the on_outboard hook fires when
+                   the packet is fully outboard. *)
+                let payload_len = total - prefix_len in
+                let nonempty =
+                  List.filter (fun (mb : Mbuf.t) -> mb.Mbuf.len > 0) pieces
+                in
+                let remaining = ref (List.length nonempty) in
+                let keep = on_outboard <> None && payload_len > 0 in
+                let maybe_convert () =
+                  match on_outboard with
+                  | Some hook when payload_len > 0 ->
+                      let desc =
+                        {
+                          Mbuf.wcab_id = netpkt.Netmem.id;
+                          wcab_bytes = netpkt.Netmem.buf;
+                          wcab_base = hippi_hdr + prefix_len;
+                          wcab_valid = payload_len;
+                          wcab_body_sum = netpkt.Netmem.body_sum;
+                          wcab_free =
+                            (fun () ->
+                              Hashtbl.remove t.live_outboard netpkt.Netmem.id;
+                              Cab.tx_free t.cab netpkt);
+                          wcab_refs = ref 1;
+                        }
+                      in
+                      Hashtbl.replace t.live_outboard netpkt.Netmem.id netpkt;
+                      hook desc
+                  | Some _ | None -> ()
+                in
+                (* Describe the payload SDMAs (scatter/gather over the
+                   pieces); the sources are captured eagerly so freeing the
+                   chain below is safe. *)
+                let pkt_off = ref payload_base in
+                let payload_reqs =
+                  List.map
+                    (fun (mb : Mbuf.t) ->
+                      let seg = mb.Mbuf.len in
+                      let this_off = !pkt_off in
+                      pkt_off := !pkt_off + seg;
+                      let notify =
+                        match mb.Mbuf.uwhdr with
+                        | Some { Mbuf.notify = Some n; _ } -> Some n
+                        | Some { Mbuf.notify = None; _ } | None -> None
+                      in
+                      let interrupt =
+                        match notify with
+                        | Some n -> n.Mbuf.dma_pending <= seg
+                        | None -> false
+                      in
+                      let on_complete () =
+                        (match notify with
+                        | Some n -> Mbuf.notify_complete_n n seg
+                        | None -> ());
+                        decr remaining;
+                        if !remaining = 0 then maybe_convert ()
+                      in
+                      let src =
+                        match mb.Mbuf.storage with
+                        | Mbuf.Ext_uio d ->
+                            t.s <-
+                              {
+                                t.s with
+                                tx_uio_segments = t.s.tx_uio_segments + 1;
+                              };
+                            let sub =
+                              Region.sub d.Mbuf.uio_region ~off:mb.Mbuf.off
+                                ~len:seg
+                            in
+                            if Region.is_word_aligned sub then
+                              Cab.From_user sub
+                            else begin
+                              (* §4.5 guard: the socket layer should have
+                                 refused this; stage via kernel. *)
+                              let b = Bytes.create seg in
+                              Region.blit_to_bytes sub ~src_off:0 b
+                                ~dst_off:0 ~len:seg;
+                              Cab.From_kernel b
+                            end
+                        | Mbuf.Ext_wcab d ->
+                            (* Adaptor-local copy of data already in
+                               network memory (rare partial retransmit). *)
+                            t.s <-
+                              {
+                                t.s with
+                                tx_adaptor_copies = t.s.tx_adaptor_copies + 1;
+                              };
+                            let b = Bytes.create seg in
+                            Bytes.blit d.Mbuf.wcab_bytes
+                              (d.Mbuf.wcab_base + mb.Mbuf.off)
+                              b 0 seg;
+                            Cab.From_kernel b
+                        | Mbuf.Internal _ | Mbuf.Cluster _ ->
+                            t.s <-
+                              {
+                                t.s with
+                                tx_kernel_segments = t.s.tx_kernel_segments + 1;
+                              };
+                            let b = Bytes.create seg in
+                            Mbuf.copy_into mb ~off:0 ~len:seg b ~dst_off:0;
+                            Cab.From_kernel b
+                      in
+                      (src, this_off, interrupt, on_complete))
+                    nonempty
+                in
+                Mbuf.free pkt;
+                (* One charged step posts the whole adaptor program — in
+                   order, so the media request waits for the SDMAs. *)
+                let posts = 1 + List.length payload_reqs in
+                Host.in_intr t.host (posts * post_cost) (fun () ->
+                    Cab.sdma_header t.cab netpkt ~header:hdr ~csum:tx_csum ();
+                    List.iter
+                      (fun (src, this_off, interrupt, on_complete) ->
+                        Cab.sdma_payload t.cab netpkt ~src ~pkt_off:this_off
+                          ~interrupt ~on_complete ())
+                      payload_reqs;
+                    if payload_reqs = [] then maybe_convert ();
+                    Cab.mdma_send t.cab netpkt ~dst
+                      ~channel:(channel_for dst) ~keep)
+              end))
+
+(* ---------- copy out (receive data to host) ---------- *)
+
+let find_packet t (mb : Mbuf.t) =
+  match mb.Mbuf.storage with
+  | Mbuf.Ext_wcab desc -> (
+      match Hashtbl.find_opt t.live_outboard desc.Mbuf.wcab_id with
+      | Some pkt -> Some (desc, pkt)
+      | None -> None)
+  | Mbuf.Internal _ | Mbuf.Cluster _ | Mbuf.Ext_uio _ -> None
+
+let copy_out t (mb : Mbuf.t) ~off ~len ~dst ~on_done =
+  match find_packet t mb with
+  | None ->
+      invalid_arg "Cab_driver.copy_out: not an outboard mbuf of this device"
+  | Some (desc, pkt) ->
+      t.s <- { t.s with copyouts = t.s.copyouts + 1 };
+      let abs_off = desc.Mbuf.wcab_base + mb.Mbuf.off + off in
+      let post = Memcost.dma_post t.host.Host.profile in
+      let direct_ok =
+        abs_off land 3 = 0
+        &&
+        match dst with
+        | Netif.To_user (_, region) -> Region.is_word_aligned region
+        | Netif.To_kernel _ -> true
+      in
+      if direct_ok then
+        Host.in_intr t.host post (fun () ->
+            Cab.sdma_copy_out t.cab pkt ~off:abs_off ~len ~dst ~interrupt:true
+              ~on_complete:on_done ())
+      else begin
+        (* §4.5: unaligned destinations go the slow way — DMA an aligned
+           superset into kernel staging, then memory-copy. *)
+        t.s <- { t.s with unaligned_staged = t.s.unaligned_staged + 1 };
+        let lead = abs_off land 3 in
+        let stage_len = word_pad (len + lead) in
+        let stage_len = min stage_len (pkt.Netmem.len - (abs_off - lead)) in
+        let stage = Bytes.create stage_len in
+        Host.in_intr t.host post (fun () ->
+            Cab.sdma_copy_out t.cab pkt ~off:(abs_off - lead) ~len:stage_len
+              ~dst:(Netif.To_kernel (stage, 0))
+              ~interrupt:true
+              ~on_complete:(fun () ->
+                let copy_cost =
+                  Memcost.copy t.host.Host.profile ~locality:Memcost.Cold len
+                in
+                Host.in_intr t.host copy_cost (fun () ->
+                    (match dst with
+                    | Netif.To_user (_, region) ->
+                        Region.blit_from_bytes stage ~src_off:lead region
+                          ~dst_off:0 ~len
+                    | Netif.To_kernel (b, k_off) ->
+                        Bytes.blit stage lead b k_off len);
+                    on_done ()))
+              ())
+      end
+
+(* ---------- receive ---------- *)
+
+let deliver_chain t chain =
+  match t.ifc with
+  | Some ifc -> Netif.deliver ifc chain
+  | None -> Mbuf.free chain
+
+let rx_csum_rel = (4 * Hippi_framing.rx_csum_start_words) - Hippi_framing.size
+
+let handle_rx t (info : Cab.rx_info) =
+  t.s <- { t.s with rx_packets = t.s.rx_packets + 1 };
+  let total = info.Cab.rx_total_len in
+  let head_len = info.Cab.rx_head_len in
+  let host_bytes = head_len - hippi_hdr in
+  if host_bytes <= 0 then Cab.rx_free t.cab info.Cab.rx_pkt
+  else begin
+    let head_data = Bytes.create host_bytes in
+    Bytes.blit info.Cab.rx_head hippi_hdr head_data 0 host_bytes;
+    let head = Mbuf.of_bytes ~pkthdr:true head_data in
+    if info.Cab.rx_complete then begin
+      Cab.rx_free t.cab info.Cab.rx_pkt;
+      (match (t.mode, head.Mbuf.pkthdr) with
+      | Stack_mode.Single_copy, Some ph ->
+          ph.Mbuf.rx_csum <-
+            Some
+              (Csum_offload.make_rx ~engine_sum:info.Cab.rx_engine_sum
+                 ~rx_start:rx_csum_rel)
+      | _ -> ());
+      deliver_chain t head
+    end
+    else begin
+      let tail_len = total - head_len in
+      match t.mode with
+      | Stack_mode.Single_copy ->
+          let pkt = info.Cab.rx_pkt in
+          let desc =
+            {
+              Mbuf.wcab_id = pkt.Netmem.id;
+              wcab_bytes = pkt.Netmem.buf;
+              wcab_base = head_len;
+              wcab_valid = tail_len;
+              wcab_body_sum = info.Cab.rx_engine_sum;
+              wcab_free =
+                (fun () ->
+                  Hashtbl.remove t.live_outboard pkt.Netmem.id;
+                  Cab.rx_free t.cab pkt);
+              wcab_refs = ref 1;
+            }
+          in
+          Hashtbl.replace t.live_outboard pkt.Netmem.id pkt;
+          let tail = Mbuf.make_wcab ~desc ~len:tail_len ~hdr:None in
+          Mbuf.append head tail;
+          (match head.Mbuf.pkthdr with
+          | Some ph ->
+              ph.Mbuf.rx_csum <-
+                Some
+                  (Csum_offload.make_rx ~engine_sum:info.Cab.rx_engine_sum
+                     ~rx_start:rx_csum_rel)
+          | None -> ());
+          t.s <- { t.s with rx_wcab_delivered = t.s.rx_wcab_delivered + 1 };
+          deliver_chain t head
+      | Stack_mode.Unmodified ->
+          (* Baseline stack: the whole packet must land in kernel buffers
+             before protocol processing; no hardware checksum is used. *)
+          let tail = Bytes.create tail_len in
+          let pkt = info.Cab.rx_pkt in
+          let post = Memcost.dma_post t.host.Host.profile in
+          Host.in_intr t.host post (fun () ->
+              Cab.sdma_copy_out t.cab pkt ~off:head_len ~len:tail_len
+                ~dst:(Netif.To_kernel (tail, 0))
+                ~interrupt:true
+                ~on_complete:(fun () ->
+                  Cab.rx_free t.cab pkt;
+                  Mbuf.append head (Mbuf.of_bytes tail);
+                  t.s <-
+                    { t.s with rx_copied_kernel = t.s.rx_copied_kernel + 1 };
+                  deliver_chain t head)
+                ())
+    end
+  end
+
+let interrupt_handler t intr =
+  let cost = Memcost.interrupt t.host.Host.profile in
+  match intr with
+  | Cab.Sdma_done _ ->
+      (* Completion bookkeeping ran in the on_complete hooks; pay the
+         interrupt entry/exit. *)
+      Host.in_intr t.host cost (fun () -> ())
+  | Cab.Rx_packet info -> Host.in_intr t.host cost (fun () -> handle_rx t info)
+
+(* ---------- attach ---------- *)
+
+let attach ~host ~ip ~cab ~addr ?(mtu = 32 * 1024) ~mode () =
+  let t =
+    {
+      host;
+      cab;
+      mode;
+      ifc = None;
+      live_outboard = Hashtbl.create 64;
+      s = zero_stats;
+    }
+  in
+  let single_copy = Stack_mode.is_single_copy mode in
+  let ifc =
+    Netif.make ~name:(Cab.name cab) ~addr ~mtu ~single_copy
+      ~hw_csum_rx:single_copy
+      ~copy_out:(fun mb ~off ~len ~dst ~on_done ->
+        copy_out t mb ~off ~len ~dst ~on_done)
+      ~output:(fun ifc pkt ~next_hop -> output t ifc pkt ~next_hop)
+      ()
+  in
+  t.ifc <- Some ifc;
+  Cab.set_interrupt_handler cab (fun i -> interrupt_handler t i);
+  Netif.attach_input ifc (fun m -> Ipv4.input ip ifc m);
+  Host.add_iface host ifc;
+  t
+
+let add_neighbor t ip ~hippi_addr = Netif.add_neighbor (iface t) ip hippi_addr
+
+
+let pp_stats fmt (s : driver_stats) =
+  Format.fprintf fmt
+    "tx %d pkts (%d uio segs, %d kernel segs, %d rewrites, %d adaptor \
+     copies, %d drops); rx %d pkts (%d with outboard tails, %d copied to \
+     kernel); %d copy-outs (%d staged)"
+    s.tx_packets s.tx_uio_segments s.tx_kernel_segments s.tx_rewrites
+    s.tx_adaptor_copies s.tx_drops s.rx_packets s.rx_wcab_delivered
+    s.rx_copied_kernel s.copyouts s.unaligned_staged

@@ -1,0 +1,57 @@
+(** The CAB network device driver (§3-§5).
+
+    This is where every data-touching operation of the single-copy path
+    lands: the driver translates descriptor chains into SDMA programs,
+    carries the checksum-offload record into the hardware, converts send
+    data to M_WCAB once it is outboard, reconstructs receive chains (host
+    header prefix + M_WCAB tail), and provides the [copy_out] routine the
+    socket layer uses to move outboard receive data.
+
+    In [Unmodified] mode the same driver serves the baseline stack: it
+    accepts only regular chains (descriptors are converted at entry by the
+    §5 shim), programs no checksum hardware, and copies whole received
+    packets into kernel mbufs before handing them up.
+
+    Transmit packet geometry: [HIPPI (40) | IP (20) | transport | data],
+    so the engine's receive-side fixed start (word 20 = byte 80) and the
+    transmit skip/seed records line up as described in §4.3. *)
+
+type t
+
+type driver_stats = {
+  tx_packets : int;
+  tx_uio_segments : int;  (** payload SDMAs straight from user memory *)
+  tx_kernel_segments : int;
+  tx_rewrites : int;  (** retransmits satisfied by header rewrite *)
+  tx_adaptor_copies : int;
+      (** netmem-to-netmem payload copies (partial retransmit of outboard
+          data) *)
+  tx_conversions : int;  (** UIO chains copied at entry (unmodified mode) *)
+  tx_drops : int;  (** network-memory exhaustion or missing neighbor *)
+  rx_packets : int;
+  rx_wcab_delivered : int;  (** packets handed up with an outboard tail *)
+  rx_copied_kernel : int;  (** packets fully copied to kernel (unmodified) *)
+  copyouts : int;
+  unaligned_staged : int;  (** copy-outs staged through kernel memory *)
+}
+
+val attach :
+  host:Host.t ->
+  ip:Ipv4.t ->
+  cab:Cab.t ->
+  addr:Inaddr.t ->
+  ?mtu:int ->
+  mode:Stack_mode.t ->
+  unit ->
+  t
+(** Creates the interface (MTU defaults to 32 KByte as in §7.1), hooks the
+    adaptor's interrupt handler, and registers the interface + an on-link
+    host route with IP. *)
+
+val iface : t -> Netif.t
+val cab : t -> Cab.t
+val stats : t -> driver_stats
+val pp_stats : Format.formatter -> driver_stats -> unit
+
+val add_neighbor : t -> Inaddr.t -> hippi_addr:int -> unit
+(** Static address resolution: IP next hop to HIPPI switch address. *)

@@ -1,0 +1,30 @@
+(** Driver for the legacy Ethernet device — the "existing device" of §5.
+
+    Not modified for the single-copy stack: it understands only regular
+    mbufs.  A thin conversion layer at its entry point
+    ({!Interop.flatten_for_legacy}) turns descriptor chains into plain
+    kernel bytes, charging the delayed copy. *)
+
+type t
+
+type stats = {
+  tx_frames : int;
+  rx_frames : int;
+  tx_converted : int;  (** frames whose chain needed the §5 conversion *)
+  tx_drops : int;
+}
+
+val attach :
+  host:Host.t ->
+  ip:Ipv4.t ->
+  dev:Etherdev.t ->
+  addr:Inaddr.t ->
+  ?mtu:int ->
+  unit ->
+  t
+(** MTU defaults to 1500. *)
+
+val iface : t -> Netif.t
+val stats : t -> stats
+
+val add_neighbor : t -> Inaddr.t -> mac:int -> unit

@@ -1,0 +1,97 @@
+let flatten_count = ref 0
+let wcab_count = ref 0
+
+let conversions () = !flatten_count
+let wcab_conversions () = !wcab_count
+
+let reset_counters () =
+  flatten_count := 0;
+  wcab_count := 0
+
+let flatten_for_legacy ~host ~proc_hint m k =
+  let total = Mbuf.chain_len m in
+  (* Cost: only descriptor-held bytes need a real (delayed) copy; regular
+     mbuf bytes were already copied when the socket layer buffered them. *)
+  let uio_bytes =
+    Mbuf.fold
+      (fun acc (mb : Mbuf.t) ->
+        match Mbuf.kind mb with
+        | Mbuf.K_uio -> acc + mb.Mbuf.len
+        | Mbuf.K_wcab | Mbuf.K_internal | Mbuf.K_cluster -> acc)
+      0 m
+  in
+  let cost =
+    if uio_bytes > 0 then
+      Memcost.copy host.Host.profile ~locality:Memcost.Cold uio_bytes
+    else Simtime.zero
+  in
+  let finish () =
+    if uio_bytes > 0 then incr flatten_count;
+    let buf = Bytes.create total in
+    Mbuf.copy_into m ~off:0 ~len:total buf ~dst_off:0;
+    (* The copy satisfies copy semantics: credit the UIO counters. *)
+    Mbuf.iter
+      (fun (mb : Mbuf.t) ->
+        match (Mbuf.kind mb, mb.Mbuf.uwhdr) with
+        | Mbuf.K_uio, Some { Mbuf.notify = Some n; _ } ->
+            Mbuf.notify_complete_n n mb.Mbuf.len
+        | _ -> ())
+      m;
+    Mbuf.free m;
+    k buf
+  in
+  if cost > 0 then Host.in_proc host ~proc:proc_hint cost finish
+  else finish ()
+
+let wcab_to_regular ~host ~iface m k =
+  let has_wcab = List.mem Mbuf.K_wcab (Mbuf.chain_kinds m) in
+  if not has_wcab then k m
+  else begin
+    match iface.Netif.copy_out with
+    | None ->
+        (* The owning device must be able to move its own data. *)
+        invalid_arg "Interop.wcab_to_regular: device has no copy-out"
+    | Some copy_out ->
+        incr wcab_count;
+        let total = Mbuf.chain_len m in
+        let buf = Bytes.create total in
+        let pending = ref 1 in
+        let release () =
+          decr pending;
+          if !pending = 0 then begin
+            let rcvif = Mbuf.rcvif m in
+            let rx_csum =
+              match m.Mbuf.pkthdr with
+              | Some ph -> ph.Mbuf.rx_csum
+              | None -> None
+            in
+            Mbuf.free m;
+            let fresh = Mbuf.of_bytes ~pkthdr:true buf in
+            (match (fresh.Mbuf.pkthdr, rcvif) with
+            | Some _, Some ifname -> Mbuf.set_rcvif fresh ifname
+            | _ -> ());
+            (match fresh.Mbuf.pkthdr with
+            | Some ph -> ph.Mbuf.rx_csum <- rx_csum
+            | None -> ());
+            k fresh
+          end
+        in
+        let rec walk (mb : Mbuf.t option) off =
+          match mb with
+          | None -> release ()
+          | Some mb ->
+              let seg = mb.Mbuf.len in
+              (if seg > 0 then
+                 match Mbuf.kind mb with
+                 | Mbuf.K_wcab ->
+                     incr pending;
+                     copy_out mb ~off:0 ~len:seg
+                       ~dst:(Netif.To_kernel (buf, off))
+                       ~on_done:release
+                 | Mbuf.K_internal | Mbuf.K_cluster | Mbuf.K_uio ->
+                     Mbuf.copy_into mb ~off:0 ~len:seg buf ~dst_off:off);
+              walk mb.Mbuf.next (off + seg)
+        in
+        ignore host;
+        walk (Some m) 0
+  end

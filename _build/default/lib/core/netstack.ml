@@ -1,0 +1,43 @@
+type t = {
+  host : Host.t;
+  ip : Ipv4.t;
+  tcp : Tcp.t;
+  udp : Udp.t;
+  mode : Stack_mode.t;
+}
+
+let create ~sim ~profile ~name ~mode ?(tcp_config = fun c -> c) () =
+  let host = Host.create ~sim ~profile ~name in
+  let ip = Ipv4.create ~host in
+  let single_copy = Stack_mode.is_single_copy mode in
+  let cfg = { Tcp.default_config with Tcp.single_copy } in
+  let tcp = Tcp.create ~ip ~config:(tcp_config cfg) in
+  let udp = Udp.create ~ip ~single_copy in
+  { host; ip; tcp; udp; mode }
+
+let subnet_of addr =
+  (* /24 containing the address. *)
+  Int32.logand addr 0xffffff00l
+
+let attach_cab t ~cab ~addr ?mtu () =
+  let drv = Cab_driver.attach ~host:t.host ~ip:t.ip ~cab ~addr ?mtu ~mode:t.mode () in
+  Routing.add_route (Ipv4.routing t.ip) ~prefix:(subnet_of addr) ~len:24
+    (Cab_driver.iface drv);
+  drv
+
+let attach_ether t ~dev ~addr ?mtu () =
+  let drv = Ether_driver.attach ~host:t.host ~ip:t.ip ~dev ~addr ?mtu () in
+  Routing.add_route (Ipv4.routing t.ip) ~prefix:(subnet_of addr) ~len:24
+    (Ether_driver.iface drv);
+  drv
+
+let attach_loopback t = Loopback.attach ~host:t.host ~ip:t.ip ()
+
+let add_route t ~prefix ~len ?gateway ifc =
+  Routing.add_route (Ipv4.routing t.ip) ~prefix ~len ?gateway ifc
+
+let set_forwarding t v = Ipv4.set_forwarding t.ip v
+
+let make_space t ~name =
+  Addr_space.create ~profile:t.host.Host.profile
+    ~name:(t.host.Host.name ^ "." ^ name)

@@ -1,0 +1,43 @@
+(** Assembly of one host's protocol stack.
+
+    One [Netstack.t] is the paper's "single stack" (§4.1): a single IP
+    instance with one routing table serving every interface — single-copy
+    CABs, legacy Ethernets, loopback — with TCP and UDP on top.  The
+    [mode] selects the unmodified baseline or the single-copy stack for
+    the whole host. *)
+
+type t = {
+  host : Host.t;
+  ip : Ipv4.t;
+  tcp : Tcp.t;
+  udp : Udp.t;
+  mode : Stack_mode.t;
+}
+
+val create :
+  sim:Sim.t ->
+  profile:Host_profile.t ->
+  name:string ->
+  mode:Stack_mode.t ->
+  ?tcp_config:(Tcp.config -> Tcp.config) ->
+  unit ->
+  t
+(** [tcp_config] tweaks the mode-derived default TCP configuration. *)
+
+val attach_cab :
+  t -> cab:Cab.t -> addr:Inaddr.t -> ?mtu:int -> unit -> Cab_driver.t
+(** Attaches the CAB and routes [addr]/24 over it. *)
+
+val attach_ether :
+  t -> dev:Etherdev.t -> addr:Inaddr.t -> ?mtu:int -> unit -> Ether_driver.t
+(** Attaches a legacy Ethernet and routes [addr]/24 over it. *)
+
+val attach_loopback : t -> Loopback.t
+
+val add_route :
+  t -> prefix:Inaddr.t -> len:int -> ?gateway:Inaddr.t -> Netif.t -> unit
+
+val set_forwarding : t -> bool -> unit
+
+val make_space : t -> name:string -> Addr_space.t
+(** A fresh application address space on this host. *)

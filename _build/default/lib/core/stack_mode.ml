@@ -1,0 +1,7 @@
+type t = Unmodified | Single_copy
+
+let to_string = function
+  | Unmodified -> "unmodified"
+  | Single_copy -> "single-copy"
+
+let is_single_copy = function Single_copy -> true | Unmodified -> false

@@ -1,0 +1,8 @@
+(** Which protocol stack a host runs: the unmodified two-copy baseline or
+    the paper's single-copy stack.  One type shared by the drivers and the
+    stack assembly. *)
+
+type t = Unmodified | Single_copy
+
+val to_string : t -> string
+val is_single_copy : t -> bool

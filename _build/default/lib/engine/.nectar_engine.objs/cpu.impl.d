@@ -1,0 +1,1 @@
+lib/engine/cpu.ml: Hashtbl List Queue Sim Simtime

@@ -1,0 +1,1 @@
+lib/engine/tracelog.ml: Format Sim Simtime Sys

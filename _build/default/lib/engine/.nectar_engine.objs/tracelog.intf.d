@@ -1,0 +1,1 @@
+lib/engine/tracelog.mli: Format Sim

@@ -1,0 +1,98 @@
+type mode = User | Sys
+
+type item = {
+  duration : Simtime.t;
+  proc : string;
+  mode : mode;
+  k : unit -> unit;
+}
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  mutable idle_proc : string;
+  mutable running : item option;
+  intr_q : item Queue.t;
+  normal_q : item Queue.t;
+  buckets : (string * mode, int ref) Hashtbl.t;
+  mutable busy_total : Simtime.t;
+}
+
+let create ~sim ~name =
+  {
+    sim;
+    name;
+    idle_proc = "idle";
+    running = None;
+    intr_q = Queue.create ();
+    normal_q = Queue.create ();
+    buckets = Hashtbl.create 8;
+    busy_total = 0;
+  }
+
+let name t = t.name
+let set_idle_proc t p = t.idle_proc <- p
+
+let charge t proc mode d =
+  let key = (proc, mode) in
+  let cell =
+    match Hashtbl.find_opt t.buckets key with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.add t.buckets key c;
+        c
+  in
+  cell := !cell + d;
+  t.busy_total <- t.busy_total + d
+
+let current_proc t =
+  match t.running with Some item -> item.proc | None -> t.idle_proc
+
+let rec start_next t =
+  let next =
+    if not (Queue.is_empty t.intr_q) then Some (Queue.pop t.intr_q)
+    else if not (Queue.is_empty t.normal_q) then Some (Queue.pop t.normal_q)
+    else None
+  in
+  match next with
+  | None -> t.running <- None
+  | Some item ->
+      t.running <- Some item;
+      ignore
+        (Sim.after t.sim item.duration (fun () ->
+             charge t item.proc item.mode item.duration;
+             item.k ();
+             start_next t))
+
+let submit t queue item =
+  Queue.push item queue;
+  if t.running = None then start_next t
+
+let execute t ~proc ~mode duration k =
+  submit t t.normal_q { duration; proc; mode; k }
+
+let execute_intr t duration k =
+  (* Charged to whoever is current at raise time — the paper's mis-charging. *)
+  let victim = current_proc t in
+  submit t t.intr_q { duration; proc = victim; mode = Sys; k }
+
+let charged t ~proc ~mode =
+  match Hashtbl.find_opt t.buckets (proc, mode) with
+  | Some c -> !c
+  | None -> 0
+
+let busy t = t.busy_total
+
+let procs t =
+  Hashtbl.fold
+    (fun (p, _) c acc -> if !c > 0 && not (List.mem p acc) then p :: acc else acc)
+    t.buckets []
+
+let queue_length t =
+  Queue.length t.intr_q + Queue.length t.normal_q
+  + (match t.running with Some _ -> 1 | None -> 0)
+
+let reset_accounting t =
+  Hashtbl.reset t.buckets;
+  t.busy_total <- 0

@@ -1,0 +1,50 @@
+(** Host CPU model with the paper's accounting methodology.
+
+    The CPU is a serially shared resource.  Protocol code, copies, checksum
+    reads and interrupt handlers are submitted as work items with a duration
+    from the cost model; items run one at a time (interrupt items ahead of
+    normal items, as on a real machine where interrupts preempt).
+
+    Accounting reproduces §7.1 of the paper: every item is charged to a
+    (process, mode) bucket, *except* interrupt work, which is charged as
+    system time to whichever process happened to be running (or to the
+    idle-soaking [util] process when the CPU was idle) — the mis-charging
+    the paper's ttcp+util methodology was designed to correct for. *)
+
+type t
+
+type mode = User | Sys
+
+val create : sim:Sim.t -> name:string -> t
+
+val name : t -> string
+
+val set_idle_proc : t -> string -> unit
+(** Name of the process considered "running" while the CPU is idle
+    (the compute-bound [util] soaker in the paper's methodology).
+    Defaults to ["idle"]. *)
+
+val execute :
+  t -> proc:string -> mode:mode -> Simtime.t -> (unit -> unit) -> unit
+(** [execute t ~proc ~mode d k] queues [d] of CPU work charged to
+    [(proc, mode)], then calls [k] when it completes. *)
+
+val execute_intr : t -> Simtime.t -> (unit -> unit) -> unit
+(** Interrupt-context work: runs ahead of normal work and is charged as
+    [Sys] to the process that was current when the interrupt was raised. *)
+
+val charged : t -> proc:string -> mode:mode -> Simtime.t
+(** Total time charged to a bucket so far. *)
+
+val busy : t -> Simtime.t
+(** Total busy time (sum over all buckets). *)
+
+val procs : t -> string list
+(** All process names with a nonzero bucket. *)
+
+val current_proc : t -> string
+(** The process currently "running" (idle proc when idle). *)
+
+val queue_length : t -> int
+
+val reset_accounting : t -> unit

@@ -1,0 +1,77 @@
+type 'a entry = { time : Simtime.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] is a dense binary min-heap in [0, size); slot 0 is the root. *)
+  mutable size : int;
+  mutable next_seq : int;
+  dummy : 'a option ref;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; dummy = ref None }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let before a b =
+  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q entry =
+  let cap = Array.length q.heap in
+  if q.size = cap then begin
+    let ncap = Stdlib.max 16 (2 * cap) in
+    let nheap = Array.make ncap entry in
+    Array.blit q.heap 0 nheap 0 q.size;
+    q.heap <- nheap
+  end
+
+let push q ~time payload =
+  let entry = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  (* sift up *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  q.heap.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before entry q.heap.(parent) then begin
+      q.heap.(!i) <- q.heap.(parent);
+      q.heap.(parent) <- entry;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let root = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      let last = q.heap.(q.size) in
+      q.heap.(0) <- last;
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && before q.heap.(l) q.heap.(!smallest) then
+          smallest := l;
+        if r < q.size && before q.heap.(r) q.heap.(!smallest) then
+          smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.heap.(!i) in
+          q.heap.(!i) <- q.heap.(!smallest);
+          q.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (root.time, root.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time

@@ -1,0 +1,20 @@
+(** Priority queue of timed events.
+
+    A binary min-heap ordered by (time, sequence number).  The sequence
+    number makes the simulation deterministic: two events scheduled for the
+    same instant fire in scheduling order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:Simtime.t -> 'a -> unit
+
+val pop : 'a t -> (Simtime.t * 'a) option
+(** Removes and returns the earliest event. *)
+
+val peek_time : 'a t -> Simtime.t option
+(** Time of the earliest event without removing it. *)

@@ -1,0 +1,34 @@
+type item = { duration : Simtime.t; k : unit -> unit }
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  q : item Queue.t;
+  mutable held : bool;
+  mutable busy_total : Simtime.t;
+}
+
+let create ~sim ~name =
+  { sim; name; q = Queue.create (); held = false; busy_total = 0 }
+
+let name t = t.name
+
+let rec start_next t =
+  if Queue.is_empty t.q then t.held <- false
+  else begin
+    t.held <- true;
+    let item = Queue.pop t.q in
+    ignore
+      (Sim.after t.sim item.duration (fun () ->
+           t.busy_total <- t.busy_total + item.duration;
+           item.k ();
+           start_next t))
+  end
+
+let acquire t duration k =
+  Queue.push { duration; k } t.q;
+  if not t.held then start_next t
+
+let busy t = t.held
+let queue_length t = Queue.length t.q + if t.held then 1 else 0
+let busy_time t = t.busy_total

@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = int64 t in
+  { state = s }
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Avoid log 0. *)
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u
+
+let fill_bytes t buf =
+  let n = Bytes.length buf in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    Bytes.set_int64_le buf !i (int64 t);
+    i := !i + 8
+  done;
+  while !i < n do
+    Bytes.set_uint8 buf !i (int t 256);
+    incr i
+  done

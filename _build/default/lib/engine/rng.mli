@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The simulator never uses the global [Random] state: every stochastic
+    component owns an [Rng.t] seeded from the experiment configuration, so
+    runs are reproducible and independent components do not perturb each
+    other's streams. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** A new generator with an independent stream derived from [t]. *)
+
+val int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean. *)
+
+val fill_bytes : t -> Bytes.t -> unit
+(** Fills a buffer with pseudo-random bytes (used for payload patterns). *)

@@ -1,0 +1,60 @@
+type handle = { mutable cancelled : bool; fn : unit -> unit }
+
+type t = {
+  mutable clock : Simtime.t;
+  queue : handle Event_queue.t;
+}
+
+exception Stuck of string
+
+let create () = { clock = Simtime.zero; queue = Event_queue.create () }
+
+let now t = t.clock
+
+let at t time fn =
+  if time < t.clock then
+    invalid_arg
+      (Format.asprintf "Sim.at: time %a is in the past (now %a)" Simtime.pp
+         time Simtime.pp t.clock);
+  let h = { cancelled = false; fn } in
+  Event_queue.push t.queue ~time h;
+  h
+
+let after t delay fn = at t (Simtime.add t.clock delay) fn
+
+let cancel h = h.cancelled <- true
+let cancelled h = h.cancelled
+let pending t = Event_queue.length t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, h) ->
+      t.clock <- time;
+      if not h.cancelled then h.fn ();
+      true
+
+let run ?until ?(max_events = 200_000_000) t =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some time -> (
+        match until with
+        | Some limit when time > limit ->
+            t.clock <- limit;
+            continue := false
+        | _ ->
+            if !fired >= max_events then
+              raise
+                (Stuck
+                   (Printf.sprintf "Sim.run: fired %d events without draining"
+                      !fired));
+            incr fired;
+            ignore (step t))
+  done;
+  match until with
+  | Some limit when t.clock < limit && Event_queue.is_empty t.queue ->
+      t.clock <- limit
+  | _ -> ()

@@ -1,0 +1,41 @@
+(** Discrete-event simulation scheduler.
+
+    Single-threaded, deterministic: events fire in (time, scheduling-order)
+    order.  All simulated components (hosts, adaptors, links) share one
+    [Sim.t]. *)
+
+type t
+
+type handle
+(** A scheduled event that can be cancelled (e.g. a protocol timer). *)
+
+val create : unit -> t
+
+val now : t -> Simtime.t
+
+val at : t -> Simtime.t -> (unit -> unit) -> handle
+(** Schedule a callback at an absolute time (>= [now]). *)
+
+val after : t -> Simtime.t -> (unit -> unit) -> handle
+(** Schedule a callback [delay] after [now]. *)
+
+val cancel : handle -> unit
+(** Cancelling a fired or already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    discarded). *)
+
+exception Stuck of string
+(** Raised by [run] when [max_events] is exhausted — a guard against
+    accidental event loops in protocol code. *)
+
+val run : ?until:Simtime.t -> ?max_events:int -> t -> unit
+(** Drains the event queue.  Stops when empty, or when the next event is
+    later than [until] (the clock is then advanced to [until]).
+    [max_events] defaults to 200 million. *)
+
+val step : t -> bool
+(** Fires the single earliest event.  [false] when the queue is empty. *)

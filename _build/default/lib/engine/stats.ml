@@ -1,0 +1,140 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let get t = t.n
+  let reset t = t.n <- 0
+end
+
+module Mean = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.; m2 = 0.; min_v = infinity; max_v = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0. else t.mean
+
+  let variance t =
+    if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = sqrt (variance t)
+  let min t = if t.count = 0 then 0. else t.min_v
+  let max t = if t.count = 0 then 0. else t.max_v
+
+  let reset t =
+    t.count <- 0;
+    t.mean <- 0.;
+    t.m2 <- 0.;
+    t.min_v <- infinity;
+    t.max_v <- neg_infinity
+end
+
+module Timeseries = struct
+  type t = {
+    bucket : Simtime.t;
+    tbl : (int, int ref) Hashtbl.t;
+    mutable max_idx : int;
+    mutable min_idx : int;
+    mutable any : bool;
+  }
+
+  let create ~bucket =
+    if bucket <= 0 then invalid_arg "Timeseries.create: bucket width";
+    { bucket; tbl = Hashtbl.create 64; max_idx = 0; min_idx = 0; any = false }
+
+  let add t ~time v =
+    let i = time / t.bucket in
+    (match Hashtbl.find_opt t.tbl i with
+    | Some c -> c := !c + v
+    | None -> Hashtbl.add t.tbl i (ref v));
+    if not t.any then begin
+      t.any <- true;
+      t.min_idx <- i;
+      t.max_idx <- i
+    end
+    else begin
+      if i > t.max_idx then t.max_idx <- i;
+      if i < t.min_idx then t.min_idx <- i
+    end
+
+  let buckets t =
+    if not t.any then []
+    else
+      List.init
+        (t.max_idx - t.min_idx + 1)
+        (fun k ->
+          let i = t.min_idx + k in
+          ( i * t.bucket,
+            match Hashtbl.find_opt t.tbl i with Some c -> !c | None -> 0 ))
+
+  let rates_mbit t =
+    List.map
+      (fun (_, v) -> Simtime.rate_mbit ~bytes:v t.bucket)
+      (buckets t)
+end
+
+module Histogram = struct
+  (* Bucket i holds values v with 2^(i-1) <= v < 2^i (bucket 0 holds 0). *)
+  type t = { buckets : int array; mutable total : int }
+
+  let nbuckets = 63
+
+  let create () = { buckets = Array.make nbuckets 0; total = 0 }
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else
+      let rec go i acc = if acc > v then i else go (i + 1) (acc * 2) in
+      go 1 1
+
+  let add t v =
+    let b = Stdlib.min (nbuckets - 1) (bucket_of v) in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+
+  let percentile t p =
+    if t.total = 0 then 0
+    else begin
+      let target = Float.ceil (p /. 100. *. float_of_int t.total) in
+      let target = Stdlib.max 1 (int_of_float target) in
+      let acc = ref 0 and result = ref 0 in
+      (try
+         for i = 0 to nbuckets - 1 do
+           acc := !acc + t.buckets.(i);
+           if !acc >= target then begin
+             result := (if i = 0 then 0 else 1 lsl (i - 1));
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+
+  let pp fmt t =
+    Format.fprintf fmt "hist(n=%d" t.total;
+    Array.iteri
+      (fun i n ->
+        if n > 0 then
+          Format.fprintf fmt "; <2^%d:%d" i n)
+      t.buckets;
+    Format.fprintf fmt ")"
+end

@@ -1,0 +1,57 @@
+(** Measurement accumulators used throughout the simulator. *)
+
+(** Simple monotonically increasing counter. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+(** Streaming mean / variance (Welford's algorithm). *)
+module Mean : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val reset : t -> unit
+end
+
+(** Time-bucketed accumulator: sums samples into fixed-width time
+    buckets (e.g. bytes delivered per 10 ms), for throughput-over-time
+    plots. *)
+module Timeseries : sig
+  type t
+
+  val create : bucket:Simtime.t -> t
+  val add : t -> time:Simtime.t -> int -> unit
+  val buckets : t -> (Simtime.t * int) list
+  (** (bucket start time, sum) pairs in time order; empty buckets between
+      samples are included as zeros. *)
+
+  val rates_mbit : t -> float list
+  (** Each bucket's sum interpreted as bytes over the bucket width. *)
+end
+
+(** Power-of-two bucketed histogram for latency-like quantities. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val count : t -> int
+  val percentile : t -> float -> int
+  (** [percentile t p] with [p] in [0, 100]; returns the upper bound of the
+      bucket containing the p-th percentile, or 0 when empty. *)
+
+  val pp : Format.formatter -> t -> unit
+end

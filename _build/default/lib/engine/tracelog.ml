@@ -1,0 +1,27 @@
+type level = Quiet | Error | Info | Debug
+
+let current = ref Quiet
+
+let set_level l = current := l
+let level () = !current
+
+let int_of_level = function Quiet -> 0 | Error -> 1 | Info -> 2 | Debug -> 3
+
+let init_from_env () =
+  match Sys.getenv_opt "NECTAR_TRACE" with
+  | Some "error" -> set_level Error
+  | Some "info" -> set_level Info
+  | Some "debug" -> set_level Debug
+  | Some _ | None -> set_level Quiet
+
+let log sim lvl component fmt =
+  if int_of_level lvl <= int_of_level !current then
+    Format.kasprintf
+      (fun msg ->
+        Format.eprintf "[%a] %-10s %s@." Simtime.pp (Sim.now sim) component msg)
+      fmt
+  else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
+
+let errorf sim component fmt = log sim Error component fmt
+let infof sim component fmt = log sim Info component fmt
+let debugf sim component fmt = log sim Debug component fmt

@@ -1,0 +1,23 @@
+(** Lightweight simulation tracing.
+
+    Disabled by default so hot paths pay only a level check.  Enable with
+    [set_level] (or the [NECTAR_TRACE] environment variable read by
+    [init_from_env]) to dump timestamped component traces to stderr. *)
+
+type level = Quiet | Error | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+
+val init_from_env : unit -> unit
+(** Reads [NECTAR_TRACE] (["quiet"|"error"|"info"|"debug"]). *)
+
+val errorf :
+  Sim.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val infof :
+  Sim.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [infof sim component fmt ...] logs at Info with the simulated time. *)
+
+val debugf :
+  Sim.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a

@@ -1,0 +1,57 @@
+type t = {
+  mac_addr : int;
+  mutable rx : Bytes.t -> unit;
+  seg : segment;
+}
+
+and segment = {
+  sim : Sim.t;
+  medium : Resource.t;
+  latency : Simtime.t;
+  rate : float;
+  mutable stations : t list;
+  mutable frames : int;
+}
+
+let broadcast = 0xffffffffffff
+
+let create_segment ~sim ?(rate = 10e6 /. 8.) ?(latency = Simtime.us 5.) () =
+  {
+    sim;
+    medium = Resource.create ~sim ~name:"ether.medium";
+    latency;
+    rate;
+    stations = [];
+    frames = 0;
+  }
+
+let attach seg ~mac =
+  let t = { mac_addr = mac; rx = (fun _ -> ()); seg } in
+  seg.stations <- t :: seg.stations;
+  t
+
+let mac t = t.mac_addr
+let set_rx t f = t.rx <- f
+
+let transmit t frame =
+  let seg = t.seg in
+  let ser =
+    Simtime.of_bytes_at_rate ~bytes_per_s:seg.rate (Bytes.length frame)
+  in
+  Resource.acquire seg.medium ser (fun () ->
+      seg.frames <- seg.frames + 1;
+      match Ether_frame.decode frame ~off:0 with
+      | Error _ -> ()
+      | Ok hdr ->
+          List.iter
+            (fun st ->
+              if
+                st != t
+                && (st.mac_addr = hdr.Ether_frame.dst
+                   || hdr.Ether_frame.dst = broadcast)
+              then
+                ignore
+                  (Sim.after seg.sim seg.latency (fun () -> st.rx frame)))
+            seg.stations)
+
+let frames_carried seg = seg.frames

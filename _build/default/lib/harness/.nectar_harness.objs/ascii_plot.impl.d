@@ -1,0 +1,1 @@
+lib/harness/ascii_plot.ml: Array Bytes List Printf String

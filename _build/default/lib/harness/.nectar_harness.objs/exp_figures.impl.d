@@ -1,0 +1,1 @@
+lib/harness/exp_figures.ml: Ascii_plot Host_profile List Measurement Printf Raw_hippi Stack_mode Tabulate Testbed Ttcp

@@ -1,0 +1,1 @@
+lib/harness/exp_figures.mli: Host_profile

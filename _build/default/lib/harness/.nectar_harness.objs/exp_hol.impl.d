@@ -1,0 +1,1 @@
+lib/harness/exp_hol.ml: Hippi_switch Hippi_traffic List Printf Rng Sim Simtime Tabulate

@@ -1,0 +1,1 @@
+lib/harness/exp_incast.ml: Addr_space Array Cab Cab_driver Cpu Hippi_switch Host Host_profile Inaddr List Measurement Netstack Option Printf Region Sim Simtime Socket Stack_mode Tabulate Tcp

@@ -1,0 +1,1 @@
+lib/harness/exp_incast.mli: Host_profile Stack_mode

@@ -1,0 +1,1 @@
+lib/harness/exp_netmem.ml: Cab List Measurement Netmem Page Printf Tabulate Testbed Ttcp

@@ -1,0 +1,1 @@
+lib/harness/exp_rpc.ml: Blockfile Cpu Format Host List Measurement Netstack Printf Sim Simtime Socket Stack_mode Stats Tabulate Testbed

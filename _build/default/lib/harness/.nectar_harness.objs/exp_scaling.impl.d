@@ -1,0 +1,1 @@
+lib/harness/exp_scaling.ml: Host_profile List Measurement Printf Stack_mode Tabulate Testbed Ttcp

@@ -1,0 +1,1 @@
+lib/harness/exp_scaling.mli: Host_profile

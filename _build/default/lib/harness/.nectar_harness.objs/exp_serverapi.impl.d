@@ -1,0 +1,1 @@
+lib/harness/exp_serverapi.ml: Addr_space Cpu Host List Mbuf Measurement Netstack Option Printf Region Sim Simtime Socket Tabulate Tcp Testbed

@@ -1,0 +1,1 @@
+lib/harness/exp_tables.ml: Addr_space Exp_figures Format Host_profile List Memcost Option Printf Simtime Tabulate Taxonomy

@@ -1,0 +1,1 @@
+lib/harness/exp_tables.mli: Exp_figures Host_profile

@@ -1,0 +1,1 @@
+lib/harness/exp_window.ml: List Measurement Printf Stack_mode Tabulate Tcp Testbed Ttcp

@@ -1,0 +1,1 @@
+lib/harness/tabulate.ml: List Printf Simtime String

@@ -1,0 +1,14 @@
+(** Minimal ASCII line charts for the bench output — the figures of the
+    paper, drawn in the terminal. *)
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  y_label:string ->
+  x_labels:string list ->
+  series:(char * string * float list) list ->
+  unit ->
+  unit
+(** Each series is (mark, legend, values); all series share [x_labels]
+    positions.  Y starts at zero. *)

@@ -1,0 +1,9 @@
+(** §2.1: head-of-line blocking in the HIPPI switch — FIFO MAC versus the
+    CAB's logical channels, under saturating uniform-random traffic. *)
+
+type row = { ports : int; fifo_util : float; lc_util : float }
+
+type report = row list
+
+val run : ?ports_list:int list -> ?frame_bytes:int -> seed:int -> unit -> report
+val print : report -> unit

@@ -1,0 +1,272 @@
+type row = {
+  senders : int;
+  aggregate_mbit : float;
+  rx_util : float;
+  rx_efficiency : float;
+}
+
+type report = { mode : Stack_mode.t; rows : row list }
+
+(* Build a star: senders on switch ports 0..n-1, the receiver on port n. *)
+let run_one ~profile ~mode ~senders ~per_sender =
+  let sim = Sim.create () in
+  let sw =
+    Hippi_switch.create ~sim ~ports:(senders + 1)
+      Hippi_switch.Logical_channels
+  in
+  let mk_node ~name ~port ~addr =
+    let stack = Netstack.create ~sim ~profile ~name ~mode () in
+    let cab =
+      Cab.create ~sim ~profile ~name:(name ^ ".cab") ~netmem_pages:2048
+        ~hippi_addr:port
+        ~transmit:(fun frame ~dst ~channel:_ ->
+          Hippi_switch.submit sw ~src:port ~dst frame)
+        ()
+    in
+    Hippi_switch.attach sw ~port (fun f -> Cab.deliver cab f);
+    let driver = Netstack.attach_cab stack ~cab ~addr () in
+    (stack, driver)
+  in
+  let rx_addr = Inaddr.v 10 0 0 100 in
+  let rx_stack, rx_driver =
+    mk_node ~name:"rx" ~port:senders ~addr:rx_addr
+  in
+  let tx =
+    List.init senders (fun i ->
+        let stack, driver =
+          mk_node
+            ~name:(Printf.sprintf "tx%d" i)
+            ~port:i
+            ~addr:(Inaddr.v 10 0 0 (i + 1))
+        in
+        Cab_driver.add_neighbor driver rx_addr ~hippi_addr:senders;
+        Cab_driver.add_neighbor rx_driver
+          (Inaddr.v 10 0 0 (i + 1))
+          ~hippi_addr:i;
+        stack)
+  in
+  (* Receiver: accept every connection, drain into a reused buffer. *)
+  let rx_host = rx_stack.Netstack.host in
+  Cpu.set_idle_proc rx_host.Host.cpu "util";
+  let total_expected = senders * per_sender in
+  let got = ref 0 in
+  let t_done = ref Simtime.zero in
+  Tcp.listen rx_stack.Netstack.tcp ~port:5001 ~on_accept:(fun pcb ->
+      let space = Netstack.make_space rx_stack ~name:"rx" in
+      let sock = Socket.create ~host:rx_host ~space ~proc:"ttcp" pcb in
+      let buf = Addr_space.alloc space 65536 in
+      let rec drain () =
+        Socket.read sock buf (fun n ->
+            if n > 0 then begin
+              got := !got + n;
+              if !got >= total_expected then t_done := Sim.now sim;
+              drain ()
+            end)
+      in
+      drain ());
+  (* Senders: everyone starts together. *)
+  let paths = { Socket.default_paths with Socket.force_uio = true } in
+  List.iter
+    (fun stack ->
+      let pcb = ref None in
+      let conn =
+          Tcp.connect stack.Netstack.tcp ~dst:rx_addr ~dst_port:5001
+             ~on_established:(fun () ->
+               let space = Netstack.make_space stack ~name:"tx" in
+               let sock =
+                 Socket.create ~host:stack.Netstack.host ~space ~proc:"ttcp"
+                   ~paths (Option.get !pcb)
+               in
+               let buf = Addr_space.alloc space 65536 in
+               Region.fill_pattern buf ~seed:7;
+               let rec push sent =
+                 if sent >= per_sender then Socket.close sock
+                 else Socket.write sock buf (fun () -> push (sent + 65536))
+               in
+               push 0)
+             ()
+      in
+      pcb := Some conn)
+    tx;
+  let t0 = Sim.now sim in
+  Cpu.reset_accounting rx_host.Host.cpu;
+  Sim.run ~until:(Simtime.s 300.) sim;
+  let elapsed =
+    if !t_done > t0 then Simtime.sub !t_done t0 else Simtime.sub (Sim.now sim) t0
+  in
+  let m =
+    Measurement.of_cpu ~cpu:rx_host.Host.cpu ~elapsed ~bytes:!got
+  in
+  {
+    senders;
+    aggregate_mbit = m.Measurement.throughput_mbit;
+    rx_util = m.Measurement.utilization;
+    rx_efficiency = m.Measurement.efficiency_mbit;
+  }
+
+let run ?(profile = Host_profile.alpha300lx)
+    ?(senders_list = [ 1; 2; 4; 8 ]) ?(per_sender = 2 * 1024 * 1024) ~mode ()
+    =
+  {
+    mode;
+    rows =
+      List.map
+        (fun senders -> run_one ~profile ~mode ~senders ~per_sender)
+        senders_list;
+  }
+
+let print report =
+  Tabulate.print_header
+    (Printf.sprintf
+       "Incast: N senders -> 1 receiver through the switch (%s stack, \
+        alpha300lx receiver)"
+       (Stack_mode.to_string report.mode));
+  let widths = [ 9; 16; 9; 10 ] in
+  Tabulate.print_row ~widths [ "senders"; "aggregate Mb/s"; "rx util"; "rx eff" ];
+  Tabulate.print_rule ~widths;
+  List.iter
+    (fun r ->
+      Tabulate.print_row ~widths
+        [
+          string_of_int r.senders;
+          Tabulate.fmt_mbit r.aggregate_mbit;
+          Tabulate.fmt_util r.rx_util;
+          Tabulate.fmt_mbit r.rx_efficiency;
+        ])
+    report.rows
+
+
+(* ---------------- all-to-all through the switch ---------------- *)
+
+type allpairs_row = {
+  hosts : int;
+  fifo_aggregate_mbit : float;
+  lc_aggregate_mbit : float;
+}
+
+let run_all_pairs_one ~profile ~mac ~hosts ~per_flow =
+  let sim = Sim.create () in
+  (* A deliberately slow fabric (4 MByte/s ports): hosts can saturate
+     their output links, so input queueing — and with FIFO inputs,
+     head-of-line blocking — actually occurs.  At full HIPPI rate the
+     TurboChannel-limited hosts never contend and both MACs coincide. *)
+  let sw = Hippi_switch.create ~sim ~ports:hosts ~rate:4e6 mac in
+  let nodes =
+    Array.init hosts (fun port ->
+        let name = Printf.sprintf "h%d" port in
+        let stack = Netstack.create ~sim ~profile ~name ~mode:Stack_mode.Single_copy () in
+        let cab =
+          Cab.create ~sim ~profile ~name:(name ^ ".cab") ~netmem_pages:4096
+            ~hippi_addr:port
+            ~transmit:(fun frame ~dst ~channel:_ ->
+              Hippi_switch.submit sw ~src:port ~dst frame)
+            ()
+        in
+        Hippi_switch.attach sw ~port (fun f -> Cab.deliver cab f);
+        let driver =
+          Netstack.attach_cab stack ~cab ~addr:(Inaddr.v 10 0 0 (port + 1)) ()
+        in
+        (stack, driver))
+  in
+  Array.iteri
+    (fun i (_, di) ->
+      Array.iteri
+        (fun j _ ->
+          if i <> j then
+            Cab_driver.add_neighbor di (Inaddr.v 10 0 0 (j + 1)) ~hippi_addr:j)
+        nodes)
+    nodes;
+  (* Every ordered pair (i, j), i <> j, gets a flow i -> j. *)
+  let flows = hosts * (hosts - 1) in
+  let done_flows = ref 0 in
+  let t_done = ref Simtime.zero in
+  Array.iteri
+    (fun j (stack_j, _) ->
+      Tcp.listen stack_j.Netstack.tcp ~port:5001 ~on_accept:(fun pcb ->
+          let space = Netstack.make_space stack_j ~name:"rx" in
+          let sock =
+            Socket.create ~host:stack_j.Netstack.host ~space ~proc:"app" pcb
+          in
+          let buf = Addr_space.alloc space 65536 in
+          let got = ref 0 in
+          let rec drain () =
+            Socket.read sock buf (fun n ->
+                if n > 0 then begin
+                  got := !got + n;
+                  if !got >= per_flow then begin
+                    incr done_flows;
+                    if !done_flows = flows then t_done := Sim.now sim
+                  end
+                  else drain ()
+                end)
+          in
+          drain ());
+      ignore j)
+    nodes;
+  let paths = { Socket.default_paths with Socket.force_uio = true } in
+  Array.iteri
+    (fun i (stack_i, _) ->
+      Array.iteri
+        (fun j _ ->
+          if i <> j then begin
+            let pcb = ref None in
+            let conn =
+              Tcp.connect stack_i.Netstack.tcp
+                ~dst:(Inaddr.v 10 0 0 (j + 1))
+                ~dst_port:5001
+                ~on_established:(fun () ->
+                  let space = Netstack.make_space stack_i ~name:"tx" in
+                  let sock =
+                    Socket.create ~host:stack_i.Netstack.host ~space
+                      ~proc:"app" ~paths (Option.get !pcb)
+                  in
+                  let buf = Addr_space.alloc space 32768 in
+                  Region.fill_pattern buf ~seed:(i + j);
+                  let rec push sent =
+                    if sent >= per_flow then Socket.close sock
+                    else Socket.write sock buf (fun () -> push (sent + 32768))
+                  in
+                  push 0)
+                ()
+            in
+            pcb := Some conn
+          end)
+        nodes)
+    nodes;
+  let t0 = Sim.now sim in
+  Sim.run ~until:(Simtime.s 300.) sim;
+  let elapsed =
+    if !t_done > t0 then Simtime.sub !t_done t0
+    else Simtime.sub (Sim.now sim) t0
+  in
+  Simtime.rate_mbit ~bytes:(!done_flows * per_flow) elapsed
+
+let run_all_pairs ?(profile = Host_profile.alpha400)
+    ?(hosts_list = [ 2; 4; 6 ]) ?(per_flow = 1 lsl 20) () =
+  List.map
+    (fun hosts ->
+      {
+        hosts;
+        fifo_aggregate_mbit =
+          run_all_pairs_one ~profile ~mac:Hippi_switch.Fifo ~hosts ~per_flow;
+        lc_aggregate_mbit =
+          run_all_pairs_one ~profile ~mac:Hippi_switch.Logical_channels
+            ~hosts ~per_flow;
+      })
+    hosts_list
+
+let print_all_pairs rows =
+  Tabulate.print_header
+    "All-to-all through the switch: FIFO vs logical channels (full stack)";
+  let widths = [ 8; 16; 20 ] in
+  Tabulate.print_row ~widths [ "hosts"; "FIFO Mb/s"; "log.channels Mb/s" ];
+  Tabulate.print_rule ~widths;
+  List.iter
+    (fun r ->
+      Tabulate.print_row ~widths
+        [
+          string_of_int r.hosts;
+          Tabulate.fmt_mbit r.fifo_aggregate_mbit;
+          Tabulate.fmt_mbit r.lc_aggregate_mbit;
+        ])
+    rows

@@ -1,0 +1,21 @@
+(** Request/response latency over the block-file RPC (§5's file-server
+    workload, latency view).
+
+    The throughput figures hide latency; an RPC client that reads one
+    32 KByte block at a time exposes the per-transfer critical path:
+    request out, block served from the kernel buffer cache, response
+    into the client's buffer.  The single-copy stack shortens the
+    data-touching parts of that path on both hosts. *)
+
+type row = {
+  mode : string;
+  reads_per_s : float;
+  latency_p50 : Simtime.t;
+  latency_p99 : Simtime.t;
+  server_util : float;
+}
+
+val run : ?reads:int -> unit -> row list
+(** Defaults: 128 sequential block reads per stack mode. *)
+
+val print : row list -> unit

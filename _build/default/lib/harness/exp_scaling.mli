@@ -1,0 +1,27 @@
+(** The paper's motivating trend, §1: "the per-byte cost depends strongly
+    on the memory bandwidth, which over time has not increased as quickly
+    as CPU speed.  As a result, it is mainly the per-byte costs that make
+    high speed communication expensive."
+
+    This experiment extrapolates: derive hosts from the alpha400 whose
+    *CPU-bound* costs (per-packet protocol path, syscalls, interrupts,
+    ACK processing, VM operations) shrink by a factor f while the memory
+    system (copy/checksum bandwidths) stays fixed, and measure both
+    stacks' efficiency.  The unmodified stack plateaus against the memory
+    wall; the single-copy stack keeps scaling. *)
+
+type row = {
+  cpu_factor : float;
+  unmod_eff : float;
+  smod_eff : float;
+  advantage : float;  (** smod/unmod *)
+}
+
+val derive_profile : Host_profile.t -> cpu_factor:float -> Host_profile.t
+(** CPU-bound costs divided by the factor; memory bandwidths, cache and
+    bus untouched. *)
+
+val run : ?factors:float list -> ?wsize:int -> ?total:int -> unit -> row list
+(** Defaults: factors 1/2/4/8, 512 KByte writes, 8 MByte per run. *)
+
+val print : row list -> unit

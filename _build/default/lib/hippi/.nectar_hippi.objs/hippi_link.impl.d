@@ -1,0 +1,1 @@
+lib/hippi/hippi_link.ml: Bytes Resource Sim Simtime

@@ -1,0 +1,1 @@
+lib/hippi/hippi_link.mli: Bytes Sim Simtime

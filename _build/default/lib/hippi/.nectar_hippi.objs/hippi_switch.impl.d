@@ -1,0 +1,1 @@
+lib/hippi/hippi_switch.ml: Array Bytes Hashtbl Hippi_link List Queue Sim Simtime

@@ -1,0 +1,1 @@
+lib/hippi/hippi_switch.mli: Bytes Sim Simtime

@@ -1,0 +1,1 @@
+lib/hippi/hippi_traffic.ml: Array Bytes Hippi_switch Rng Sim Simtime

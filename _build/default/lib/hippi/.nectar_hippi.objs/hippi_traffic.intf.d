@@ -1,0 +1,1 @@
+lib/hippi/hippi_traffic.mli: Hippi_switch Rng Sim Simtime

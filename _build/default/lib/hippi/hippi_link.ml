@@ -1,0 +1,47 @@
+let line_rate = 100e6
+
+type side = A | B
+
+type t = {
+  sim : Sim.t;
+  rate : float;
+  latency : Simtime.t;
+  a2b : Resource.t;
+  b2a : Resource.t;
+  mutable rx_a : Bytes.t -> unit;
+  mutable rx_b : Bytes.t -> unit;
+  mutable carried : int;
+}
+
+let create ~sim ?(rate = line_rate) ?(latency = Simtime.us 1.) () =
+  {
+    sim;
+    rate;
+    latency;
+    a2b = Resource.create ~sim ~name:"link.a2b";
+    b2a = Resource.create ~sim ~name:"link.b2a";
+    rx_a = (fun _ -> invalid_arg "Hippi_link: no rx on side A");
+    rx_b = (fun _ -> invalid_arg "Hippi_link: no rx on side B");
+    carried = 0;
+  }
+
+let set_rx t side f =
+  match side with A -> t.rx_a <- f | B -> t.rx_b <- f
+
+let send t ~from frame =
+  let dir, deliver =
+    match from with
+    | A -> (t.a2b, fun () -> t.rx_b frame)
+    | B -> (t.b2a, fun () -> t.rx_a frame)
+  in
+  let ser =
+    Simtime.of_bytes_at_rate ~bytes_per_s:t.rate (Bytes.length frame)
+  in
+  Resource.acquire dir ser (fun () ->
+      t.carried <- t.carried + Bytes.length frame;
+      ignore (Sim.after t.sim t.latency deliver))
+
+let bytes_carried t = t.carried
+
+let busy_time t side =
+  match side with A -> Resource.busy_time t.a2b | B -> Resource.busy_time t.b2a

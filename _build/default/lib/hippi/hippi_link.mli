@@ -1,0 +1,24 @@
+(** Point-to-point HIPPI link.
+
+    Full duplex: each direction is an independently serialized resource at
+    the line rate (100 MByte/s for HIPPI, §2.1).  Frames are delivered to
+    the far endpoint's receive callback after serialization plus
+    propagation latency. *)
+
+type t
+
+val line_rate : float
+(** 100e6 bytes/second. *)
+
+val create :
+  sim:Sim.t -> ?rate:float -> ?latency:Simtime.t -> unit -> t
+(** [rate] defaults to [line_rate]; [latency] to 1 us. *)
+
+type side = A | B
+
+val set_rx : t -> side -> (Bytes.t -> unit) -> unit
+val send : t -> from:side -> Bytes.t -> unit
+
+val bytes_carried : t -> int
+val busy_time : t -> side -> Simtime.t
+(** Serialization time consumed in the direction *out of* the given side. *)

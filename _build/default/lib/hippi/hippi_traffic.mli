@@ -1,0 +1,31 @@
+(** Synthetic traffic generation for the head-of-line blocking experiment.
+
+    Saturating sources: every input port keeps [backlog] frames queued with
+    uniformly random destinations, the regime of the Hluchyj/Karol 58%
+    result the paper cites in §2.1. *)
+
+type t
+
+val saturate :
+  sim:Sim.t ->
+  switch:Hippi_switch.t ->
+  rng:Rng.t ->
+  frame_bytes:int ->
+  ?backlog:int ->
+  ?exclude_self:bool ->
+  unit ->
+  t
+(** Attaches a saturating source to every input port.  [backlog] defaults
+    to 8.  [exclude_self] (default true) avoids src=dst frames. *)
+
+val stop : t -> unit
+(** Stops refilling; queued frames drain normally. *)
+
+val run_measurement :
+  sim:Sim.t ->
+  switch:Hippi_switch.t ->
+  warmup:Simtime.t ->
+  window:Simtime.t ->
+  float
+(** Runs the simulation through a warmup then a measurement window and
+    returns mean output utilization during the window. *)

@@ -1,0 +1,31 @@
+type t = {
+  sim : Sim.t;
+  cpu : Cpu.t;
+  profile : Host_profile.t;
+  name : string;
+  kernel_space : Addr_space.t;
+  mutable ifaces : Netif.t list;
+}
+
+let create ~sim ~profile ~name =
+  {
+    sim;
+    cpu = Cpu.create ~sim ~name:(name ^ ".cpu");
+    profile;
+    name;
+    kernel_space = Addr_space.create ~profile ~name:(name ^ ".kernel");
+    ifaces = [];
+  }
+
+let add_iface t ifc = t.ifaces <- t.ifaces @ [ ifc ]
+
+let find_iface t name =
+  List.find_opt (fun (i : Netif.t) -> i.Netif.name = name) t.ifaces
+
+let now t = Sim.now t.sim
+
+let in_proc t ~proc ?(mode = Cpu.Sys) cost k = Cpu.execute t.cpu ~proc ~mode cost k
+
+let in_intr t cost k = Cpu.execute_intr t.cpu cost k
+
+let after t d k = Sim.after t.sim d k

@@ -1,0 +1,31 @@
+(** A simulated host: CPU, cost profile, kernel address space, interfaces.
+
+    Bundles what every stack layer needs and provides charge-then-continue
+    helpers: protocol code models its cost by running the real logic in the
+    continuation of a CPU work item of the modelled duration. *)
+
+type t = {
+  sim : Sim.t;
+  cpu : Cpu.t;
+  profile : Host_profile.t;
+  name : string;
+  kernel_space : Addr_space.t;
+  mutable ifaces : Netif.t list;
+}
+
+val create : sim:Sim.t -> profile:Host_profile.t -> name:string -> t
+
+val add_iface : t -> Netif.t -> unit
+val find_iface : t -> string -> Netif.t option
+
+val now : t -> Simtime.t
+
+val in_proc :
+  t -> proc:string -> ?mode:Cpu.mode -> Simtime.t -> (unit -> unit) -> unit
+(** Charge CPU time to a process bucket, then continue.  [mode] defaults
+    to [Sys] (protocol work). *)
+
+val in_intr : t -> Simtime.t -> (unit -> unit) -> unit
+(** Interrupt-context work: preempts, charged to whoever is running. *)
+
+val after : t -> Simtime.t -> (unit -> unit) -> Sim.handle

@@ -1,0 +1,1 @@
+lib/ipv4/icmp.ml: Bytes Host Inaddr Inet_csum Int32 Ipv4 Ipv4_header List Mbuf Memcost Sim Simtime

@@ -1,0 +1,1 @@
+lib/ipv4/icmp.mli: Inaddr Ipv4 Simtime

@@ -1,0 +1,1 @@
+lib/ipv4/ip_frag.ml: Bytes Hashtbl Host Inaddr Ipv4_header Mbuf Option Sim Simtime

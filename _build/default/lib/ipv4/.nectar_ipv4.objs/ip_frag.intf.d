@@ -1,0 +1,1 @@
+lib/ipv4/ip_frag.mli: Host Ipv4_header Mbuf Simtime

@@ -1,0 +1,1 @@
+lib/ipv4/ipv4.ml: Bytes Csum_offload Host Inaddr Ip_frag Ipv4_header List Mbuf Memcost Netif Printf Routing

@@ -1,0 +1,1 @@
+lib/ipv4/ipv4.mli: Bytes Host Inaddr Mbuf Netif Routing

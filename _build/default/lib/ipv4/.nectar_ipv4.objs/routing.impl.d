@@ -1,0 +1,1 @@
+lib/ipv4/routing.ml: Inaddr List Netif Option

@@ -1,0 +1,1 @@
+lib/ipv4/routing.mli: Inaddr Netif

@@ -1,0 +1,292 @@
+type handler = src:Inaddr.t -> dst:Inaddr.t -> Mbuf.t -> unit
+
+type stats = {
+  received : int;
+  delivered : int;
+  forwarded : int;
+  dropped_no_route : int;
+  dropped_bad_header : int;
+  dropped_no_proto : int;
+  dropped_ttl : int;
+  sent : int;
+  fragments_sent : int;
+  fragments_rcvd : int;
+  reassembled : int;
+}
+
+type t = {
+  host : Host.t;
+  routing : Routing.t;
+  mutable handlers : (int * handler) list;
+  mutable ident : int;
+  mutable forwarding : bool;
+  mutable s_received : int;
+  mutable s_delivered : int;
+  mutable s_forwarded : int;
+  mutable s_no_route : int;
+  mutable s_bad_header : int;
+  mutable s_no_proto : int;
+  mutable s_ttl : int;
+  mutable s_sent : int;
+  mutable error_hook :
+    (reason:[ `Ttl | `No_route ] ->
+    orig_src:Inaddr.t ->
+    orig_head:Bytes.t ->
+    unit)
+    option;
+  frag : Ip_frag.t;
+  mutable s_frags_sent : int;
+  mutable s_frags_rcvd : int;
+}
+
+let create ~host =
+  {
+    host;
+    routing = Routing.create ();
+    handlers = [];
+    ident = 0;
+    forwarding = false;
+    s_received = 0;
+    s_delivered = 0;
+    s_forwarded = 0;
+    s_no_route = 0;
+    s_bad_header = 0;
+    s_no_proto = 0;
+    s_ttl = 0;
+    s_sent = 0;
+    error_hook = None;
+    frag = Ip_frag.create ~host ();
+    s_frags_sent = 0;
+    s_frags_rcvd = 0;
+  }
+
+let host t = t.host
+let routing t = t.routing
+let set_forwarding t v = t.forwarding <- v
+
+let register_protocol t ~proto h =
+  if List.mem_assoc proto t.handlers then
+    invalid_arg (Printf.sprintf "Ipv4: protocol %d already registered" proto);
+  t.handlers <- (proto, h) :: t.handlers
+
+let is_local t addr =
+  Inaddr.equal addr Inaddr.loopback
+  || List.exists
+       (fun (i : Netif.t) -> Inaddr.equal i.Netif.addr addr)
+       t.host.Host.ifaces
+
+let route_for t ~dst = Routing.lookup t.routing dst
+
+let next_ident t =
+  t.ident <- (t.ident + 1) land 0xffff;
+  t.ident
+
+let output t ~proto ?src ~dst ?(tos = 0) ?(ttl = 64) seg =
+  match Routing.lookup t.routing dst with
+  | None ->
+      t.s_no_route <- t.s_no_route + 1;
+      Mbuf.free seg;
+      Error "no route to host"
+  | Some (iface, next_hop) ->
+      let src = match src with Some s -> s | None -> iface.Netif.addr in
+      let seg_len = Mbuf.pkt_len seg in
+      let total_len = Ipv4_header.size + seg_len in
+      let emit_one ~ident ~frag_offset ~more_fragments piece =
+        let hdr =
+          {
+            (Ipv4_header.make ~tos ~ident ~ttl ~proto ~src ~dst
+               ~total_len:(Ipv4_header.size + Mbuf.pkt_len piece)
+               ())
+            with
+            Ipv4_header.frag_offset;
+            more_fragments;
+          }
+        in
+        let pkt = Mbuf.prepend piece Ipv4_header.size in
+        let hbytes = Bytes.create Ipv4_header.size in
+        Ipv4_header.encode hdr hbytes ~off:0;
+        Mbuf.copy_from pkt ~off:0 ~len:Ipv4_header.size hbytes ~src_off:0;
+        t.s_sent <- t.s_sent + 1;
+        iface.Netif.output iface pkt ~next_hop
+      in
+      if total_len <= iface.Netif.mtu then begin
+        (* Carry the transport offload record straight through. *)
+        let ident = next_ident t in
+        let tx_csum =
+          match seg.Mbuf.pkthdr with Some ph -> ph.Mbuf.tx_csum | None -> None
+        in
+        let on_outboard =
+          match seg.Mbuf.pkthdr with
+          | Some ph -> ph.Mbuf.on_outboard
+          | None -> None
+        in
+        let hdr =
+          Ipv4_header.make ~tos ~ident ~ttl ~proto ~src ~dst ~total_len ()
+        in
+        let pkt = Mbuf.prepend seg Ipv4_header.size in
+        let hbytes = Bytes.create Ipv4_header.size in
+        Ipv4_header.encode hdr hbytes ~off:0;
+        Mbuf.copy_from pkt ~off:0 ~len:Ipv4_header.size hbytes ~src_off:0;
+        (match pkt.Mbuf.pkthdr with
+        | Some ph ->
+            ph.Mbuf.tx_csum <- tx_csum;
+            ph.Mbuf.on_outboard <- on_outboard
+        | None -> ());
+        t.s_sent <- t.s_sent + 1;
+        iface.Netif.output iface pkt ~next_hop;
+        Ok iface
+      end
+      else begin
+        (* Fragment: share-semantics slices of the payload on 8-byte
+           boundaries.  Offloaded checksums cannot span fragments. *)
+        let per = (iface.Netif.mtu - Ipv4_header.size) / 8 * 8 in
+        if per <= 0 then begin
+          Mbuf.free seg;
+          Error "interface mtu too small to fragment"
+        end
+        else begin
+          let ident = next_ident t in
+          let rec go off =
+            if off < seg_len then begin
+              let len = min per (seg_len - off) in
+              let piece = Mbuf.copy_range seg ~off ~len in
+              t.s_frags_sent <- t.s_frags_sent + 1;
+              emit_one ~ident ~frag_offset:(off / 8)
+                ~more_fragments:(off + len < seg_len)
+                piece;
+              go (off + len)
+            end
+          in
+          go 0;
+          Mbuf.free seg;
+          Ok iface
+        end
+      end
+
+let deliver_local t ~src ~dst ~proto pkt =
+  match List.assoc_opt proto t.handlers with
+  | None ->
+      t.s_no_proto <- t.s_no_proto + 1;
+      Mbuf.free pkt
+  | Some h ->
+      t.s_delivered <- t.s_delivered + 1;
+      h ~src ~dst pkt
+
+let notify_error t reason (hdr : Ipv4_header.t) pkt =
+  match t.error_hook with
+  | None -> ()
+  | Some hook ->
+      let n = min (Ipv4_header.size + 8) (Mbuf.pkt_len pkt) in
+      let head = Bytes.create n in
+      Mbuf.copy_into pkt ~off:0 ~len:n head ~dst_off:0;
+      hook ~reason ~orig_src:hdr.Ipv4_header.src ~orig_head:head
+
+let forward t pkt (hdr : Ipv4_header.t) =
+  if hdr.Ipv4_header.ttl <= 1 then begin
+    t.s_ttl <- t.s_ttl + 1;
+    notify_error t `Ttl hdr pkt;
+    Mbuf.free pkt
+  end
+  else
+    match Routing.lookup t.routing hdr.Ipv4_header.dst with
+    | None ->
+        t.s_no_route <- t.s_no_route + 1;
+        notify_error t `No_route hdr pkt;
+        Mbuf.free pkt
+    | Some (iface, next_hop) ->
+        if Mbuf.pkt_len pkt > iface.Netif.mtu then begin
+          (* No fragmentation on the forwarding path in this stack. *)
+          t.s_no_route <- t.s_no_route + 1;
+          Mbuf.free pkt
+        end
+        else begin
+          (* Rewrite TTL and header checksum in place. *)
+          let hdr = { hdr with Ipv4_header.ttl = hdr.Ipv4_header.ttl - 1 } in
+          let hbytes = Bytes.create Ipv4_header.size in
+          Ipv4_header.encode hdr hbytes ~off:0;
+          Mbuf.copy_from pkt ~off:0 ~len:Ipv4_header.size hbytes ~src_off:0;
+          t.s_forwarded <- t.s_forwarded + 1;
+          (* Forwarding work is charged here: one per-packet cost. *)
+          Host.in_proc t.host ~proc:"kernel.forward"
+            (Memcost.per_packet t.host.Host.profile) (fun () ->
+              iface.Netif.output iface pkt ~next_hop)
+        end
+
+let input t (_iface : Netif.t) pkt =
+  t.s_received <- t.s_received + 1;
+  let pkt = Mbuf.pullup pkt Ipv4_header.size in
+  let hbytes = Bytes.create Ipv4_header.size in
+  Mbuf.copy_into pkt ~off:0 ~len:Ipv4_header.size hbytes ~dst_off:0;
+  match Ipv4_header.decode hbytes ~off:0 with
+  | Error _ ->
+      t.s_bad_header <- t.s_bad_header + 1;
+      Mbuf.free pkt
+  | Ok hdr ->
+      if Mbuf.pkt_len pkt < hdr.Ipv4_header.total_len then begin
+        t.s_bad_header <- t.s_bad_header + 1;
+        Mbuf.free pkt
+      end
+      else begin
+        (* Trim link-layer padding beyond the IP total length. *)
+        let excess = Mbuf.pkt_len pkt - hdr.Ipv4_header.total_len in
+        if excess > 0 then Mbuf.adj_tail pkt excess;
+        if
+          is_local t hdr.Ipv4_header.dst
+          && (hdr.Ipv4_header.more_fragments
+             || hdr.Ipv4_header.frag_offset > 0)
+        then begin
+          (* A fragment for us: reassemble.  The copy into the reassembly
+             buffer is host work (classic BSD slow path). *)
+          Mbuf.adj_head pkt Ipv4_header.size;
+          t.s_frags_rcvd <- t.s_frags_rcvd + 1;
+          let cost =
+            Memcost.copy t.host.Host.profile ~locality:Memcost.Cold
+              (Mbuf.pkt_len pkt)
+          in
+          Host.in_intr t.host cost (fun () ->
+              match Ip_frag.input t.frag ~hdr pkt with
+              | None -> ()
+              | Some (hdr, datagram) ->
+                  deliver_local t ~src:hdr.Ipv4_header.src
+                    ~dst:hdr.Ipv4_header.dst ~proto:hdr.Ipv4_header.proto
+                    datagram)
+        end
+        else if is_local t hdr.Ipv4_header.dst then begin
+          Mbuf.adj_head pkt Ipv4_header.size;
+          (* Keep the hardware checksum record relative to what remains of
+             the packet: the engine start moves up with the stripped
+             header (§4.3 receive adjustment). *)
+          (match pkt.Mbuf.pkthdr with
+          | Some ({ Mbuf.rx_csum = Some rx; _ } as ph) ->
+              ph.Mbuf.rx_csum <-
+                Some
+                  (Csum_offload.make_rx
+                     ~engine_sum:rx.Csum_offload.engine_sum
+                     ~rx_start:(rx.Csum_offload.rx_start - Ipv4_header.size))
+          | Some _ | None -> ());
+          deliver_local t ~src:hdr.Ipv4_header.src ~dst:hdr.Ipv4_header.dst
+            ~proto:hdr.Ipv4_header.proto pkt
+        end
+        else if t.forwarding then forward t pkt hdr
+        else begin
+          t.s_no_route <- t.s_no_route + 1;
+          Mbuf.free pkt
+        end
+      end
+
+let set_error_hook t hook = t.error_hook <- Some hook
+
+let stats t =
+  {
+    received = t.s_received;
+    delivered = t.s_delivered;
+    forwarded = t.s_forwarded;
+    dropped_no_route = t.s_no_route;
+    dropped_bad_header = t.s_bad_header;
+    dropped_no_proto = t.s_no_proto;
+    dropped_ttl = t.s_ttl;
+    sent = t.s_sent;
+    fragments_sent = t.s_frags_sent;
+    fragments_rcvd = t.s_frags_rcvd;
+    reassembled = Ip_frag.reassembled t.frag;
+  }

@@ -1,0 +1,38 @@
+type entry = {
+  prefix : Inaddr.t;
+  len : int;
+  gateway : Inaddr.t option;
+  iface : Netif.t;
+}
+
+type t = { mutable routes : entry list }
+
+let create () = { routes = [] }
+
+let add_route t ~prefix ~len ?gateway iface =
+  if len < 0 || len > 32 then invalid_arg "Routing.add_route: prefix length";
+  t.routes <- { prefix; len; gateway; iface } :: t.routes
+
+let remove_route t ~prefix ~len =
+  t.routes <-
+    List.filter
+      (fun e -> not (Inaddr.equal e.prefix prefix && e.len = len))
+      t.routes
+
+let lookup t dst =
+  let best =
+    List.fold_left
+      (fun acc e ->
+        if Inaddr.in_prefix ~prefix:e.prefix ~len:e.len dst then
+          match acc with
+          | Some b when b.len >= e.len -> acc
+          | Some _ | None -> Some e
+        else acc)
+      None t.routes
+  in
+  Option.map
+    (fun e ->
+      (e.iface, match e.gateway with Some g -> g | None -> dst))
+    best
+
+let entries t = t.routes

@@ -1,0 +1,609 @@
+exception Outboard_data
+
+type notify = {
+  mutable dma_pending : int;
+  mutable on_drained : unit -> unit;
+}
+
+let make_notify () = { dma_pending = 0; on_drained = (fun () -> ()) }
+
+let notify_add n k =
+  if k < 0 then invalid_arg "Mbuf.notify_add: negative";
+  n.dma_pending <- n.dma_pending + k
+
+let notify_complete n =
+  if n.dma_pending <= 0 then invalid_arg "Mbuf.notify_complete: not pending";
+  n.dma_pending <- n.dma_pending - 1;
+  if n.dma_pending = 0 then n.on_drained ()
+
+let notify_complete_n n k =
+  if k < 0 then invalid_arg "Mbuf.notify_complete_n: negative";
+  if n.dma_pending > 0 && k > 0 then begin
+    n.dma_pending <- max 0 (n.dma_pending - k);
+    if n.dma_pending = 0 then n.on_drained ()
+  end
+
+type uiowcab_hdr = {
+  mutable csum : Csum_offload.tx option;
+  notify : notify option;
+}
+
+type uio_desc = { uio_space : Addr_space.t; uio_region : Region.t }
+
+type wcab_desc = {
+  wcab_id : int;
+  wcab_bytes : Bytes.t;
+  wcab_base : int;
+  mutable wcab_valid : int;
+  wcab_body_sum : Inet_csum.sum;
+  wcab_free : unit -> unit;
+  wcab_refs : int ref;
+}
+
+type storage =
+  | Internal of Bytes.t
+  | Cluster of Bytes.t
+  | Ext_uio of uio_desc
+  | Ext_wcab of wcab_desc
+
+type pkthdr = {
+  mutable pkt_len : int;
+  mutable rcvif : string option;
+  mutable rx_csum : Csum_offload.rx option;
+  mutable tx_csum : Csum_offload.tx option;
+  mutable on_outboard : (wcab_desc -> unit) option;
+}
+
+type t = {
+  mutable storage : storage;
+  mutable off : int;
+  mutable len : int;
+  mutable next : t option;
+  mutable pkthdr : pkthdr option;
+  mutable uwhdr : uiowcab_hdr option;
+}
+
+let msize = 256
+let mclbytes = 2048
+
+(* ---- pool statistics ---- *)
+
+module Pool = struct
+  let live = ref 0
+  let live_clusters = ref 0
+  let allocs = ref 0
+
+  let allocated () = !live
+  let clusters () = !live_clusters
+  let total_allocs () = !allocs
+
+  let reset () =
+    live := 0;
+    live_clusters := 0;
+    allocs := 0
+
+  let note_alloc storage =
+    incr live;
+    incr allocs;
+    match storage with Cluster _ -> incr live_clusters | _ -> ()
+
+  let note_free storage =
+    decr live;
+    match storage with Cluster _ -> decr live_clusters | _ -> ()
+end
+
+(* ---- construction ---- *)
+
+let mk ?(pkthdr = false) storage ~off ~len =
+  Pool.note_alloc storage;
+  {
+    storage;
+    off;
+    len;
+    next = None;
+    pkthdr =
+      (if pkthdr then
+         Some
+           {
+             pkt_len = len;
+             rcvif = None;
+             rx_csum = None;
+             tx_csum = None;
+             on_outboard = None;
+           }
+       else None);
+    uwhdr = None;
+  }
+
+let get ?pkthdr () = mk ?pkthdr (Internal (Bytes.create msize)) ~off:0 ~len:0
+
+let get_cluster ?pkthdr () =
+  mk ?pkthdr (Cluster (Bytes.create mclbytes)) ~off:0 ~len:0
+
+let rec chain_len m =
+  m.len + match m.next with None -> 0 | Some n -> chain_len n
+
+let fix_pkthdr m =
+  match m.pkthdr with
+  | None -> ()
+  | Some h -> h.pkt_len <- chain_len m
+
+let of_bytes ?(pkthdr = false) src =
+  let total = Bytes.length src in
+  let rec build pos =
+    if pos >= total then None
+    else
+      let seg = min mclbytes (total - pos) in
+      let storage, cap =
+        if seg <= msize then (Internal (Bytes.create msize), msize)
+        else (Cluster (Bytes.create mclbytes), mclbytes)
+      in
+      ignore cap;
+      let buf =
+        match storage with
+        | Internal b | Cluster b -> b
+        | Ext_uio _ | Ext_wcab _ -> assert false
+      in
+      Bytes.blit src pos buf 0 seg;
+      let m = mk storage ~off:0 ~len:seg in
+      m.next <- build (pos + seg);
+      Some m
+  in
+  let head =
+    match build 0 with
+    | Some m -> m
+    | None -> mk (Internal (Bytes.create msize)) ~off:0 ~len:0
+  in
+  if pkthdr then
+    head.pkthdr <-
+      Some
+        {
+          pkt_len = total;
+          rcvif = None;
+          rx_csum = None;
+          tx_csum = None;
+          on_outboard = None;
+        };
+  head
+
+let of_string ?pkthdr s = of_bytes ?pkthdr (Bytes.of_string s)
+
+let alloc ?pkthdr n =
+  if n < 0 then invalid_arg "Mbuf.alloc: negative";
+  of_bytes ?pkthdr (Bytes.create n)
+
+let make_uio ~space ~region ~hdr =
+  let desc = { uio_space = space; uio_region = region } in
+  let m =
+    mk ~pkthdr:true (Ext_uio desc) ~off:0 ~len:(Region.length region)
+  in
+  m.uwhdr <- Some hdr;
+  m
+
+let make_wcab ~desc ~len ~hdr =
+  if len < 0 || desc.wcab_base + len > Bytes.length desc.wcab_bytes then
+    invalid_arg "Mbuf.make_wcab: length out of range";
+  let m = mk ~pkthdr:true (Ext_wcab desc) ~off:0 ~len in
+  m.uwhdr <- hdr;
+  m
+
+(* ---- inspection ---- *)
+
+type kind = K_internal | K_cluster | K_uio | K_wcab
+
+let kind m =
+  match m.storage with
+  | Internal _ -> K_internal
+  | Cluster _ -> K_cluster
+  | Ext_uio _ -> K_uio
+  | Ext_wcab _ -> K_wcab
+
+let is_descriptor m =
+  match kind m with K_uio | K_wcab -> true | K_internal | K_cluster -> false
+
+let pkt_len m =
+  match m.pkthdr with
+  | Some h -> h.pkt_len
+  | None -> invalid_arg "Mbuf.pkt_len: no packet header"
+
+let has_pkthdr m = m.pkthdr <> None
+
+let set_rcvif m ifname =
+  match m.pkthdr with
+  | Some h -> h.rcvif <- Some ifname
+  | None -> invalid_arg "Mbuf.set_rcvif: no packet header"
+
+let rcvif m = match m.pkthdr with Some h -> h.rcvif | None -> None
+
+let rec iter f m =
+  f m;
+  match m.next with None -> () | Some n -> iter f n
+
+let rec fold f acc m =
+  let acc = f acc m in
+  match m.next with None -> acc | Some n -> fold f acc n
+
+let chain_kinds m = List.rev (fold (fun acc m -> kind m :: acc) [] m)
+
+let nth m i =
+  let rec go m i = if i = 0 then Some m else
+      match m.next with None -> None | Some n -> go n (i - 1)
+  in
+  if i < 0 then None else go m i
+
+let storage_capacity = function
+  | Internal b | Cluster b -> Bytes.length b
+  | Ext_uio d -> Region.length d.uio_region
+  | Ext_wcab d -> Bytes.length d.wcab_bytes - d.wcab_base
+
+let check_invariants m =
+  let problems = ref [] in
+  let add p = problems := p :: !problems in
+  iter
+    (fun mb ->
+      if mb.len < 0 then add "negative length";
+      if mb.off < 0 then add "negative offset";
+      if mb.off + mb.len > storage_capacity mb.storage then
+        add "data extends past storage";
+      if mb != m && mb.pkthdr <> None then add "pkthdr on non-head mbuf")
+    m;
+  (match m.pkthdr with
+  | Some h when h.pkt_len <> chain_len m ->
+      add
+        (Printf.sprintf "pkthdr len %d <> chain len %d" h.pkt_len
+           (chain_len m))
+  | Some _ | None -> ());
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))
+
+(* ---- data access ---- *)
+
+(* Applies [f buf buf_off seg_len chain_off] for each storage segment
+   overlapping [off, off+len).  Raises [Outboard_data] on WCAB storage. *)
+let iter_segments m ~off ~len f =
+  if off < 0 || len < 0 then invalid_arg "Mbuf: negative range";
+  let rec go m pos remaining =
+    if remaining > 0 then
+      match m with
+      | None -> invalid_arg "Mbuf: range past end of chain"
+      | Some mb ->
+          let skip = max 0 (off - pos) in
+          if skip >= mb.len then go mb.next (pos + mb.len) remaining
+          else begin
+            let seg = min (mb.len - skip) remaining in
+            (match mb.storage with
+            | Internal b | Cluster b -> f b (mb.off + skip) seg (off + len - remaining)
+            | Ext_uio d ->
+                (* Reading through to user memory: allowed (it is host
+                   memory); the caller charges the cost. *)
+                let tmp = Region.sub d.uio_region ~off:(mb.off + skip) ~len:seg in
+                f (Region.bytes tmp) 0 seg (off + len - remaining)
+            | Ext_wcab _ -> raise Outboard_data);
+            go mb.next (pos + mb.len) (remaining - seg)
+          end
+  in
+  go (Some m) 0 len
+
+let copy_into m ~off ~len dst ~dst_off =
+  if dst_off + len > Bytes.length dst then
+    invalid_arg "Mbuf.copy_into: destination too small";
+  iter_segments m ~off ~len (fun buf boff seg chain_off ->
+      Bytes.blit buf boff dst (dst_off + (chain_off - off)) seg)
+
+let copy_into_raw m ~off ~len dst ~dst_off =
+  if dst_off + len > Bytes.length dst then
+    invalid_arg "Mbuf.copy_into_raw: destination too small";
+  let rec go m pos remaining =
+    if remaining > 0 then
+      match m with
+      | None -> invalid_arg "Mbuf.copy_into_raw: range past end of chain"
+      | Some mb ->
+          let skip = max 0 (off - pos) in
+          if skip >= mb.len then go mb.next (pos + mb.len) remaining
+          else begin
+            let seg = min (mb.len - skip) remaining in
+            let chain_off = off + len - remaining in
+            (match mb.storage with
+            | Internal b | Cluster b ->
+                Bytes.blit b (mb.off + skip) dst (dst_off + (chain_off - off))
+                  seg
+            | Ext_uio d ->
+                Region.blit_to_bytes d.uio_region ~src_off:(mb.off + skip)
+                  dst ~dst_off:(dst_off + (chain_off - off)) ~len:seg
+            | Ext_wcab d ->
+                Bytes.blit d.wcab_bytes
+                  (d.wcab_base + mb.off + skip)
+                  dst (dst_off + (chain_off - off)) seg);
+            go mb.next (pos + mb.len) (remaining - seg)
+          end
+  in
+  go (Some m) 0 len
+
+let copy_from m ~off ~len src ~src_off =
+  if src_off + len > Bytes.length src then
+    invalid_arg "Mbuf.copy_from: source too small";
+  (* A write needs the real underlying buffer, so handle UIO specially. *)
+  let rec go m pos remaining =
+    if remaining > 0 then
+      match m with
+      | None -> invalid_arg "Mbuf.copy_from: range past end of chain"
+      | Some mb ->
+          let skip = max 0 (off - pos) in
+          if skip >= mb.len then go mb.next (pos + mb.len) remaining
+          else begin
+            let seg = min (mb.len - skip) remaining in
+            let chain_off = off + len - remaining in
+            (match mb.storage with
+            | Internal b | Cluster b ->
+                Bytes.blit src (src_off + (chain_off - off)) b (mb.off + skip)
+                  seg
+            | Ext_uio d ->
+                Region.blit_from_bytes src
+                  ~src_off:(src_off + (chain_off - off))
+                  d.uio_region ~dst_off:(mb.off + skip) ~len:seg
+            | Ext_wcab _ -> raise Outboard_data);
+            go mb.next (pos + mb.len) (remaining - seg)
+          end
+  in
+  go (Some m) 0 len
+
+let to_string m =
+  let n = chain_len m in
+  let buf = Bytes.create n in
+  copy_into m ~off:0 ~len:n buf ~dst_off:0;
+  Bytes.unsafe_to_string buf
+
+let checksum m ~off ~len =
+  let sum = ref Inet_csum.zero in
+  let consumed = ref 0 in
+  iter_segments m ~off ~len (fun buf boff seg _chain_off ->
+      let part = Inet_csum.of_bytes ~off:boff ~len:seg buf in
+      sum := Inet_csum.concat ~first_len:!consumed !sum part;
+      consumed := !consumed + seg);
+  !sum
+
+(* ---- chain surgery ---- *)
+
+let rec last m = match m.next with None -> m | Some n -> last n
+
+let append a b =
+  b.pkthdr <- None;
+  (last a).next <- Some b;
+  fix_pkthdr a
+
+let host_writable m =
+  match m.storage with
+  | Internal _ | Cluster _ -> true
+  | Ext_uio _ | Ext_wcab _ -> false
+
+(* Leading space may only be claimed in storage that is certainly private.
+   Clusters are shared by [copy_range]/[split] without reference counting,
+   so writing into their "free" leading bytes would scribble over live
+   data of another chain (e.g. the previous TCP segment still queued for
+   retransmit). *)
+let private_head m =
+  match m.storage with
+  | Internal _ -> true
+  | Cluster _ | Ext_uio _ | Ext_wcab _ -> false
+
+let prepend m n =
+  if n < 0 then invalid_arg "Mbuf.prepend: negative";
+  if private_head m && m.off >= n && m.uwhdr = None then begin
+    m.off <- m.off - n;
+    m.len <- m.len + n;
+    fix_pkthdr m;
+    m
+  end
+  else begin
+    let head =
+      if n <= msize then mk (Internal (Bytes.create msize)) ~off:0 ~len:n
+      else mk (Cluster (Bytes.create (max n mclbytes))) ~off:0 ~len:n
+    in
+    (* Leave the data at the tail of the buffer so further prepends can
+       reuse the leading space. *)
+    (match head.storage with
+    | Internal b | Cluster b -> head.off <- Bytes.length b - n
+    | Ext_uio _ | Ext_wcab _ -> assert false);
+    head.next <- Some m;
+    head.pkthdr <- m.pkthdr;
+    m.pkthdr <- None;
+    fix_pkthdr head;
+    head
+  end
+
+let share_storage mb ~skip ~seg =
+  match mb.storage with
+  | Internal b ->
+      let nb = Bytes.create msize in
+      Bytes.blit b (mb.off + skip) nb 0 seg;
+      mk (Internal nb) ~off:0 ~len:seg
+  | Cluster b -> mk (Cluster b) ~off:(mb.off + skip) ~len:seg
+  | Ext_uio d ->
+      let copy = mk (Ext_uio d) ~off:(mb.off + skip) ~len:seg in
+      copy.uwhdr <- mb.uwhdr;
+      copy
+  | Ext_wcab d ->
+      incr d.wcab_refs;
+      let copy = mk (Ext_wcab d) ~off:(mb.off + skip) ~len:seg in
+      copy.uwhdr <- mb.uwhdr;
+      copy
+
+let copy_range m ~off ~len =
+  let total = chain_len m in
+  let len = if len = -1 then total - off else len in
+  if off < 0 || len < 0 || off + len > total then
+    invalid_arg
+      (Printf.sprintf "Mbuf.copy_range: off=%d len=%d of chain %d" off len
+         total);
+  let acc = ref [] in
+  if len > 0 then begin
+    let rec go m pos remaining =
+      if remaining > 0 then
+        match m with
+        | None -> assert false
+        | Some mb ->
+            let skip = max 0 (off - pos) in
+            if skip >= mb.len then go mb.next (pos + mb.len) remaining
+            else begin
+              let seg = min (mb.len - skip) remaining in
+              acc := share_storage mb ~skip ~seg :: !acc;
+              go mb.next (pos + mb.len) (remaining - seg)
+            end
+    in
+    go (Some m) 0 len
+  end;
+  let pieces = List.rev !acc in
+  let head =
+    match pieces with
+    | [] -> mk (Internal (Bytes.create msize)) ~off:0 ~len:0
+    | h :: rest ->
+        let rec link prev = function
+          | [] -> ()
+          | x :: xs ->
+              prev.next <- Some x;
+              link x xs
+        in
+        link h rest;
+        h
+  in
+  head.pkthdr <-
+    Some
+      {
+        pkt_len = len;
+        rcvif = rcvif m;
+        rx_csum = None;
+        tx_csum = None;
+        on_outboard = None;
+      };
+  head
+
+let release_storage mb =
+  (match mb.storage with
+  | Ext_wcab d ->
+      decr d.wcab_refs;
+      if !(d.wcab_refs) = 0 then d.wcab_free ()
+  | Internal _ | Cluster _ | Ext_uio _ -> ());
+  Pool.note_free mb.storage
+
+let adj_head m n =
+  if n < 0 then invalid_arg "Mbuf.adj_head: negative";
+  if n > chain_len m then invalid_arg "Mbuf.adj_head: longer than chain";
+  let remaining = ref n in
+  (* Trim the head mbuf in place, then unlink emptied followers. *)
+  let rec trim mb =
+    if !remaining > 0 then begin
+      let take = min mb.len !remaining in
+      mb.off <- mb.off + take;
+      mb.len <- mb.len - take;
+      remaining := !remaining - take;
+      if !remaining > 0 then
+        match mb.next with
+        | Some nx ->
+            trim nx;
+            (* Unlink [nx] if it was fully consumed. *)
+            if nx.len = 0 then begin
+              mb.next <- nx.next;
+              nx.next <- None;
+              release_storage nx
+            end
+        | None -> assert false
+    end
+  in
+  trim m;
+  fix_pkthdr m
+
+let adj_tail m n =
+  if n < 0 then invalid_arg "Mbuf.adj_tail: negative";
+  let total = chain_len m in
+  if n > total then invalid_arg "Mbuf.adj_tail: longer than chain";
+  let keep = total - n in
+  let rec go mb pos =
+    let end_pos = pos + mb.len in
+    if end_pos <= keep then
+      match mb.next with None -> () | Some nx -> go nx end_pos
+    else begin
+      mb.len <- max 0 (keep - pos);
+      (* Free everything after this mbuf. *)
+      let rec free_rest = function
+        | None -> ()
+        | Some nx ->
+            let tail = nx.next in
+            nx.next <- None;
+            release_storage nx;
+            free_rest tail
+      in
+      free_rest mb.next;
+      mb.next <- None
+    end
+  in
+  go m 0;
+  fix_pkthdr m
+
+let pullup m n =
+  if n > chain_len m then invalid_arg "Mbuf.pullup: chain too short";
+  if n <= m.len && host_writable m then m
+  else begin
+    let buf = Bytes.create (max n msize) in
+    copy_into m ~off:0 ~len:n buf ~dst_off:0;
+    let head =
+      if Bytes.length buf <= msize then mk (Internal buf) ~off:0 ~len:n
+      else mk (Cluster buf) ~off:0 ~len:n
+    in
+    head.pkthdr <- m.pkthdr;
+    m.pkthdr <- None;
+    adj_head m n;
+    (* Drop a fully emptied old head from the chain. *)
+    if m.len = 0 then begin
+      head.next <- m.next;
+      m.next <- None;
+      release_storage m
+    end
+    else head.next <- Some m;
+    fix_pkthdr head;
+    head
+  end
+
+let split m n =
+  let total = chain_len m in
+  if n < 0 || n > total then invalid_arg "Mbuf.split: out of range";
+  let back = copy_range m ~off:n ~len:(total - n) in
+  adj_tail m (total - n);
+  if m.pkthdr = None then
+    m.pkthdr <-
+      Some
+        {
+          pkt_len = n;
+          rcvif = None;
+          rx_csum = None;
+          tx_csum = None;
+          on_outboard = None;
+        };
+  fix_pkthdr m;
+  (m, back)
+
+let free m =
+  let rec go = function
+    | None -> ()
+    | Some mb ->
+        let nx = mb.next in
+        mb.next <- None;
+        release_storage mb;
+        go nx
+  in
+  go (Some m)
+
+let pp fmt m =
+  let kind_char mb =
+    match kind mb with
+    | K_internal -> 'i'
+    | K_cluster -> 'c'
+    | K_uio -> 'U'
+    | K_wcab -> 'W'
+  in
+  Format.fprintf fmt "mbuf[";
+  iter (fun mb -> Format.fprintf fmt "%c%d " (kind_char mb) mb.len) m;
+  Format.fprintf fmt "| total=%d%s]" (chain_len m)
+    (match m.pkthdr with
+    | Some h -> Printf.sprintf " pkt=%d" h.pkt_len
+    | None -> "")

@@ -1,0 +1,1 @@
+lib/memory/host_profile.ml: Format List Page

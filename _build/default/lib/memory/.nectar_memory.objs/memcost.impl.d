@@ -1,0 +1,1 @@
+lib/memory/memcost.ml: Host_profile Simtime

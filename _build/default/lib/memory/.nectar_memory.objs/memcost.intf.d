@@ -1,0 +1,1 @@
+lib/memory/memcost.mli: Host_profile Simtime

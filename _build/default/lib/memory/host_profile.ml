@@ -1,0 +1,99 @@
+type t = {
+  name : string;
+  page_size : int;
+  copy_bw_nolocal : float;
+  copy_bw_cached : float;
+  read_bw_nolocal : float;
+  read_bw_cached : float;
+  cache_bytes : int;
+  per_packet_us : float;
+  ack_us : float;
+  intr_us : float;
+  syscall_us : float;
+  sb_wait_us : float;
+  pin_base_us : float;
+  pin_page_us : float;
+  unpin_base_us : float;
+  unpin_page_us : float;
+  map_base_us : float;
+  map_page_us : float;
+  bus_bw : float;
+  dma_post_us : float;
+  dma_engine_us : float;
+}
+
+let mbit_per_s m = m *. 1e6 /. 8.
+
+let alpha400 =
+  {
+    name = "alpha400";
+    page_size = Page.host_page_size;
+    (* §7.3: "Copies of a 1 MByte (no locality) run at 350 Mbit/second,
+       while a read of a 512 KByte region runs at 630 Mbit/second". *)
+    copy_bw_nolocal = mbit_per_s 350.;
+    copy_bw_cached = mbit_per_s 700.;
+    read_bw_nolocal = mbit_per_s 630.;
+    read_bw_cached = mbit_per_s 1260.;
+    cache_bytes = 512 * 1024;
+    (* §7.3: "The per-packet overhead was measured at about 300
+       microsecond per packet." *)
+    per_packet_us = 300.;
+    ack_us = 80.;
+    intr_us = 15.;
+    syscall_us = 25.;
+    sb_wait_us = 40.;
+    (* Table 2, microseconds. *)
+    pin_base_us = 35.;
+    pin_page_us = 29.;
+    unpin_base_us = 48.;
+    unpin_page_us = 3.9;
+    map_base_us = 6.;
+    map_page_us = 4.5;
+    (* §7: microcode + TcIA limit throughput to well under the 300 Mbit/s
+       design point; the effective DMA rate is calibrated so raw-HIPPI
+       throughput saturates around 135-140 Mbit/s as in Figure 5(a). *)
+    bus_bw = 17.4e6;
+    dma_post_us = 20.;
+    dma_engine_us = 60.;
+  }
+
+let alpha300lx =
+  {
+    name = "alpha300lx";
+    page_size = Page.host_page_size;
+    (* "This system is only about half as powerful as the Alpha
+       3000/400": slower memory system and half-speed TurboChannel. *)
+    copy_bw_nolocal = mbit_per_s 190.;
+    copy_bw_cached = mbit_per_s 380.;
+    read_bw_nolocal = mbit_per_s 340.;
+    read_bw_cached = mbit_per_s 680.;
+    cache_bytes = 256 * 1024;
+    per_packet_us = 550.;
+    ack_us = 150.;
+    intr_us = 28.;
+    syscall_us = 45.;
+    sb_wait_us = 75.;
+    pin_base_us = 60.;
+    pin_page_us = 50.;
+    unpin_base_us = 82.;
+    unpin_page_us = 6.7;
+    map_base_us = 10.;
+    map_page_us = 7.7;
+    bus_bw = 14.0e6;
+    dma_post_us = 36.;
+    dma_engine_us = 100.;
+  }
+
+let all = [ alpha400; alpha300lx ]
+
+let by_name n = List.find_opt (fun p -> p.name = n) all
+
+let pp fmt p =
+  Format.fprintf fmt
+    "%s: copy %.0f/%.0f Mb/s, read %.0f/%.0f Mb/s, pkt %.0fus, bus %.1f MB/s"
+    p.name
+    (p.copy_bw_nolocal *. 8. /. 1e6)
+    (p.copy_bw_cached *. 8. /. 1e6)
+    (p.read_bw_nolocal *. 8. /. 1e6)
+    (p.read_bw_cached *. 8. /. 1e6)
+    p.per_packet_us (p.bus_bw /. 1e6)

@@ -1,0 +1,57 @@
+type t = { vaddr : int; buf : Bytes.t; off : int; len : int }
+
+let create ~vaddr len =
+  if len < 0 then invalid_arg "Region.create: negative length";
+  { vaddr; buf = Bytes.create len; off = 0; len }
+
+let of_bytes ~vaddr buf = { vaddr; buf; off = 0; len = Bytes.length buf }
+
+let vaddr t = t.vaddr
+let length t = t.len
+let bytes t =
+  if t.off = 0 && t.len = Bytes.length t.buf then t.buf
+  else Bytes.sub t.buf t.off t.len
+
+let sub t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg
+      (Printf.sprintf "Region.sub: off=%d len=%d in region of %d" off len
+         t.len);
+  { vaddr = t.vaddr + off; buf = t.buf; off = t.off + off; len }
+
+let blit_to_bytes t ~src_off dst ~dst_off ~len =
+  if src_off < 0 || len < 0 || src_off + len > t.len then
+    invalid_arg "Region.blit_to_bytes: out of range";
+  Bytes.blit t.buf (t.off + src_off) dst dst_off len
+
+let blit_from_bytes src ~src_off t ~dst_off ~len =
+  if dst_off < 0 || len < 0 || dst_off + len > t.len then
+    invalid_arg "Region.blit_from_bytes: out of range";
+  Bytes.blit src src_off t.buf (t.off + dst_off) len
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  if src_off < 0 || len < 0 || src_off + len > src.len then
+    invalid_arg "Region.blit: src out of range";
+  if dst_off < 0 || dst_off + len > dst.len then
+    invalid_arg "Region.blit: dst out of range";
+  Bytes.blit src.buf (src.off + src_off) dst.buf (dst.off + dst_off) len
+
+let fill_pattern t ~seed =
+  (* Position-dependent so truncation / misplacement is detected, seeded so
+     distinct transfers are distinguishable. *)
+  for i = 0 to t.len - 1 do
+    Bytes.set_uint8 t.buf (t.off + i) ((seed + (i * 131)) land 0xff)
+  done
+
+let equal_contents a b =
+  a.len = b.len
+  &&
+  let rec go i =
+    i >= a.len
+    || Bytes.get a.buf (a.off + i) = Bytes.get b.buf (b.off + i) && go (i + 1)
+  in
+  go 0
+
+let pages ~page_size t = Page.count ~page_size ~base:t.vaddr ~len:t.len
+
+let is_word_aligned t = t.vaddr land 3 = 0

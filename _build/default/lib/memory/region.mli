@@ -1,0 +1,40 @@
+(** A contiguous region of simulated host memory.
+
+    Regions carry real bytes (so checksums and data-integrity checks operate
+    on actual data) plus a virtual base address (so alignment restrictions
+    and page accounting behave as on the real machine). *)
+
+type t
+
+val create : vaddr:int -> int -> t
+(** [create ~vaddr len] is a zero-filled region of [len] bytes whose first
+    byte lives at virtual address [vaddr]. *)
+
+val of_bytes : vaddr:int -> Bytes.t -> t
+
+val vaddr : t -> int
+val length : t -> int
+val bytes : t -> Bytes.t
+(** The backing store.  Offset 0 of the result corresponds to [vaddr]. *)
+
+val sub : t -> off:int -> len:int -> t
+(** A view of [len] bytes starting [off] into the region; shares backing
+    storage with the parent.  Raises [Invalid_argument] when out of
+    range. *)
+
+val blit_to_bytes : t -> src_off:int -> Bytes.t -> dst_off:int -> len:int -> unit
+val blit_from_bytes : Bytes.t -> src_off:int -> t -> dst_off:int -> len:int -> unit
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+
+val fill_pattern : t -> seed:int -> unit
+(** Deterministic pattern fill, used by workloads to verify end-to-end data
+    integrity. *)
+
+val equal_contents : t -> t -> bool
+
+val pages : page_size:int -> t -> int
+(** Number of pages the region spans (by virtual address). *)
+
+val is_word_aligned : t -> bool
+(** True when the virtual base address is 32-bit-word aligned — the CAB DMA
+    restriction of §4.5. *)

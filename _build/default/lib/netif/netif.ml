@@ -1,0 +1,51 @@
+type copy_dest =
+  | To_user of Addr_space.t * Region.t
+  | To_kernel of Bytes.t * int
+
+type t = {
+  name : string;
+  addr : Inaddr.t;
+  mtu : int;
+  single_copy : bool;
+  hw_csum_rx : bool;
+  mutable output : t -> Mbuf.t -> next_hop:Inaddr.t -> unit;
+  copy_out :
+    (Mbuf.t -> off:int -> len:int -> dst:copy_dest -> on_done:(unit -> unit)
+     -> unit)
+    option;
+  mutable input : Mbuf.t -> unit;
+  mutable neighbors : (Inaddr.t * int) list;
+}
+
+let make ~name ~addr ~mtu ?(single_copy = false) ?(hw_csum_rx = false)
+    ?copy_out ~output () =
+  {
+    name;
+    addr;
+    mtu;
+    single_copy;
+    hw_csum_rx;
+    output;
+    copy_out;
+    input =
+      (fun _ ->
+        invalid_arg (Printf.sprintf "Netif %s: no input attached" name));
+    neighbors = [];
+  }
+
+let attach_input t f = t.input <- f
+
+let deliver t m =
+  Mbuf.set_rcvif m t.name;
+  t.input m
+
+let add_neighbor t ip link = t.neighbors <- (ip, link) :: t.neighbors
+
+let link_addr t ip =
+  List.find_map
+    (fun (a, l) -> if Inaddr.equal a ip then Some l else None)
+    t.neighbors
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%a mtu=%d%s)" t.name Inaddr.pp t.addr t.mtu
+    (if t.single_copy then " single-copy" else "")

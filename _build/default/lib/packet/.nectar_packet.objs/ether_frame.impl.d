@@ -1,0 +1,1 @@
+lib/packet/ether_frame.ml: Bytes Format Int32

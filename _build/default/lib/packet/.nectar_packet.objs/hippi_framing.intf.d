@@ -1,0 +1,1 @@
+lib/packet/hippi_framing.mli: Bytes Format

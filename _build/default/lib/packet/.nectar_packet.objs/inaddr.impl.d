@@ -1,0 +1,1 @@
+lib/packet/inaddr.ml: Format Int32 Printf String

@@ -1,0 +1,1 @@
+lib/packet/inaddr.mli: Format

@@ -1,0 +1,1 @@
+lib/packet/ipv4_header.ml: Bytes Format Inaddr Inet_csum

@@ -1,0 +1,1 @@
+lib/packet/ipv4_header.mli: Bytes Format Inaddr

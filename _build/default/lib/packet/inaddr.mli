@@ -1,0 +1,23 @@
+(** IPv4 addresses. *)
+
+type t = int32
+
+val v : int -> int -> int -> int -> t
+(** [v 10 0 0 1] is 10.0.0.1. *)
+
+val of_string : string -> t
+(** Dotted quad; raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val any : t
+(** 0.0.0.0 — the wildcard address. *)
+
+val loopback : t
+(** 127.0.0.1 *)
+
+val in_prefix : prefix:t -> len:int -> t -> bool
+(** [in_prefix ~prefix ~len a]: does [a] fall inside [prefix/len]? *)

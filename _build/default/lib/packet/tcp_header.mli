@@ -1,0 +1,51 @@
+(** TCP header encode/decode, including the RFC 1323 window-scale option
+    and the MSS option carried on SYN segments.
+
+    [encode] leaves the checksum field holding whatever the caller
+    requests: the fully computed checksum on the host-checksummed path, or
+    the offload *seed* on the single-copy path (§4.3). *)
+
+type flag = FIN | SYN | RST | PSH | ACK | URG
+
+type option_ = Mss of int | Window_scale of int
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;  (** 32-bit sequence number, kept in an int *)
+  ack : int;
+  flags : flag list;
+  window : int;  (** raw 16-bit field, before scaling *)
+  urgent : int;
+  options : option_ list;
+}
+
+val base_size : int
+(** 20 bytes without options. *)
+
+val size : t -> int
+(** Header size including (padded) options — a multiple of 4. *)
+
+val has : flag -> t -> bool
+
+val make :
+  ?flags:flag list ->
+  ?window:int ->
+  ?urgent:int ->
+  ?options:option_ list ->
+  src_port:int ->
+  dst_port:int ->
+  seq:int ->
+  ack:int ->
+  unit ->
+  t
+
+val encode : t -> csum:int -> Bytes.t -> off:int -> unit
+val decode : Bytes.t -> off:int -> len:int -> (t * int, string) result
+(** [decode buf ~off ~len] returns the header and the raw checksum field.
+    [len] is the number of bytes available (for truncation checks). *)
+
+val csum_field_offset : int
+(** Byte offset of the checksum field within the TCP header (16). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/socket/dgram_socket.ml: Addr_space Bytes Host Ipv4 Ipv4_header List Mbuf Memcost Netif Option Region Simtime Socket Udp Udp_header

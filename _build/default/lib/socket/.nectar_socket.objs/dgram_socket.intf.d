@@ -1,0 +1,1 @@
+lib/socket/dgram_socket.mli: Addr_space Host Ipv4 Region Socket Udp

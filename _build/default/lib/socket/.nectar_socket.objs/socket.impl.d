@@ -1,0 +1,1 @@
+lib/socket/socket.ml: Addr_space Bytes Format Host Mbuf Memcost Netif Option Pin_cache Region Simtime Tcp

@@ -1,0 +1,1 @@
+lib/socket/socket.mli: Addr_space Format Host Pin_cache Region Tcp

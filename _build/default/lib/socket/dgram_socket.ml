@@ -1,0 +1,211 @@
+type dgram_stats = {
+  sent : int;
+  sent_uio : int;
+  sent_copy : int;
+  send_errors : int;
+  received : int;
+  truncated : int;
+  queue_drops : int;
+}
+
+type t = {
+  host : Host.t;
+  space : Addr_space.t;
+  proc : string;
+  paths : Socket.path_config;
+  udp : Udp.t;
+  ip : Ipv4.t;
+  port : int;
+  rcv_queue_max : int;
+  mutable rcvq : (Udp.endpoint * Mbuf.t) list;  (* oldest first *)
+  mutable reader : (unit -> unit) option;
+  mutable closed : bool;
+  mutable s : dgram_stats;
+}
+
+let stats t = t.s
+
+let charge t cost k = Host.in_proc t.host ~proc:t.proc cost k
+let profile t = t.host.Host.profile
+
+let create ~host ~space ~proc ?(paths = Socket.default_paths)
+    ?(rcv_queue = 64) ~udp ~ip ~port () =
+  let t =
+    {
+      host;
+      space;
+      proc;
+      paths;
+      udp;
+      ip;
+      port;
+      rcv_queue_max = rcv_queue;
+      rcvq = [];
+      reader = None;
+      closed = false;
+      s =
+        {
+          sent = 0;
+          sent_uio = 0;
+          sent_copy = 0;
+          send_errors = 0;
+          received = 0;
+          truncated = 0;
+          queue_drops = 0;
+        };
+    }
+  in
+  Udp.bind udp ~port (fun ~src dgram ->
+      if t.closed || List.length t.rcvq >= t.rcv_queue_max then begin
+        t.s <- { t.s with queue_drops = t.s.queue_drops + 1 };
+        Mbuf.free dgram
+      end
+      else begin
+        t.rcvq <- t.rcvq @ [ (src, dgram) ];
+        match t.reader with
+        | Some k ->
+            t.reader <- None;
+            k ()
+        | None -> ()
+      end);
+  t
+
+(* Path selection mirrors the stream socket (§4.4.3 + §4.5), with the
+   extra fragmentation constraint: a fragmented datagram cannot use the
+   engine, and descriptor fragments would be sliced at 8-byte (not
+   4-byte) boundaries anyway — keep it simple and copy. *)
+let send_path t region ~dst =
+  let len = Region.length region in
+  match Ipv4.route_for t.ip ~dst:dst.Udp.addr with
+  | None -> `Copy
+  | Some (ifc, _) ->
+      let fits =
+        Udp_header.size + len + Ipv4_header.size <= ifc.Netif.mtu
+      in
+      if
+        ifc.Netif.single_copy && fits
+        && (t.paths.Socket.force_uio
+           || len >= t.paths.Socket.uio_threshold)
+        && Region.is_word_aligned region
+      then `Uio
+      else `Copy
+
+let sendto t region ~dst k =
+  t.s <- { t.s with sent = t.s.sent + 1 };
+  charge t (Memcost.syscall (profile t)) (fun () ->
+      match send_path t region ~dst with
+      | `Uio ->
+          t.s <- { t.s with sent_uio = t.s.sent_uio + 1 };
+          let len = Region.length region in
+          let notify = Mbuf.make_notify () in
+          Mbuf.notify_add notify len;
+          let vm_cost =
+            Simtime.add
+              (Addr_space.pin t.space region)
+              (Addr_space.map_into_kernel t.space region)
+          in
+          charge t vm_cost (fun () ->
+              let hdr = { Mbuf.csum = None; notify = Some notify } in
+              let m = Mbuf.make_uio ~space:t.space ~region ~hdr in
+              let finish () =
+                charge t (Addr_space.unpin t.space region) k
+              in
+              (match
+                 Udp.sendto t.udp ~proc:t.proc ~src_port:t.port ~dst m
+               with
+              | Ok () ->
+                  if notify.Mbuf.dma_pending = 0 then finish ()
+                  else notify.Mbuf.on_drained <- finish
+              | Error _ ->
+                  t.s <- { t.s with send_errors = t.s.send_errors + 1 };
+                  Mbuf.notify_complete_n notify notify.Mbuf.dma_pending;
+                  finish ()))
+      | `Copy ->
+          t.s <- { t.s with sent_copy = t.s.sent_copy + 1 };
+          let len = Region.length region in
+          let copy_cost = Memcost.copy (profile t) ~locality:Memcost.Cold len in
+          charge t copy_cost (fun () ->
+              let b = Bytes.create len in
+              Region.blit_to_bytes region ~src_off:0 b ~dst_off:0 ~len;
+              (match
+                 Udp.sendto t.udp ~proc:t.proc ~src_port:t.port ~dst
+                   (Mbuf.of_bytes ~pkthdr:true b)
+               with
+              | Ok () -> ()
+              | Error _ ->
+                  t.s <- { t.s with send_errors = t.s.send_errors + 1 });
+              k ()))
+
+(* Deliver one datagram chain into the user region (same mechanics as the
+   stream socket's receive). *)
+let deliver t chain region k =
+  let dlen = Mbuf.chain_len chain in
+  let want = min dlen (Region.length region) in
+  if dlen > Region.length region then
+    t.s <- { t.s with truncated = t.s.truncated + 1 };
+  let iface =
+    Option.bind (Mbuf.rcvif chain) (fun name -> Host.find_iface t.host name)
+  in
+  let pending = ref 1 in
+  let release () =
+    decr pending;
+    if !pending = 0 then begin
+      Mbuf.free chain;
+      k want
+    end
+  in
+  let rec walk (m : Mbuf.t option) off =
+    match m with
+    | None -> release ()
+    | Some mb ->
+        let seg = min mb.Mbuf.len (want - off) in
+        if seg <= 0 then release ()
+        else begin
+          let dst = Region.sub region ~off ~len:seg in
+          (match Mbuf.kind mb with
+          | Mbuf.K_internal | Mbuf.K_cluster | Mbuf.K_uio ->
+              incr pending;
+              charge t (Memcost.copy (profile t) ~locality:Memcost.Cold seg)
+                (fun () ->
+                  let tmp = Bytes.create seg in
+                  Mbuf.copy_into mb ~off:0 ~len:seg tmp ~dst_off:0;
+                  Region.blit_from_bytes tmp ~src_off:0 dst ~dst_off:0
+                    ~len:seg;
+                  release ())
+          | Mbuf.K_wcab -> (
+              match iface with
+              | Some ifc when ifc.Netif.copy_out <> None ->
+                  let copy_out = Option.get ifc.Netif.copy_out in
+                  incr pending;
+                  let vm =
+                    Simtime.add
+                      (Addr_space.pin t.space dst)
+                      (Addr_space.map_into_kernel t.space dst)
+                  in
+                  charge t vm (fun () ->
+                      copy_out mb ~off:0 ~len:seg
+                        ~dst:(Netif.To_user (t.space, dst))
+                        ~on_done:(fun () ->
+                          charge t (Addr_space.unpin t.space dst) release))
+              | Some _ | None -> ()));
+          walk mb.Mbuf.next (off + seg)
+        end
+  in
+  walk (Some chain) 0
+
+let rec recvfrom t region k =
+  charge t (Memcost.syscall (profile t)) (fun () ->
+      match t.rcvq with
+      | (src, chain) :: rest ->
+          t.rcvq <- rest;
+          t.s <- { t.s with received = t.s.received + 1 };
+          deliver t chain region (fun n -> k n src)
+      | [] ->
+          if not t.closed then
+            t.reader <- Some (fun () -> recvfrom t region k))
+
+let close t =
+  t.closed <- true;
+  Udp.unbind t.udp ~port:t.port;
+  List.iter (fun (_, c) -> Mbuf.free c) t.rcvq;
+  t.rcvq <- []

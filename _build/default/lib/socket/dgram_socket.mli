@@ -1,0 +1,52 @@
+(** User-level datagram sockets with copy semantics.
+
+    The paper's single-copy machinery applies to UDP exactly as to TCP
+    (§4.3 discusses the checksum-engine details): a large, word-aligned
+    send on a single-copy route goes out as an M_UIO descriptor — the data
+    is DMAed straight from the application buffer with the checksum
+    computed by the adaptor — and the call completes when the DMA has made
+    the kernel's copy.  Small, misaligned, or fragmented datagrams take
+    the copying path.
+
+    Receives land in a per-socket queue; [recvfrom] copies (or DMAs, for
+    outboard tails) the next datagram into the caller's buffer,
+    truncating like a real datagram socket. *)
+
+type t
+
+type dgram_stats = {
+  sent : int;
+  sent_uio : int;  (** single-copy sends *)
+  sent_copy : int;
+  send_errors : int;
+  received : int;
+  truncated : int;  (** datagrams longer than the receive buffer *)
+  queue_drops : int;  (** receive-queue overflow *)
+}
+
+val create :
+  host:Host.t ->
+  space:Addr_space.t ->
+  proc:string ->
+  ?paths:Socket.path_config ->
+  ?rcv_queue:int ->
+  udp:Udp.t ->
+  ip:Ipv4.t ->
+  port:int ->
+  unit ->
+  t
+(** Binds [port].  [rcv_queue] bounds buffered datagrams (default 64). *)
+
+val sendto : t -> Region.t -> dst:Udp.endpoint -> (unit -> unit) -> unit
+(** Copy-semantics send; the continuation runs when the buffer may be
+    reused.  Send failures (no route, oversize) are counted in the stats
+    and still continue. *)
+
+val recvfrom : t -> Region.t -> (int -> Udp.endpoint -> unit) -> unit
+(** Waits for the next datagram and delivers up to the region's size of
+    it. *)
+
+val stats : t -> dgram_stats
+
+val close : t -> unit
+(** Unbinds the port and discards queued datagrams. *)

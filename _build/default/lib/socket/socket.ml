@@ -1,0 +1,413 @@
+type path_config = {
+  force_uio : bool;
+  uio_threshold : int;
+  use_pin_cache : bool;
+  pin_cache_pages : int;
+  align_fixup : bool;
+}
+
+let default_paths =
+  {
+    force_uio = false;
+    uio_threshold = 16 * 1024;
+    use_pin_cache = true;
+    pin_cache_pages = 1024;
+    align_fixup = false;
+  }
+
+type stats = {
+  writes : int;
+  uio_writes : int;
+  copy_writes : int;
+  unaligned_fallbacks : int;
+  align_fixups : int;
+  bytes_written : int;
+  reads : int;
+  wcab_copyouts : int;
+  kernel_copy_reads : int;
+  bytes_read : int;
+  write_blocks : int;
+  read_blocks : int;
+}
+
+let zero_stats =
+  {
+    writes = 0;
+    uio_writes = 0;
+    copy_writes = 0;
+    unaligned_fallbacks = 0;
+    align_fixups = 0;
+    bytes_written = 0;
+    reads = 0;
+    wcab_copyouts = 0;
+    kernel_copy_reads = 0;
+    bytes_read = 0;
+    write_blocks = 0;
+    read_blocks = 0;
+  }
+
+type t = {
+  host : Host.t;
+  space : Addr_space.t;
+  proc : string;
+  paths : path_config;
+  pcb : Tcp.pcb;
+  cache : Pin_cache.t option;
+  mutable writer_waiting : (unit -> unit) option;
+  mutable reader_waiting : (unit -> unit) option;
+  mutable pending_notify : Mbuf.notify option;
+      (* the in-flight write's UIO counter, force-drained if the
+         connection dies so the writer cannot hang *)
+  mutable closed : bool;
+  mutable s : stats;
+}
+
+let pcb t = t.pcb
+let stats t = t.s
+let pin_cache t = t.cache
+
+let create ~host ~space ~proc ?(paths = default_paths) pcb =
+  let cache =
+    if paths.use_pin_cache then
+      Some (Pin_cache.create ~space ~max_pages:paths.pin_cache_pages)
+    else None
+  in
+  let t =
+    {
+      host;
+      space;
+      proc;
+      paths;
+      pcb;
+      cache;
+      writer_waiting = None;
+      reader_waiting = None;
+      pending_notify = None;
+      closed = false;
+      s = zero_stats;
+    }
+  in
+  Tcp.set_callbacks pcb
+    ~on_readable:(fun () ->
+      match t.reader_waiting with
+      | Some k ->
+          t.reader_waiting <- None;
+          k ()
+      | None -> ())
+    ~on_sendable:(fun () ->
+      match t.writer_waiting with
+      | Some k ->
+          t.writer_waiting <- None;
+          k ()
+      | None -> ())
+    ~on_closed:(fun () ->
+      (* Wake anyone blocked so the simulation cannot wedge. *)
+      (match t.pending_notify with
+      | Some n when n.Mbuf.dma_pending > 0 ->
+          t.pending_notify <- None;
+          Mbuf.notify_complete_n n n.Mbuf.dma_pending
+      | Some _ | None -> ());
+      (match t.reader_waiting with
+      | Some k ->
+          t.reader_waiting <- None;
+          k ()
+      | None -> ());
+      match t.writer_waiting with
+      | Some k ->
+          t.writer_waiting <- None;
+          k ()
+      | None -> ())
+    ();
+  t
+
+let charge t cost k = Host.in_proc t.host ~proc:t.proc cost k
+
+let block_writer t k =
+  assert (t.writer_waiting = None);
+  t.s <- { t.s with write_blocks = t.s.write_blocks + 1 };
+  t.writer_waiting <- Some k
+
+let block_reader t k =
+  assert (t.reader_waiting = None);
+  t.s <- { t.s with read_blocks = t.s.read_blocks + 1 };
+  t.reader_waiting <- Some k
+
+(* ---------------- write ---------------- *)
+
+let profile t = t.host.Host.profile
+
+(* Single-copy transmit path (§4.4): map + pin, enqueue an M_UIO
+   descriptor, and let the UIO byte counter resynchronize us with the
+   driver's DMA completions. *)
+let write_uio t region k =
+  let total = Region.length region in
+  let notify = Mbuf.make_notify () in
+  Mbuf.notify_add notify total;
+  t.pending_notify <- Some notify;
+  (* Map into kernel space and pin — charged to the writing process, one
+     socket-buffer chunk at a time would be more faithful, but the cost is
+     linear in pages either way. *)
+  let vm_cost =
+    match t.cache with
+    | Some cache -> Pin_cache.acquire cache region
+    | None ->
+        Simtime.add (Addr_space.pin t.space region)
+          (Addr_space.map_into_kernel t.space region)
+  in
+  charge t vm_cost (fun () ->
+      let finish () =
+        t.pending_notify <- None;
+        let unpin_cost =
+          match t.cache with
+          | Some cache -> Pin_cache.release cache region
+          | None -> Addr_space.unpin t.space region
+        in
+        charge t unpin_cost k
+      in
+      let rec push off =
+        if off >= total then begin
+          (* All data enqueued; wait for the DMAs (copy semantics). *)
+          if notify.Mbuf.dma_pending = 0 then finish ()
+          else notify.Mbuf.on_drained <- finish
+        end
+        else begin
+          let chunk = min (total - off) (Tcp.pcb_config t.pcb).Tcp.snd_buf in
+          let try_append () =
+            if Tcp.snd_space t.pcb >= chunk then begin
+              let sub = Region.sub region ~off ~len:chunk in
+              let hdr = { Mbuf.csum = None; notify = Some notify } in
+              let m = Mbuf.make_uio ~space:t.space ~region:sub ~hdr in
+              (match Tcp.sosend_append t.pcb ~proc:t.proc m with
+              | Ok () -> push (off + chunk)
+              | Error _ ->
+                  (* Connection went away: drain the counter and fall
+                     through to completion so the app does not hang; the
+                     data is lost, as on a real reset. *)
+                  Mbuf.notify_complete_n notify notify.Mbuf.dma_pending;
+                  push total)
+            end
+            else begin
+              let retry () =
+                charge t (Memcost.sb_wait (profile t)) (fun () ->
+                    push off)
+              in
+              block_writer t retry
+            end
+          in
+          try_append ()
+        end
+      in
+      push 0)
+
+(* Traditional path: copy through kernel mbufs; returns when all bytes are
+   buffered. *)
+let write_copy t region k =
+  let total = Region.length region in
+  let rec push off =
+    if off >= total then k ()
+    else begin
+      let space = Tcp.snd_space t.pcb in
+      if space <= 0 then begin
+        let retry () =
+          charge t (Memcost.sb_wait (profile t)) (fun () -> push off)
+        in
+        block_writer t retry
+      end
+      else begin
+        let chunk = min (total - off) space in
+        let copy_cost =
+          Memcost.copy (profile t) ~locality:Memcost.Cold chunk
+        in
+        charge t copy_cost (fun () ->
+            let buf = Bytes.create chunk in
+            Region.blit_to_bytes region ~src_off:off buf ~dst_off:0 ~len:chunk;
+            let m = Mbuf.of_bytes ~pkthdr:true buf in
+            match Tcp.sosend_append t.pcb ~proc:t.proc m with
+            | Ok () -> push (off + chunk)
+            | Error _ -> k ())
+      end
+    end
+  in
+  push 0
+
+let single_copy_route t =
+  Tcp.pcb_config t.pcb |> fun (cfg : Tcp.config) ->
+  cfg.Tcp.single_copy
+  &&
+  match Tcp.remote_iface t.pcb with
+  | Some ifc -> ifc.Netif.single_copy
+  | None -> false
+
+let write t region k =
+  t.s <-
+    {
+      t.s with
+      writes = t.s.writes + 1;
+      bytes_written = t.s.bytes_written + Region.length region;
+    };
+  charge t (Memcost.syscall (profile t)) (fun () ->
+      let len = Region.length region in
+      let aligned = Region.is_word_aligned region in
+      let want_uio =
+        single_copy_route t
+        && (t.paths.force_uio || len >= t.paths.uio_threshold)
+      in
+      if want_uio && aligned then begin
+        t.s <- { t.s with uio_writes = t.s.uio_writes + 1 };
+        write_uio t region k
+      end
+      else if want_uio && t.paths.align_fixup && len > 64 then begin
+        (* §4.5 fix-up: copy the sub-word head, DMA the aligned bulk. *)
+        let head_len = 4 - (Region.vaddr region land 3) in
+        t.s <-
+          {
+            t.s with
+            align_fixups = t.s.align_fixups + 1;
+            uio_writes = t.s.uio_writes + 1;
+            copy_writes = t.s.copy_writes + 1;
+          };
+        write_copy t (Region.sub region ~off:0 ~len:head_len) (fun () ->
+            write_uio t
+              (Region.sub region ~off:head_len ~len:(len - head_len))
+              k)
+      end
+      else begin
+        if want_uio && not aligned then
+          t.s <-
+            { t.s with unaligned_fallbacks = t.s.unaligned_fallbacks + 1 };
+        t.s <- { t.s with copy_writes = t.s.copy_writes + 1 };
+        write_copy t region k
+      end)
+
+(* ---------------- read ---------------- *)
+
+let eof_state t =
+  match Tcp.state t.pcb with
+  | Tcp.Close_wait | Tcp.Closing | Tcp.Last_ack | Tcp.Time_wait | Tcp.Closed
+    ->
+      Tcp.recv_available t.pcb = 0
+  | Tcp.Listen | Tcp.Syn_sent | Tcp.Syn_received | Tcp.Established
+  | Tcp.Fin_wait_1 | Tcp.Fin_wait_2 ->
+      false
+
+(* Move one received chain into the user region starting at [dst_off].
+   Continuation gets called once every piece (sync copies and async DMA
+   copy-outs) has landed. *)
+let deliver_chain t chain region ~dst_off k =
+  let iface = Tcp.remote_iface t.pcb in
+  let pending = ref 1 (* barrier: released after the walk *) in
+  let release () =
+    decr pending;
+    if !pending = 0 then k ()
+  in
+  let rec walk (m : Mbuf.t option) off =
+    match m with
+    | None -> release () (* the barrier *)
+    | Some mb ->
+        let seg = mb.Mbuf.len in
+        if seg = 0 then walk mb.Mbuf.next off
+        else begin
+          let dst = Region.sub region ~off ~len:seg in
+          (match Mbuf.kind mb with
+          | Mbuf.K_internal | Mbuf.K_cluster | Mbuf.K_uio ->
+              t.s <- { t.s with kernel_copy_reads = t.s.kernel_copy_reads + 1 };
+              incr pending;
+              let cost = Memcost.copy (profile t) ~locality:Memcost.Cold seg in
+              charge t cost (fun () ->
+                  let tmp = Bytes.create seg in
+                  Mbuf.copy_into mb ~off:0 ~len:seg tmp ~dst_off:0;
+                  (* walk within this mbuf only: build a temp view *)
+                  Region.blit_from_bytes tmp ~src_off:0 dst ~dst_off:0
+                    ~len:seg;
+                  release ())
+          | Mbuf.K_wcab -> (
+              match iface with
+              | Some ifc when ifc.Netif.copy_out <> None ->
+                  let copy_out = Option.get ifc.Netif.copy_out in
+                  t.s <- { t.s with wcab_copyouts = t.s.wcab_copyouts + 1 };
+                  incr pending;
+                  (* Pin + map the destination for DMA (charged), then let
+                     the driver move the data. *)
+                  let vm_cost =
+                    match t.cache with
+                    | Some cache -> Pin_cache.acquire cache dst
+                    | None ->
+                        Simtime.add
+                          (Addr_space.pin t.space dst)
+                          (Addr_space.map_into_kernel t.space dst)
+                  in
+                  charge t vm_cost (fun () ->
+                      copy_out mb ~off:0 ~len:seg
+                        ~dst:(Netif.To_user (t.space, dst))
+                        ~on_done:(fun () ->
+                          let unpin_cost =
+                            match t.cache with
+                            | Some cache -> Pin_cache.release cache dst
+                            | None -> Addr_space.unpin t.space dst
+                          in
+                          charge t unpin_cost release))
+              | Some _ | None ->
+                  (* No device able to move it: drop the bytes (cannot
+                     happen with a correctly assembled stack). *)
+                  incr pending;
+                  release ()));
+          walk mb.Mbuf.next (off + seg)
+        end
+  in
+  walk (Some chain) dst_off
+
+let rec read t region k =
+  t.s <- { t.s with reads = t.s.reads + 1 };
+  charge t (Memcost.syscall (profile t)) (fun () -> read_attempt t region k)
+
+and read_attempt t region k =
+  let avail = Tcp.recv_available t.pcb in
+  if avail = 0 then begin
+    if eof_state t || t.closed then k 0
+    else
+      block_reader t (fun () ->
+          charge t (Memcost.sb_wait (profile t)) (fun () ->
+              read_attempt t region k))
+  end
+  else begin
+    let want = min avail (Region.length region) in
+    match Tcp.recv t.pcb ~max:want with
+    | None -> k 0
+    | Some chain ->
+        let got = Mbuf.chain_len chain in
+        t.s <- { t.s with bytes_read = t.s.bytes_read + got };
+        deliver_chain t chain region ~dst_off:0 (fun () ->
+            Mbuf.free chain;
+            k got)
+  end
+
+let read_exact t region k =
+  let total = Region.length region in
+  let rec go off =
+    if off >= total then k off
+    else
+      read t
+        (Region.sub region ~off ~len:(total - off))
+        (fun n -> if n = 0 then k off else go (off + n))
+  in
+  go 0
+
+let close t =
+  t.closed <- true;
+  Tcp.close t.pcb
+
+
+let listen ~stack_tcp ~host ~proc ?paths ~make_space ~port on_conn =
+  Tcp.listen stack_tcp ~port ~on_accept:(fun pcb ->
+      let space = make_space () in
+      on_conn (create ~host ~space ~proc ?paths pcb))
+
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "writes %d (%d uio / %d copy; %d unaligned-fallback, %d fixups), %d B \
+     out; reads %d (%d dma copy-outs, %d kernel copies), %d B in; blocked \
+     %d/%d w/r"
+    s.writes s.uio_writes s.copy_writes s.unaligned_fallbacks s.align_fixups
+    s.bytes_written s.reads s.wcab_copyouts s.kernel_copy_reads s.bytes_read
+    s.write_blocks s.read_blocks

@@ -1,0 +1,100 @@
+(** Stream sockets with copy semantics over TCP (§4.4).
+
+    The API is continuation-passing because reads and writes block in a
+    discrete-event world: [write sock region k] calls [k] once the kernel
+    has *a copy* of the data — either in kernel buffers (traditional path)
+    or safely DMAed outboard (single-copy path, synchronized through the
+    UIO counter of §4.4.2).  [read sock region k] calls [k n] once [n > 0]
+    bytes have landed in the user's buffer, or [k 0] at end of stream.
+
+    Path selection per write (§4.4.3, §4.5): the single-copy (M_UIO) path
+    is taken when the stack and the route's interface support it, the
+    write is at least [uio_threshold] bytes (or [force_uio] is set, as in
+    the paper's Figure 5 runs), and the user buffer is word aligned.
+    Everything else falls back to copying through kernel mbufs.
+
+    VM work (§4.4.1): on the UIO path the socket layer — which runs in
+    process context — maps the buffer into kernel space and pins it,
+    charging Table 2 costs; a {!Pin_cache} amortizes the cost for
+    applications that reuse buffers.  Unpinning is lazy when the cache is
+    enabled, immediate otherwise. *)
+
+type path_config = {
+  force_uio : bool;
+      (** always take the single-copy path (paper's measurement setup) *)
+  uio_threshold : int;  (** smallest write using the UIO path otherwise *)
+  use_pin_cache : bool;
+  pin_cache_pages : int;
+  align_fixup : bool;
+      (** §4.5's unimplemented optimization, implemented here: when a
+          large write is misaligned, send the sub-word head through the
+          copying path so the bulk can still be DMAed.  "This might pay
+          off for very large writes, although we have not implemented this
+          optimization." *)
+}
+
+val default_paths : path_config
+(** threshold 16 KByte (the measured crossover), pin cache on with a
+    1024-page budget, [force_uio] off. *)
+
+type stats = {
+  writes : int;
+  uio_writes : int;
+  copy_writes : int;
+  unaligned_fallbacks : int;
+  align_fixups : int;
+      (** misaligned writes realigned by a short leading copy (§4.5) *)
+  bytes_written : int;
+  reads : int;
+  wcab_copyouts : int;  (** DMA copy-outs of outboard receive data *)
+  kernel_copy_reads : int;  (** host copies from kernel mbufs to user *)
+  bytes_read : int;
+  write_blocks : int;  (** times a writer slept on buffer space *)
+  read_blocks : int;
+}
+
+type t
+
+val create :
+  host:Host.t ->
+  space:Addr_space.t ->
+  proc:string ->
+  ?paths:path_config ->
+  Tcp.pcb ->
+  t
+(** Wraps an (accepting or connecting) TCP pcb as a stream socket for the
+    process [proc] whose buffers live in [space]. *)
+
+val pcb : t -> Tcp.pcb
+val stats : t -> stats
+val pin_cache : t -> Pin_cache.t option
+
+val write : t -> Region.t -> (unit -> unit) -> unit
+(** Copy-semantics send of the whole region; continuation runs when the
+    application may reuse the buffer. *)
+
+val read : t -> Region.t -> (int -> unit) -> unit
+(** Receive into the region; continues with the byte count (0 = EOF).
+    Returns short reads like BSD — whatever is available, up to the region
+    size. *)
+
+val read_exact : t -> Region.t -> (int -> unit) -> unit
+(** Loops {!read} until the region is full or EOF; continues with the
+    total. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val close : t -> unit
+
+val listen :
+  stack_tcp:Tcp.t ->
+  host:Host.t ->
+  proc:string ->
+  ?paths:path_config ->
+  make_space:(unit -> Addr_space.t) ->
+  port:int ->
+  (t -> unit) ->
+  unit
+(** Server-side convenience: listen on [port] and hand each established
+    connection to the callback as a ready socket (a fresh address space
+    per connection from [make_space]). *)

@@ -1,0 +1,1 @@
+lib/tcp/tcp.ml: Bytes Csum_offload Format Host Inaddr Inet_csum Ipv4 Ipv4_header List Mbuf Memcost Netif Option Printf Sim Simtime Tcp_header Tcp_reasm Tcp_sendq Tcp_seq Tracelog

@@ -1,0 +1,1 @@
+lib/tcp/tcp.mli: Format Host Inaddr Ipv4 Mbuf Netif Simtime

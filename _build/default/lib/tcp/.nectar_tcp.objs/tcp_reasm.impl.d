@@ -1,0 +1,1 @@
+lib/tcp/tcp_reasm.ml: List Mbuf Tcp_seq

@@ -1,0 +1,1 @@
+lib/tcp/tcp_reasm.mli: Mbuf Tcp_seq

@@ -1,0 +1,1 @@
+lib/tcp/tcp_sendq.mli: Mbuf

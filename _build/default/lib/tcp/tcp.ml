@@ -1,0 +1,1274 @@
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+let state_to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+
+type config = {
+  mss_cap : int option;
+  snd_buf : int;
+  rcv_buf : int;
+  window_scaling : bool;
+  nagle : bool;
+  delayed_ack : bool;
+  delack_delay : Simtime.t;
+  rto_init : Simtime.t;
+  rto_min : Simtime.t;
+  rto_max : Simtime.t;
+  msl : Simtime.t;
+  single_copy : bool;
+  coalesce_descriptors : bool;
+  max_rexmt : int;
+}
+
+let default_config =
+  {
+    mss_cap = None;
+    snd_buf = 512 * 1024;
+    rcv_buf = 512 * 1024;
+    window_scaling = true;
+    nagle = true;
+    delayed_ack = true;
+    delack_delay = Simtime.ms 2.;
+    rto_init = Simtime.ms 200.;
+    rto_min = Simtime.ms 100.;
+    rto_max = Simtime.s 2.;
+    msl = Simtime.ms 20.;
+    single_copy = true;
+    coalesce_descriptors = false;
+    max_rexmt = 12;
+  }
+
+type pcb_stats = {
+  segs_sent : int;
+  segs_rcvd : int;
+  bytes_sent : int;
+  bytes_rcvd : int;
+  acks_rcvd : int;
+  dup_acks : int;
+  retransmits : int;
+  rto_fires : int;
+  fast_retransmits : int;
+  csum_offloaded_tx : int;
+  csum_host_tx : int;
+  csum_hw_verified_rx : int;
+  csum_host_verified_rx : int;
+  csum_failures_rx : int;
+  wcab_converted : int;
+  wcab_retransmit_hits : int;
+  dropped_wcab_legacy : int;
+}
+
+let zero_stats =
+  {
+    segs_sent = 0;
+    segs_rcvd = 0;
+    bytes_sent = 0;
+    bytes_rcvd = 0;
+    acks_rcvd = 0;
+    dup_acks = 0;
+    retransmits = 0;
+    rto_fires = 0;
+    fast_retransmits = 0;
+    csum_offloaded_tx = 0;
+    csum_host_tx = 0;
+    csum_hw_verified_rx = 0;
+    csum_host_verified_rx = 0;
+    csum_failures_rx = 0;
+    wcab_converted = 0;
+    wcab_retransmit_hits = 0;
+    dropped_wcab_legacy = 0;
+  }
+
+type pcb = {
+  tcp : t;
+  mutable st : state;
+  local_addr : Inaddr.t;
+  lport : int;
+  raddr : Inaddr.t;
+  rport : int;
+  (* send state *)
+  iss : Tcp_seq.t;
+  mutable snd_una : Tcp_seq.t;
+  mutable snd_nxt : Tcp_seq.t;
+  mutable snd_max : Tcp_seq.t;  (* highest sequence ever sent *)
+  mutable snd_wnd : int;
+  mutable snd_wl1 : Tcp_seq.t;
+  mutable snd_wl2 : Tcp_seq.t;
+  mutable snd_wscale : int;
+  sendq : Tcp_sendq.t;
+  mutable fin_pending : bool;
+  mutable fin_sent : bool;
+  (* receive state *)
+  mutable irs : Tcp_seq.t;
+  mutable rcv_nxt : Tcp_seq.t;
+  mutable rcv_adv : Tcp_seq.t;  (* highest window edge advertised *)
+  mutable rcv_wscale : int;
+  mutable rcvq : Mbuf.t list;  (* in-order data for the application *)
+  mutable rcvq_len : int;
+  reasm : Tcp_reasm.t;
+  (* MSS *)
+  mutable mss_val : int;
+  (* timers *)
+  mutable rexmt_timer : Sim.handle option;
+  mutable delack_timer : Sim.handle option;
+  mutable persist_timer : Sim.handle option;
+  mutable time_wait_timer : Sim.handle option;
+  (* RTT estimation (Jacobson/Karn) *)
+  mutable srtt : Simtime.t;  (* 0 = no sample yet *)
+  mutable rttvar : Simtime.t;
+  mutable rto : Simtime.t;
+  mutable rtt_timing : (Tcp_seq.t * Simtime.t) option;
+  (* ack policy *)
+  mutable ack_pending : bool;
+  mutable need_ack_now : bool;
+  mutable dupacks : int;
+  mutable recover : Tcp_seq.t;  (* fast-recovery high-water mark *)
+  mutable rexmt_shift : int;  (* consecutive RTO expirations *)
+  (* Application working-set hints (bytes the app cycles through), used by
+     the cache model for host checksum passes. *)
+  mutable ws_hint_tx : int;
+  mutable ws_hint_rx : int;
+  (* pump guard *)
+  mutable pumping : bool;
+  (* callbacks *)
+  mutable on_readable : unit -> unit;
+  mutable on_sendable : unit -> unit;
+  mutable on_established : unit -> unit;
+  mutable on_closed : unit -> unit;
+  mutable stats : pcb_stats;
+}
+
+and t = {
+  ip : Ipv4.t;
+  hst : Host.t;
+  cfg : config;
+  mutable conns : ((int * Inaddr.t * int) * pcb) list;
+      (* (lport, raddr, rport) -> pcb *)
+  mutable listeners : (int * (pcb -> unit)) list;
+  mutable next_port : int;
+  mutable next_iss : int;
+}
+
+let config t = t.cfg
+let host t = t.hst
+
+let state pcb = pcb.st
+let mss pcb = pcb.mss_val
+let local_port pcb = pcb.lport
+let remote pcb = (pcb.raddr, pcb.rport)
+let snd_queued pcb = Tcp_sendq.length pcb.sendq
+let snd_space pcb = Tcp_sendq.space pcb.sendq
+let pcb_stats pcb = pcb.stats
+let pcb_config pcb = pcb.tcp.cfg
+let pcb_host pcb = pcb.tcp.hst
+let remote_iface pcb =
+  Option.map fst (Ipv4.route_for pcb.tcp.ip ~dst:pcb.raddr)
+let srtt pcb = pcb.srtt
+let snd_wnd pcb = pcb.snd_wnd
+
+let set_callbacks pcb ?on_readable ?on_sendable ?on_closed () =
+  (match on_readable with Some f -> pcb.on_readable <- f | None -> ());
+  (match on_sendable with Some f -> pcb.on_sendable <- f | None -> ());
+  match on_closed with Some f -> pcb.on_closed <- f | None -> ()
+
+let pp_pcb fmt pcb =
+  Format.fprintf fmt "tcp[%a:%d->%a:%d %s una=%d nxt=%d q=%d wnd=%d]"
+    Inaddr.pp pcb.local_addr pcb.lport Inaddr.pp pcb.raddr pcb.rport
+    (state_to_string pcb.st) pcb.snd_una pcb.snd_nxt
+    (Tcp_sendq.length pcb.sendq)
+    pcb.snd_wnd
+
+(* ---------- timers ---------- *)
+
+let stop_timer = function Some h -> Sim.cancel h | None -> ()
+
+let cancel_rexmt pcb =
+  stop_timer pcb.rexmt_timer;
+  pcb.rexmt_timer <- None
+
+let cancel_delack pcb =
+  stop_timer pcb.delack_timer;
+  pcb.delack_timer <- None
+
+let cancel_persist pcb =
+  stop_timer pcb.persist_timer;
+  pcb.persist_timer <- None
+
+(* ---------- window / mss helpers ---------- *)
+
+let rcv_space pcb =
+  max 0
+    (pcb.tcp.cfg.rcv_buf - pcb.rcvq_len - Tcp_reasm.bytes_held pcb.reasm)
+
+let wanted_wscale cfg =
+  if not cfg.window_scaling then 0
+  else
+    let rec go s = if cfg.rcv_buf lsr s <= 0xffff then s else go (s + 1) in
+    go 0
+
+let default_mss tcp ~dst =
+  let iface_mtu =
+    match Ipv4.route_for tcp.ip ~dst with
+    | Some (ifc, _) -> ifc.Netif.mtu
+    | None -> 1500
+  in
+  let mss = iface_mtu - Ipv4_header.size - Tcp_header.base_size in
+  match tcp.cfg.mss_cap with Some c -> min c mss | None -> mss
+
+(* ---------- segment transmission ---------- *)
+
+(* Fold the transport checksum strategy: either attach an offload record
+   (seed in the field) or compute the ones-complement sum on the host.
+   Returns the checksum field value, the offload record for the pkthdr,
+   and the extra CPU cost of the host computation. *)
+let checksum_plan pcb ~iface ~hdr_len ~(payload : Mbuf.t option) ~seg_len =
+  let pseudo =
+    Inet_csum.pseudo_header ~src:pcb.local_addr ~dst:pcb.raddr
+      ~proto:Ipv4_header.proto_tcp ~len:seg_len
+  in
+  let payload_has_wcab =
+    match payload with
+    | None -> false
+    | Some p -> List.mem Mbuf.K_wcab (Mbuf.chain_kinds p)
+  in
+  let offload =
+    pcb.tcp.cfg.single_copy && iface.Netif.single_copy
+    && (payload <> None || payload_has_wcab)
+  in
+  if offload then begin
+    pcb.stats <-
+      { pcb.stats with csum_offloaded_tx = pcb.stats.csum_offloaded_tx + 1 };
+    let record =
+      Csum_offload.make_tx ~csum_offset:Tcp_header.csum_field_offset
+        ~skip_bytes:0 ~seed:pseudo
+    in
+    `Offload (Inet_csum.fold pseudo, record)
+  end
+  else if payload_has_wcab then
+    (* Outboard data routed at a device that cannot checksum or read it:
+       the stack cannot transmit this segment (§6 note). *)
+    `Unsendable
+  else begin
+    pcb.stats <- { pcb.stats with csum_host_tx = pcb.stats.csum_host_tx + 1 };
+    let payload_sum, payload_len =
+      match payload with
+      | None -> (Inet_csum.zero, 0)
+      | Some p ->
+          let n = Mbuf.chain_len p in
+          (Mbuf.checksum p ~off:0 ~len:n, n)
+    in
+    let cost =
+      (* The checksum pass usually runs right after the socket layer's
+         copy of the same bytes, so the segment is cache-warm when the
+         recently-copied working set (the app buffer + kernel copy) fits;
+         streaming very large writes stays cold. *)
+      Memcost.checksum_read pcb.tcp.hst.Host.profile
+        ~locality:(Memcost.Working_set pcb.ws_hint_tx)
+        payload_len
+    in
+    `Host (pseudo, payload_sum, cost, hdr_len)
+  end
+
+let window_field pcb =
+  let w = rcv_space pcb lsr pcb.rcv_wscale in
+  min w 0xffff
+
+(* Build and emit one segment.  [payload] ownership transfers here. *)
+let emit pcb ~seq ~flags ~options ~(payload : Mbuf.t option) =
+  match Ipv4.route_for pcb.tcp.ip ~dst:pcb.raddr with
+  | None ->
+      (match payload with Some p -> Mbuf.free p | None -> ());
+      Error "no route"
+  | Some (iface, _next_hop) ->
+      let hdr =
+        Tcp_header.make ~flags ~window:(window_field pcb) ~options
+          ~src_port:pcb.lport ~dst_port:pcb.rport ~seq ~ack:pcb.rcv_nxt ()
+      in
+      let hdr_len = Tcp_header.size hdr in
+      let payload_len =
+        match payload with Some p -> Mbuf.chain_len p | None -> 0
+      in
+      let seg_len = hdr_len + payload_len in
+      (match checksum_plan pcb ~iface ~hdr_len ~payload ~seg_len with
+      | `Unsendable ->
+          (match payload with Some p -> Mbuf.free p | None -> ());
+          pcb.stats <-
+            {
+              pcb.stats with
+              dropped_wcab_legacy = pcb.stats.dropped_wcab_legacy + 1;
+            };
+          Error "outboard data on legacy path"
+      | `Offload (field, record) ->
+          let hbytes = Bytes.create hdr_len in
+          Tcp_header.encode hdr ~csum:field hbytes ~off:0;
+          let seg =
+            match payload with
+            | Some p ->
+                let head = Mbuf.prepend p hdr_len in
+                Mbuf.copy_from head ~off:0 ~len:hdr_len hbytes ~src_off:0;
+                head
+            | None -> Mbuf.of_bytes ~pkthdr:true hbytes
+          in
+          (match seg.Mbuf.pkthdr with
+          | Some ph -> ph.Mbuf.tx_csum <- Some record
+          | None -> assert false);
+          Ok (seg, payload_len, 0)
+      | `Host (pseudo, payload_sum, cost, _hdr_len) ->
+          let hbytes = Bytes.create hdr_len in
+          Tcp_header.encode hdr ~csum:0 hbytes ~off:0;
+          let hdr_sum = Inet_csum.of_bytes hbytes in
+          let total =
+            Inet_csum.add pseudo
+              (Inet_csum.concat ~first_len:hdr_len hdr_sum payload_sum)
+          in
+          let field = Inet_csum.finish total in
+          Tcp_header.encode hdr ~csum:field hbytes ~off:0;
+          let seg =
+            match payload with
+            | Some p ->
+                let head = Mbuf.prepend p hdr_len in
+                Mbuf.copy_from head ~off:0 ~len:hdr_len hbytes ~src_off:0;
+                head
+            | None -> Mbuf.of_bytes ~pkthdr:true hbytes
+          in
+          Ok (seg, payload_len, cost))
+      |> function
+      | Error _ as e -> e
+      | Ok (seg, payload_len, csum_cost) ->
+          pcb.stats <-
+            {
+              pcb.stats with
+              segs_sent = pcb.stats.segs_sent + 1;
+              bytes_sent = pcb.stats.bytes_sent + payload_len;
+            };
+          pcb.rcv_adv <- Tcp_seq.add pcb.rcv_nxt (rcv_space pcb);
+          pcb.ack_pending <- false;
+          pcb.need_ack_now <- false;
+          cancel_delack pcb;
+          let send () =
+            match
+              Ipv4.output pcb.tcp.ip ~proto:Ipv4_header.proto_tcp
+                ~src:pcb.local_addr ~dst:pcb.raddr seg
+            with
+            | Ok _ -> ()
+            | Error _ -> ()
+          in
+          if csum_cost > 0 then
+            (* The host checksum pass is charged to whoever is running
+               (process context on writes, interrupt on ack-driven sends). *)
+            Host.in_intr pcb.tcp.hst csum_cost send
+          else send ();
+          Ok ()
+
+(* ---------- connection teardown plumbing ---------- *)
+
+let remove_pcb pcb =
+  let tcp = pcb.tcp in
+  tcp.conns <-
+    List.filter (fun (_, p) -> p != pcb) tcp.conns;
+  cancel_rexmt pcb;
+  cancel_delack pcb;
+  cancel_persist pcb;
+  stop_timer pcb.time_wait_timer;
+  Tcp_sendq.clear pcb.sendq;
+  List.iter Mbuf.free pcb.rcvq;
+  pcb.rcvq <- [];
+  pcb.rcvq_len <- 0
+
+let to_closed pcb =
+  if pcb.st <> Closed then begin
+    pcb.st <- Closed;
+    remove_pcb pcb;
+    pcb.on_closed ()
+  end
+
+let enter_time_wait pcb =
+  pcb.st <- Time_wait;
+  cancel_rexmt pcb;
+  let h =
+    Sim.after pcb.tcp.hst.Host.sim (2 * pcb.tcp.cfg.msl) (fun () ->
+        to_closed pcb)
+  in
+  pcb.time_wait_timer <- Some h
+
+(* ---------- retransmission timer ---------- *)
+
+let update_rtt pcb sample =
+  if pcb.srtt = 0 then begin
+    pcb.srtt <- sample;
+    pcb.rttvar <- sample / 2
+  end
+  else begin
+    let err = sample - pcb.srtt in
+    pcb.srtt <- pcb.srtt + (err / 8);
+    pcb.rttvar <- pcb.rttvar + ((abs err - pcb.rttvar) / 4)
+  end;
+  let rto = pcb.srtt + (4 * pcb.rttvar) in
+  pcb.rto <- max pcb.tcp.cfg.rto_min (min pcb.tcp.cfg.rto_max rto)
+
+let rec arm_rexmt pcb =
+  cancel_rexmt pcb;
+  let h =
+    Sim.after pcb.tcp.hst.Host.sim pcb.rto (fun () ->
+        pcb.rexmt_timer <- None;
+        rto_fire pcb)
+  in
+  pcb.rexmt_timer <- Some h
+
+and rto_fire pcb =
+  match pcb.st with
+  | Established | Syn_received | Fin_wait_1 | Closing | Close_wait | Last_ack
+  | Syn_sent ->
+      pcb.rexmt_shift <- pcb.rexmt_shift + 1;
+      if pcb.rexmt_shift > pcb.tcp.cfg.max_rexmt then begin
+        (* The peer is unreachable: give up (BSD drops with ETIMEDOUT),
+           telling the peer with a best-effort RST so its readers see the
+           reset rather than hanging. *)
+        send_control pcb ~flags:[ Tcp_header.RST; Tcp_header.ACK ] ();
+        to_closed pcb
+      end
+      else begin
+      pcb.stats <-
+        {
+          pcb.stats with
+          rto_fires = pcb.stats.rto_fires + 1;
+          retransmits = pcb.stats.retransmits + 1;
+        };
+      (* Back off, rewind, and resend (go-back-N; Karn: discard timing). *)
+      pcb.rto <- min pcb.tcp.cfg.rto_max (2 * pcb.rto);
+      pcb.rtt_timing <- None;
+      if pcb.st = Syn_sent then begin
+        pcb.snd_nxt <- pcb.iss;
+        send_control pcb ~flags:[ Tcp_header.SYN ] ()
+      end
+      else begin
+        pcb.snd_nxt <- pcb.snd_una;
+        pcb.fin_sent <- false;
+        pump pcb ~intr:true
+      end
+      end
+  | Closed | Listen | Fin_wait_2 | Time_wait -> ()
+
+(* ---------- output pump (tcp_output) ---------- *)
+
+and syn_options pcb =
+  let opts = [ Tcp_header.Mss pcb.mss_val ] in
+  if pcb.tcp.cfg.window_scaling then
+    opts @ [ Tcp_header.Window_scale (wanted_wscale pcb.tcp.cfg) ]
+  else opts
+
+and send_control pcb ~flags () =
+  let is_syn = List.mem Tcp_header.SYN flags in
+  let is_fin = List.mem Tcp_header.FIN flags in
+  let seq = pcb.snd_nxt in
+  let options = if is_syn then syn_options pcb else [] in
+  let flags =
+    if is_syn || pcb.st = Listen || pcb.st = Syn_sent then flags
+    else if List.mem Tcp_header.ACK flags then flags
+    else Tcp_header.ACK :: flags
+  in
+  (match emit pcb ~seq ~flags ~options ~payload:None with
+  | Ok () ->
+      if is_syn || is_fin then begin
+        pcb.snd_nxt <- Tcp_seq.add pcb.snd_nxt 1;
+        pcb.snd_max <- Tcp_seq.max pcb.snd_max pcb.snd_nxt;
+        if pcb.rexmt_timer = None then arm_rexmt pcb
+      end
+  | Error _ -> ())
+
+and send_ack_now pcb = send_control pcb ~flags:[ Tcp_header.ACK ] ()
+
+(* Decide the next data transmission, if any.  Returns the plan without
+   mutating state. *)
+and decide pcb =
+  let sendable =
+    match pcb.st with
+    | Established | Close_wait | Fin_wait_1 | Closing -> true
+    | Closed | Listen | Syn_sent | Syn_received | Fin_wait_2 | Last_ack
+    | Time_wait -> false
+  in
+  if not sendable then None
+  else begin
+    let off = Tcp_seq.diff pcb.snd_nxt pcb.snd_una in
+    let qlen = Tcp_sendq.length pcb.sendq in
+    let available = qlen - off in
+    let usable_window = pcb.snd_wnd - off in
+    let len = min (min available usable_window) pcb.mss_val in
+    if len > 0 then begin
+      (* Single-copy path: do not span a descriptor-chain boundary, and
+         bypass Nagle for descriptor data. *)
+      let kind, extent = Tcp_sendq.homogeneous_extent pcb.sendq ~off in
+      let descriptor =
+        (not pcb.tcp.cfg.coalesce_descriptors)
+        &&
+        match kind with
+        | Mbuf.K_uio | Mbuf.K_wcab -> true
+        | Mbuf.K_internal | Mbuf.K_cluster -> false
+      in
+      (* Never mix descriptor and regular storage in one packet: the
+         scatter base would lose word alignment at the driver. *)
+      let len =
+        if pcb.tcp.cfg.coalesce_descriptors then len else min len extent
+      in
+      let inflight = off > 0 in
+      let send_now =
+        len >= pcb.mss_val
+        || descriptor
+        || (not pcb.tcp.cfg.nagle)
+        || (not inflight)
+        || (pcb.fin_pending && available = len)
+      in
+      if send_now && len > 0 then Some (`Data (off, len)) else None
+    end
+    else if
+      pcb.fin_pending && (not pcb.fin_sent) && available = 0
+      && Tcp_seq.diff pcb.snd_nxt pcb.snd_una <= usable_window
+    then Some `Fin
+    else None
+  end
+
+and transmit_plan pcb plan =
+  match plan with
+  | `Data (off, len) ->
+      let payload = Tcp_sendq.range pcb.sendq ~off ~len in
+      let seq = pcb.snd_nxt in
+      let retransmit = Tcp_seq.lt seq pcb.snd_max in
+      if retransmit then begin
+        pcb.stats <-
+          { pcb.stats with retransmits = pcb.stats.retransmits + 1 };
+        if List.mem Mbuf.K_wcab (Mbuf.chain_kinds payload) then
+          pcb.stats <-
+            {
+              pcb.stats with
+              wcab_retransmit_hits = pcb.stats.wcab_retransmit_hits + 1;
+            }
+      end;
+      (* Arrange the M_UIO -> M_WCAB swap once the driver has the data
+         outboard (§4.2). *)
+      (match payload.Mbuf.pkthdr with
+      | Some ph when pcb.tcp.cfg.single_copy ->
+          ph.Mbuf.on_outboard <-
+            Some
+              (fun desc ->
+                let qoff = Tcp_seq.diff seq pcb.snd_una in
+                if qoff >= 0 && qoff + len <= Tcp_sendq.length pcb.sendq then begin
+                  let already_wcab =
+                    Tcp_sendq.kinds_at pcb.sendq ~off:qoff ~len
+                    = [ Mbuf.K_wcab ]
+                  in
+                  if not already_wcab then begin
+                    let wm = Mbuf.make_wcab ~desc ~len ~hdr:None in
+                    Tcp_sendq.replace pcb.sendq ~off:qoff ~len wm;
+                    pcb.stats <-
+                      {
+                        pcb.stats with
+                        wcab_converted = pcb.stats.wcab_converted + 1;
+                      }
+                  end
+                  else desc.Mbuf.wcab_free ()
+                end
+                else desc.Mbuf.wcab_free ())
+      | Some _ | None -> ());
+      let fin_here =
+        pcb.fin_pending
+        && off + len = Tcp_sendq.length pcb.sendq
+        && not pcb.fin_sent
+      in
+      let flags =
+        Tcp_header.ACK
+        ::
+        (if fin_here then [ Tcp_header.FIN ]
+         else if off + len = Tcp_sendq.length pcb.sendq then [ Tcp_header.PSH ]
+         else [])
+      in
+      (match emit pcb ~seq ~flags ~options:[] ~payload:(Some payload) with
+      | Ok () ->
+          pcb.snd_nxt <- Tcp_seq.add pcb.snd_nxt len;
+          if fin_here then begin
+            pcb.fin_sent <- true;
+            pcb.snd_nxt <- Tcp_seq.add pcb.snd_nxt 1;
+            advance_state_on_fin_sent pcb
+          end;
+          if Tcp_seq.gt pcb.snd_nxt pcb.snd_max then begin
+            (* New data: start RTT timing if idle. *)
+            if pcb.rtt_timing = None then
+              pcb.rtt_timing <-
+                Some (pcb.snd_nxt, Sim.now pcb.tcp.hst.Host.sim)
+          end;
+          pcb.snd_max <- Tcp_seq.max pcb.snd_max pcb.snd_nxt;
+          if pcb.rexmt_timer = None then arm_rexmt pcb
+      | Error "outboard data on legacy path" ->
+          (* The route moved to a device that cannot read outboard data
+             (§4.1's "stack switch" hazard): copy the range back from
+             network memory into regular mbufs and let the pump retry.
+             A real driver would SDMA it back; the CPU-copy cost charged
+             by the pump's next pass is a safe overestimate. *)
+          rescue_outboard pcb ~off ~len
+      | Error _ -> ())
+  | `Fin ->
+      pcb.fin_sent <- true;
+      send_control pcb ~flags:[ Tcp_header.FIN; Tcp_header.ACK ] ();
+      advance_state_on_fin_sent pcb
+
+and rescue_outboard pcb ~off ~len =
+  let chain = Tcp_sendq.range pcb.sendq ~off ~len in
+  let buf = Bytes.create len in
+  Mbuf.copy_into_raw chain ~off:0 ~len buf ~dst_off:0;
+  Mbuf.free chain;
+  Tcp_sendq.replace pcb.sendq ~off ~len (Mbuf.of_bytes buf)
+
+and advance_state_on_fin_sent pcb =
+  match pcb.st with
+  | Established -> pcb.st <- Fin_wait_1
+  | Close_wait -> pcb.st <- Last_ack
+  | _ -> ()
+
+(* The single transmission pump: serializes per-packet CPU charging and
+   segment emission.  [intr] selects interrupt-context charging (ACK- and
+   timer-driven sends) versus process context ([proc]). *)
+and pump ?(proc = "kernel") ?(intr = false) pcb =
+  if not pcb.pumping then begin
+    pcb.pumping <- true;
+    let charge cost k =
+      if intr then Host.in_intr pcb.tcp.hst cost k
+      else Host.in_proc pcb.tcp.hst ~proc cost k
+    in
+    let rec loop () =
+      match decide pcb with
+      | None ->
+          pcb.pumping <- false;
+          (* A standalone window-update / delayed ACK might still be
+             owed. *)
+          if pcb.need_ack_now then send_ack_now pcb
+      | Some _ ->
+          charge (Memcost.per_packet pcb.tcp.hst.Host.profile) (fun () ->
+              (match decide pcb with
+              | Some plan -> transmit_plan pcb plan
+              | None -> ());
+              loop ())
+    in
+    loop ()
+  end
+
+(* ---------- persist (zero-window probe) ---------- *)
+
+(* A real window probe: one byte of data beyond the advertised window.
+   The peer must ACK it (with its current window), so a lost window
+   update cannot deadlock the connection.  Rearms with backoff while the
+   window stays closed. *)
+let rec arm_persist pcb =
+  if pcb.persist_timer = None then begin
+    let delay = max pcb.rto (Simtime.ms 10.) in
+    let h =
+      Sim.after pcb.tcp.hst.Host.sim delay (fun () ->
+          pcb.persist_timer <- None;
+          let off = Tcp_seq.diff pcb.snd_nxt pcb.snd_una in
+          if pcb.snd_wnd = 0 && Tcp_sendq.length pcb.sendq > off then begin
+            let payload = Tcp_sendq.range pcb.sendq ~off ~len:1 in
+            (match
+               emit pcb ~seq:pcb.snd_nxt ~flags:[ Tcp_header.ACK ]
+                 ~options:[] ~payload:(Some payload)
+             with
+            | Ok () ->
+                pcb.snd_nxt <- Tcp_seq.add pcb.snd_nxt 1;
+                pcb.snd_max <- Tcp_seq.max pcb.snd_max pcb.snd_nxt
+            | Error _ -> ());
+            arm_persist pcb
+          end)
+    in
+    pcb.persist_timer <- Some h
+  end
+
+(* ---------- receive-side checksum verification ---------- *)
+
+let verify_checksum pcb seg =
+  let seg_len = Mbuf.pkt_len seg in
+  let pseudo =
+    Inet_csum.pseudo_header ~src:pcb.raddr ~dst:pcb.local_addr
+      ~proto:Ipv4_header.proto_tcp ~len:seg_len
+  in
+  match seg.Mbuf.pkthdr with
+  | Some { Mbuf.rx_csum = Some rx; _ } ->
+      (* Hardware path: add back the transport bytes the engine skipped
+         (engine start is relative to this segment after lower layers
+         adjusted it). *)
+      let skipped_len = max 0 rx.Csum_offload.rx_start in
+      let skipped =
+        if skipped_len = 0 then Inet_csum.zero
+        else Mbuf.checksum seg ~off:0 ~len:(min skipped_len seg_len)
+      in
+      let ok = Csum_offload.rx_verify rx ~skipped ~pseudo in
+      pcb.stats <-
+        (if ok then
+           {
+             pcb.stats with
+             csum_hw_verified_rx = pcb.stats.csum_hw_verified_rx + 1;
+           }
+         else
+           {
+             pcb.stats with
+             csum_failures_rx = pcb.stats.csum_failures_rx + 1;
+           });
+      (ok, 0)
+  | Some _ | None ->
+      let sum = Mbuf.checksum seg ~off:0 ~len:seg_len in
+      let ok = Inet_csum.is_valid (Inet_csum.add pseudo sum) in
+      let cost =
+        Memcost.checksum_read pcb.tcp.hst.Host.profile
+          ~locality:(Memcost.Working_set pcb.ws_hint_rx)
+          seg_len
+      in
+      pcb.stats <-
+        (if ok then
+           {
+             pcb.stats with
+             csum_host_verified_rx = pcb.stats.csum_host_verified_rx + 1;
+           }
+         else
+           {
+             pcb.stats with
+             csum_failures_rx = pcb.stats.csum_failures_rx + 1;
+           });
+      (ok, cost)
+
+(* ---------- ack policy on data receipt ---------- *)
+
+let schedule_ack pcb =
+  if pcb.need_ack_now then begin
+    cancel_delack pcb;
+    pcb.ack_pending <- false;
+    send_ack_now pcb
+  end
+  else if not pcb.tcp.cfg.delayed_ack then send_ack_now pcb
+  else if pcb.ack_pending then begin
+    (* Second data segment: ACK every other (BSD delack policy). *)
+    cancel_delack pcb;
+    pcb.ack_pending <- false;
+    send_ack_now pcb
+  end
+  else begin
+    pcb.ack_pending <- true;
+    let h =
+      Sim.after pcb.tcp.hst.Host.sim pcb.tcp.cfg.delack_delay (fun () ->
+          pcb.delack_timer <- None;
+          if pcb.ack_pending then begin
+            pcb.ack_pending <- false;
+            send_ack_now pcb
+          end)
+    in
+    pcb.delack_timer <- Some h
+  end
+
+(* ---------- input processing ---------- *)
+
+let deliver_data pcb chain len =
+  Tracelog.debugf pcb.tcp.hst.Host.sim "tcp" "deliver len=%d rcvq=%d" len
+    pcb.rcvq_len;
+  pcb.rcvq <- pcb.rcvq @ [ chain ];
+  pcb.rcvq_len <- pcb.rcvq_len + len;
+  pcb.stats <- { pcb.stats with bytes_rcvd = pcb.stats.bytes_rcvd + len }
+
+let process_ack pcb (hdr : Tcp_header.t) =
+  let ack = hdr.Tcp_header.ack in
+  if Tcp_seq.gt ack pcb.snd_max then (* ack of unsent data *) ()
+  else if Tcp_seq.le ack pcb.snd_una then begin
+    (* Duplicate ACK. *)
+    if
+      Tcp_seq.diff ack pcb.snd_una = 0
+      && Tcp_sendq.length pcb.sendq > 0
+      && pcb.snd_wnd > 0
+    then begin
+      pcb.dupacks <- pcb.dupacks + 1;
+      pcb.stats <- { pcb.stats with dup_acks = pcb.stats.dup_acks + 1 };
+      (* Fast retransmit: resend exactly the missing segment, once per
+         window of loss (the [recover] guard prevents a dup-ACK storm from
+         triggering a retransmission cascade). *)
+      if pcb.dupacks = 3 && Tcp_seq.ge pcb.snd_una pcb.recover then begin
+        pcb.stats <-
+          {
+            pcb.stats with
+            fast_retransmits = pcb.stats.fast_retransmits + 1;
+          };
+        pcb.recover <- pcb.snd_max;
+        pcb.rtt_timing <- None;
+        let old_nxt = pcb.snd_nxt in
+        pcb.snd_nxt <- pcb.snd_una;
+        (match decide pcb with
+        | Some plan -> transmit_plan pcb plan
+        | None -> ());
+        pcb.snd_nxt <- Tcp_seq.max pcb.snd_nxt old_nxt
+      end
+    end
+  end
+  else begin
+    let acked = Tcp_seq.diff ack pcb.snd_una in
+    pcb.dupacks <- 0;
+    pcb.rexmt_shift <- 0;
+    pcb.stats <- { pcb.stats with acks_rcvd = pcb.stats.acks_rcvd + 1 };
+    (* RTT sample (Karn: only if the timed segment is covered and was not
+       retransmitted — timing is dropped on retransmit). *)
+    (match pcb.rtt_timing with
+    | Some (seq, t0) when Tcp_seq.ge ack seq ->
+        update_rtt pcb (Simtime.sub (Sim.now pcb.tcp.hst.Host.sim) t0);
+        pcb.rtt_timing <- None
+    | Some _ | None -> ());
+    (* Release acknowledged data; the SYN/FIN occupy sequence space but not
+       queue space. *)
+    let data_acked = min acked (Tcp_sendq.length pcb.sendq) in
+    if data_acked > 0 then Tcp_sendq.drop pcb.sendq data_acked;
+    pcb.snd_una <- ack;
+    if Tcp_seq.lt pcb.snd_nxt pcb.snd_una then pcb.snd_nxt <- pcb.snd_una;
+    if Tcp_seq.diff pcb.snd_max pcb.snd_una = 0 then cancel_rexmt pcb
+    else arm_rexmt pcb;
+    pcb.on_sendable ()
+  end
+
+let update_send_window pcb (hdr : Tcp_header.t) seg_seq =
+  let new_wnd = hdr.Tcp_header.window lsl pcb.snd_wscale in
+  if
+    Tcp_seq.gt seg_seq pcb.snd_wl1
+    || (Tcp_seq.diff seg_seq pcb.snd_wl1 = 0
+        && Tcp_seq.ge hdr.Tcp_header.ack pcb.snd_wl2)
+  then begin
+    let opened = new_wnd > pcb.snd_wnd in
+    pcb.snd_wnd <- new_wnd;
+    pcb.snd_wl1 <- seg_seq;
+    pcb.snd_wl2 <- hdr.Tcp_header.ack;
+    if pcb.snd_wnd = 0 then arm_persist pcb else cancel_persist pcb;
+    if opened then pump pcb ~intr:true
+  end
+
+let apply_syn_options pcb (hdr : Tcp_header.t) =
+  List.iter
+    (fun o ->
+      match o with
+      | Tcp_header.Mss m -> pcb.mss_val <- min pcb.mss_val m
+      | Tcp_header.Window_scale s ->
+          if pcb.tcp.cfg.window_scaling then begin
+            pcb.snd_wscale <- s;
+            pcb.rcv_wscale <- wanted_wscale pcb.tcp.cfg
+          end)
+    hdr.Tcp_header.options
+
+(* Handle an in-window data payload (chain trimmed to payload only). *)
+let rec process_data pcb ~seq chain =
+  let len = Mbuf.chain_len chain in
+  if len = 0 then Mbuf.free chain
+  else begin
+    let d = Tcp_seq.diff seq pcb.rcv_nxt in
+    if d = 0 then begin
+      deliver_data pcb chain len;
+      pcb.rcv_nxt <- Tcp_seq.add pcb.rcv_nxt len;
+      (* Pull anything now-contiguous out of reassembly. *)
+      List.iter
+        (fun (c, l) ->
+          deliver_data pcb c l;
+          pcb.rcv_nxt <- Tcp_seq.add pcb.rcv_nxt l)
+        (Tcp_reasm.take pcb.reasm ~rcv_nxt:pcb.rcv_nxt);
+      pcb.on_readable ();
+      schedule_ack pcb
+    end
+    else if d < 0 then begin
+      (* Partially or fully duplicate segment. *)
+      if len + d <= 0 then begin
+        Mbuf.free chain;
+        pcb.need_ack_now <- true;
+        schedule_ack pcb
+      end
+      else begin
+        Mbuf.adj_head chain (-d);
+        process_data pcb ~seq:pcb.rcv_nxt chain
+      end
+    end
+    else begin
+      (* Out of order: stash and demand an immediate ACK (dup ACK). *)
+      Tcp_reasm.insert pcb.reasm ~rcv_nxt:pcb.rcv_nxt ~seq chain;
+      pcb.need_ack_now <- true;
+      schedule_ack pcb
+    end
+  end
+
+(* Full per-segment state machine, run inside a charged interrupt work
+   item. *)
+let segment_arrived pcb (hdr : Tcp_header.t) chain =
+  Tracelog.debugf pcb.tcp.hst.Host.sim "tcp" "rcv %a len=%d st=%s rcv_nxt=%d"
+    Tcp_header.pp hdr (Mbuf.chain_len chain) (state_to_string pcb.st)
+    pcb.rcv_nxt;
+  pcb.stats <- { pcb.stats with segs_rcvd = pcb.stats.segs_rcvd + 1 };
+  let seq = hdr.Tcp_header.seq in
+  let has f = Tcp_header.has f hdr in
+  if has Tcp_header.RST then begin
+    Mbuf.free chain;
+    match pcb.st with
+    | Syn_sent | Syn_received | Established | Fin_wait_1 | Fin_wait_2
+    | Close_wait | Closing | Last_ack ->
+        to_closed pcb
+    | Closed | Listen | Time_wait -> ()
+  end
+  else
+    match pcb.st with
+    | Syn_sent ->
+        if has Tcp_header.SYN && has Tcp_header.ACK then begin
+          pcb.irs <- seq;
+          pcb.rcv_nxt <- Tcp_seq.add seq 1;
+          apply_syn_options pcb hdr;
+          pcb.snd_una <- hdr.Tcp_header.ack;
+          pcb.snd_wnd <- hdr.Tcp_header.window lsl pcb.snd_wscale;
+          pcb.snd_wl1 <- seq;
+          pcb.snd_wl2 <- hdr.Tcp_header.ack;
+          pcb.st <- Established;
+          cancel_rexmt pcb;
+          Mbuf.free chain;
+          send_ack_now pcb;
+          pcb.on_established ();
+          pump pcb ~intr:true
+        end
+        else Mbuf.free chain
+    | Syn_received ->
+        if has Tcp_header.ACK && Tcp_seq.gt hdr.Tcp_header.ack pcb.snd_una
+        then begin
+          pcb.snd_una <- hdr.Tcp_header.ack;
+          pcb.snd_wnd <- hdr.Tcp_header.window lsl pcb.snd_wscale;
+          pcb.snd_wl1 <- seq;
+          pcb.snd_wl2 <- hdr.Tcp_header.ack;
+          pcb.st <- Established;
+          cancel_rexmt pcb;
+          (* Notify the acceptor. *)
+          pcb.on_established ();
+          (* The handshake ACK may carry data. *)
+          process_data pcb ~seq chain
+        end
+        else Mbuf.free chain
+    | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
+    | Last_ack | Time_wait ->
+        if has Tcp_header.ACK then begin
+          process_ack pcb hdr;
+          update_send_window pcb hdr seq
+        end;
+        (* FIN processing: it occupies one sequence number after the
+           data. *)
+        let data_len = Mbuf.chain_len chain in
+        let fin = has Tcp_header.FIN in
+        (match pcb.st with
+        | Close_wait | Closing | Last_ack | Time_wait ->
+            (* No new data expected. *)
+            Mbuf.free chain;
+            if fin then begin
+              pcb.need_ack_now <- true;
+              schedule_ack pcb
+            end
+        | _ ->
+            process_data pcb ~seq chain;
+            if fin && Tcp_seq.diff (Tcp_seq.add seq data_len) pcb.rcv_nxt = 0
+            then begin
+              pcb.rcv_nxt <- Tcp_seq.add pcb.rcv_nxt 1;
+              pcb.need_ack_now <- true;
+              schedule_ack pcb;
+              (match pcb.st with
+              | Established -> pcb.st <- Close_wait
+              | Fin_wait_1 ->
+                  (* Simultaneous close or our FIN acked? *)
+                  if Tcp_seq.diff pcb.snd_una pcb.snd_max = 0 then
+                    enter_time_wait pcb
+                  else pcb.st <- Closing
+              | Fin_wait_2 -> enter_time_wait pcb
+              | _ -> ());
+              pcb.on_readable () (* EOF visible to reader *)
+            end);
+        (* Our FIN acknowledged? *)
+        (match pcb.st with
+        | Fin_wait_1 when pcb.fin_sent
+                          && Tcp_seq.diff pcb.snd_una pcb.snd_max = 0 ->
+            pcb.st <- Fin_wait_2
+        | Closing when Tcp_seq.diff pcb.snd_una pcb.snd_max = 0 ->
+            enter_time_wait pcb
+        | Last_ack when Tcp_seq.diff pcb.snd_una pcb.snd_max = 0 ->
+            to_closed pcb
+        | _ -> ());
+        (* Keep the pipe full. *)
+        pump pcb ~intr:true
+    | Closed | Listen -> Mbuf.free chain
+
+(* ---------- demux and pcb creation ---------- *)
+
+let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
+  let iss = tcp.next_iss in
+  tcp.next_iss <- Tcp_seq.norm (tcp.next_iss + 64000);
+  let pcb =
+    {
+      tcp;
+      st = Closed;
+      local_addr;
+      lport;
+      raddr;
+      rport;
+      iss;
+      snd_una = iss;
+      snd_nxt = iss;
+      snd_max = iss;
+      snd_wnd = 0;
+      snd_wl1 = 0;
+      snd_wl2 = 0;
+      snd_wscale = 0;
+      sendq = Tcp_sendq.create ~hiwat:tcp.cfg.snd_buf;
+      fin_pending = false;
+      fin_sent = false;
+      irs = 0;
+      rcv_nxt = 0;
+      rcv_adv = 0;
+      rcv_wscale = 0;
+      rcvq = [];
+      rcvq_len = 0;
+      reasm = Tcp_reasm.create ();
+      mss_val = default_mss tcp ~dst:raddr;
+      rexmt_timer = None;
+      delack_timer = None;
+      persist_timer = None;
+      time_wait_timer = None;
+      srtt = 0;
+      rttvar = 0;
+      rto = tcp.cfg.rto_init;
+      rtt_timing = None;
+      ack_pending = false;
+      need_ack_now = false;
+      dupacks = 0;
+      recover = iss;
+      rexmt_shift = 0;
+      ws_hint_tx = tcp.cfg.snd_buf;
+      ws_hint_rx = tcp.cfg.rcv_buf;
+      pumping = false;
+      on_readable = (fun () -> ());
+      on_sendable = (fun () -> ());
+      on_established = (fun () -> ());
+      on_closed = (fun () -> ());
+      stats = zero_stats;
+    }
+  in
+  tcp.conns <- ((lport, raddr, rport), pcb) :: tcp.conns;
+  pcb
+
+let lookup tcp ~lport ~raddr ~rport =
+  List.assoc_opt (lport, raddr, rport) tcp.conns
+
+let input tcp ~src ~dst seg =
+  let seg = Mbuf.pullup seg Tcp_header.base_size in
+  let seg_len = Mbuf.pkt_len seg in
+  let hbytes = Bytes.create (min seg_len 64) in
+  Mbuf.copy_into seg ~off:0 ~len:(Bytes.length hbytes) hbytes ~dst_off:0;
+  match Tcp_header.decode hbytes ~off:0 ~len:(Bytes.length hbytes) with
+  | Error _ -> Mbuf.free seg
+  | Ok (hdr, _csum_field) -> (
+      let hdr_size = Tcp_header.size hdr in
+      let payload_len = seg_len - hdr_size in
+      match lookup tcp ~lport:hdr.Tcp_header.dst_port ~raddr:src
+              ~rport:hdr.Tcp_header.src_port
+      with
+      | Some pcb ->
+          (* Charge the receive-side processing before acting. *)
+          let ok, csum_cost = verify_checksum pcb seg in
+          if not ok then Mbuf.free seg
+          else begin
+            let base_cost =
+              if payload_len > 0 then Memcost.per_packet tcp.hst.Host.profile
+              else Memcost.ack tcp.hst.Host.profile
+            in
+            Host.in_intr tcp.hst (base_cost + csum_cost) (fun () ->
+                (* Strip the TCP header, keep descriptor metadata. *)
+                Mbuf.adj_head seg hdr_size;
+                segment_arrived pcb hdr seg)
+          end
+      | None -> (
+          (* Listener? *)
+          match
+            List.assoc_opt hdr.Tcp_header.dst_port tcp.listeners
+          with
+          | Some on_accept when Tcp_header.has Tcp_header.SYN hdr ->
+              let pcb =
+                make_pcb tcp ~local_addr:dst ~lport:hdr.Tcp_header.dst_port
+                  ~raddr:src ~rport:hdr.Tcp_header.src_port
+              in
+              pcb.st <- Syn_received;
+              pcb.irs <- hdr.Tcp_header.seq;
+              pcb.rcv_nxt <- Tcp_seq.add hdr.Tcp_header.seq 1;
+              apply_syn_options pcb hdr;
+              pcb.snd_wnd <-
+                hdr.Tcp_header.window lsl pcb.snd_wscale;
+              pcb.on_established <- (fun () -> on_accept pcb);
+              Mbuf.free seg;
+              Host.in_intr tcp.hst (Memcost.ack tcp.hst.Host.profile)
+                (fun () ->
+                  send_control pcb
+                    ~flags:[ Tcp_header.SYN; Tcp_header.ACK ]
+                    ())
+          | Some _ | None ->
+              (* No socket: drop (a full RST generator is not needed for
+                 the experiments). *)
+              Mbuf.free seg))
+
+let create ~ip ~config =
+  let tcp =
+    {
+      ip;
+      hst = Ipv4.host ip;
+      cfg = config;
+      conns = [];
+      listeners = [];
+      next_port = 10000;
+      next_iss = 1000;
+    }
+  in
+  Ipv4.register_protocol ip ~proto:Ipv4_header.proto_tcp
+    (fun ~src ~dst seg -> input tcp ~src ~dst seg);
+  tcp
+
+let set_initial_sequence tcp iss = tcp.next_iss <- Tcp_seq.norm iss
+
+let listen tcp ~port ~on_accept =
+  if List.mem_assoc port tcp.listeners then
+    invalid_arg (Printf.sprintf "Tcp.listen: port %d in use" port);
+  tcp.listeners <- (port, on_accept) :: tcp.listeners
+
+let connect tcp ?src_port ~dst ~dst_port ?(on_established = fun () -> ()) ()
+    =
+  let lport =
+    match src_port with
+    | Some p -> p
+    | None ->
+        tcp.next_port <- tcp.next_port + 1;
+        tcp.next_port
+  in
+  let local_addr =
+    match Ipv4.route_for tcp.ip ~dst with
+    | Some (ifc, _) -> ifc.Netif.addr
+    | None -> Inaddr.any
+  in
+  let pcb = make_pcb tcp ~local_addr ~lport ~raddr:dst ~rport:dst_port in
+  pcb.st <- Syn_sent;
+  pcb.rcv_wscale <- wanted_wscale tcp.cfg;
+  pcb.on_established <- on_established;
+  send_control pcb ~flags:[ Tcp_header.SYN ] ();
+  pcb
+
+(* ---------- socket-layer interface ---------- *)
+
+let sosend_append pcb ~proc chain =
+  match pcb.st with
+  | Established | Close_wait ->
+      (* The app's buffer plus the kernel copy form the cache working set
+         for the checksum pass. *)
+      pcb.ws_hint_tx <- 2 * Mbuf.chain_len chain;
+      Tcp_sendq.append pcb.sendq chain;
+      pump pcb ~proc;
+      Ok ()
+  | st ->
+      Mbuf.free chain;
+      Error
+        (Printf.sprintf "send in state %s" (state_to_string st))
+
+let recv_available pcb = pcb.rcvq_len
+
+(* Send a window update if consuming data opened the advertised window
+   significantly (BSD policy: two segments or half the buffer). *)
+let maybe_window_update pcb =
+  let new_edge = Tcp_seq.add pcb.rcv_nxt (rcv_space pcb) in
+  let growth = Tcp_seq.diff new_edge pcb.rcv_adv in
+  if
+    growth >= 2 * pcb.mss_val
+    || growth >= pcb.tcp.cfg.rcv_buf / 2
+  then send_ack_now pcb
+
+let recv pcb ~max =
+  if max > 0 then pcb.ws_hint_rx <- 2 * max;
+  if max <= 0 || pcb.rcvq_len = 0 then None
+  else begin
+    let rec take acc got =
+      if got >= max then (acc, got)
+      else
+        match pcb.rcvq with
+        | [] -> (acc, got)
+        | c :: rest ->
+            let cl = Mbuf.chain_len c in
+            if cl <= max - got then begin
+              pcb.rcvq <- rest;
+              take (c :: acc) (got + cl)
+            end
+            else begin
+              let want = max - got in
+              let front, back = Mbuf.split c want in
+              pcb.rcvq <- back :: rest;
+              (front :: acc, got + want)
+            end
+    in
+    let chains, got = take [] 0 in
+    pcb.rcvq_len <- pcb.rcvq_len - got;
+    maybe_window_update pcb;
+    match List.rev chains with
+    | [] -> None
+    | head :: rest ->
+        let head =
+          if Mbuf.has_pkthdr head then head
+          else begin
+            head.Mbuf.pkthdr <-
+              Some
+                {
+                  Mbuf.pkt_len = Mbuf.chain_len head;
+                  rcvif = None;
+                  rx_csum = None;
+                  tx_csum = None;
+                  on_outboard = None;
+                };
+            head
+          end
+        in
+        List.iter (fun c -> Mbuf.append head c) rest;
+        Some head
+  end
+
+let close pcb =
+  match pcb.st with
+  | Established | Close_wait ->
+      pcb.fin_pending <- true;
+      pump pcb ~proc:"kernel"
+  | Syn_sent | Syn_received | Listen | Closed -> to_closed pcb
+  | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait -> ()
+
+let abort pcb =
+  (* Best effort RST. *)
+  (match pcb.st with
+  | Established | Syn_received | Fin_wait_1 | Fin_wait_2 | Close_wait
+  | Closing | Last_ack ->
+      send_control pcb ~flags:[ Tcp_header.RST; Tcp_header.ACK ] ()
+  | Closed | Listen | Syn_sent | Time_wait -> ());
+  to_closed pcb
+
+
+let pp_stats fmt (s : pcb_stats) =
+  Format.fprintf fmt
+    "segs %d/%d out/in; bytes %d/%d; acks %d (dup %d); retx %d (rto %d, \
+     fast %d); csum tx %d hw / %d host; csum rx %d hw / %d host / %d bad; \
+     wcab conv %d, rewrite hits %d"
+    s.segs_sent s.segs_rcvd s.bytes_sent s.bytes_rcvd s.acks_rcvd s.dup_acks
+    s.retransmits s.rto_fires s.fast_retransmits s.csum_offloaded_tx
+    s.csum_host_tx s.csum_hw_verified_rx s.csum_host_verified_rx
+    s.csum_failures_rx s.wcab_converted s.wcab_retransmit_hits

@@ -1,0 +1,177 @@
+(** TCP with the paper's single-copy modifications.
+
+    A mostly classical BSD-style TCP — three-way handshake, sliding window
+    with RFC 1323 window scaling, cumulative ACKs with delayed-ACK and
+    Nagle policies, RTO with Karn/Jacobson timing, go-back-N plus fast
+    retransmit — extended as §4 of the paper describes:
+
+    - the send buffer ({!Tcp_sendq}) holds mixed regular / M_UIO / M_WCAB
+      mbufs; packetization *searches* the queue instead of copying;
+    - on the single-copy path the checksum is not computed: an offload
+      record (pseudo-header seed + field offset) is attached to the packet
+      for the driver ({!Mbuf.pkthdr.tx_csum} via [uiowcab_hdr]);
+    - when the driver finishes the outboard copy it calls the packet's
+      [on_outboard] hook and the queued range is swapped to M_WCAB, so
+      retransmission rewrites only the header;
+    - received packets carrying hardware checksum state
+      ([pkthdr.rx_csum]) are verified by *adjusting* the engine sum with
+      the skipped transport-header bytes and the pseudo-header — the data
+      is never read;
+    - descriptor-mbuf payloads bypass Nagle and are never coalesced across
+      write boundaries (§7.1's measurement configuration).
+
+    Congestion control is deliberately absent: the paper's testbed is a
+    lossless HIPPI LAN and predates its relevance to this workload; loss
+    appears only through fault injection and is handled by RTO/dup-ACK
+    retransmission.
+
+    Cost accounting: each transmitted segment charges the per-packet
+    overhead (plus the host checksum read when not offloaded) to the
+    context that triggered it; each received segment charges its
+    processing cost in interrupt context. *)
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+val state_to_string : state -> string
+
+type config = {
+  mss_cap : int option;  (** upper bound on negotiated MSS *)
+  snd_buf : int;  (** send-buffer high-water mark (bytes) *)
+  rcv_buf : int;  (** receive buffer = advertised window (bytes) *)
+  window_scaling : bool;  (** RFC 1323 (the paper's stack supports it) *)
+  nagle : bool;  (** coalesce small writes on the regular path *)
+  delayed_ack : bool;
+  delack_delay : Simtime.t;
+  rto_init : Simtime.t;
+  rto_min : Simtime.t;
+  rto_max : Simtime.t;
+  msl : Simtime.t;  (** TIME_WAIT holds for 2*msl *)
+  single_copy : bool;  (** stack-wide mode: use the descriptor path *)
+  coalesce_descriptors : bool;
+      (** ablation knob: allow packets to span M_UIO write boundaries and
+          subject descriptor data to Nagle.  The paper's stack does NOT
+          coalesce (§7.1); default false. *)
+  max_rexmt : int;
+      (** consecutive RTO expirations before the connection is dropped
+          (BSD's TCP_MAXRXTSHIFT); default 12 *)
+}
+
+val default_config : config
+(** 512 KByte buffers (the paper's test window), scaling on, Nagle and
+    delayed ACK on, 2 ms delack, RTO 10 ms initial / 5 ms floor. *)
+
+type t
+(** Per-host TCP instance (demux tables, ISS state). *)
+
+type pcb
+(** One connection. *)
+
+val create : ip:Ipv4.t -> config:config -> t
+(** Registers protocol 6 with the IP instance. *)
+
+val set_initial_sequence : t -> int -> unit
+(** Override the next connection's initial sequence number — a testing
+    hook for exercising 32-bit sequence wraparound. *)
+
+val config : t -> config
+val host : t -> Host.t
+
+(** {1 Connection management} *)
+
+val listen : t -> port:int -> on_accept:(pcb -> unit) -> unit
+(** [on_accept] fires when a connection reaches Established. *)
+
+val connect :
+  t ->
+  ?src_port:int ->
+  dst:Inaddr.t ->
+  dst_port:int ->
+  ?on_established:(unit -> unit) ->
+  unit ->
+  pcb
+
+val close : pcb -> unit
+(** Orderly release: FIN after queued data drains. *)
+
+val abort : pcb -> unit
+(** RST and drop. *)
+
+(** {1 Send / receive (socket layer interface)} *)
+
+val state : pcb -> state
+val mss : pcb -> int
+val local_port : pcb -> int
+val remote : pcb -> Inaddr.t * int
+
+val snd_space : pcb -> int
+(** Free bytes in the send buffer. *)
+
+val snd_queued : pcb -> int
+
+val sosend_append : pcb -> proc:string -> Mbuf.t -> (unit, string) result
+(** Append a chain (regular or M_UIO) to the send queue and pump output in
+    the context of [proc].  The caller must respect {!snd_space}. *)
+
+val recv_available : pcb -> int
+(** Bytes queued for the application. *)
+
+val recv : pcb -> max:int -> Mbuf.t option
+(** Dequeue up to [max] bytes (chains may contain M_WCAB mbufs that the
+    socket layer must copy out through the driver).  Opens the advertised
+    window and sends a window-update ACK when it grew enough. *)
+
+val set_callbacks :
+  pcb ->
+  ?on_readable:(unit -> unit) ->
+  ?on_sendable:(unit -> unit) ->
+  ?on_closed:(unit -> unit) ->
+  unit ->
+  unit
+
+(** {1 Introspection} *)
+
+type pcb_stats = {
+  segs_sent : int;
+  segs_rcvd : int;
+  bytes_sent : int;
+  bytes_rcvd : int;
+  acks_rcvd : int;
+  dup_acks : int;
+  retransmits : int;
+  rto_fires : int;
+  fast_retransmits : int;
+  csum_offloaded_tx : int;  (** segments sent with the offload record *)
+  csum_host_tx : int;  (** segments checksummed by the host CPU *)
+  csum_hw_verified_rx : int;
+  csum_host_verified_rx : int;
+  csum_failures_rx : int;
+  wcab_converted : int;  (** send-queue ranges swapped to M_WCAB *)
+  wcab_retransmit_hits : int;  (** retransmits that found data outboard *)
+  dropped_wcab_legacy : int;
+      (** outboard retransmit data routed to a device that cannot send it *)
+}
+
+val pcb_stats : pcb -> pcb_stats
+val pcb_config : pcb -> config
+val pcb_host : pcb -> Host.t
+val remote_iface : pcb -> Netif.t option
+(** The interface the connection currently routes over — the socket layer
+    consults it for single-copy path selection (§4.1: only the network
+    layer knows). *)
+
+val srtt : pcb -> Simtime.t
+val snd_wnd : pcb -> int
+
+val pp_pcb : Format.formatter -> pcb -> unit
+val pp_stats : Format.formatter -> pcb_stats -> unit

@@ -1,0 +1,208 @@
+type endpoint = { addr : Inaddr.t; port : int }
+
+type stats = {
+  dgrams_sent : int;
+  dgrams_rcvd : int;
+  bytes_sent : int;
+  bytes_rcvd : int;
+  csum_offloaded_tx : int;
+  csum_host_tx : int;
+  csum_hw_verified_rx : int;
+  csum_host_verified_rx : int;
+  csum_failures_rx : int;
+  dropped_no_port : int;
+  dropped_too_big : int;
+}
+
+type t = {
+  ip : Ipv4.t;
+  hst : Host.t;
+  single_copy : bool;
+  mutable ports : (int * (src:endpoint -> Mbuf.t -> unit)) list;
+  mutable s : stats;
+}
+
+let zero =
+  {
+    dgrams_sent = 0;
+    dgrams_rcvd = 0;
+    bytes_sent = 0;
+    bytes_rcvd = 0;
+    csum_offloaded_tx = 0;
+    csum_host_tx = 0;
+    csum_hw_verified_rx = 0;
+    csum_host_verified_rx = 0;
+    csum_failures_rx = 0;
+    dropped_no_port = 0;
+    dropped_too_big = 0;
+  }
+
+let stats t = t.s
+
+let verify t ~src ~dst dgram =
+  let len = Mbuf.pkt_len dgram in
+  let pseudo =
+    Inet_csum.pseudo_header ~src ~dst ~proto:Ipv4_header.proto_udp ~len
+  in
+  let field_raw =
+    let b = Bytes.create Udp_header.size in
+    Mbuf.copy_into dgram ~off:0 ~len:Udp_header.size b ~dst_off:0;
+    Bytes.get_uint16_be b Udp_header.csum_field_offset
+  in
+  if field_raw = 0 then (true, 0) (* sender disabled checksumming *)
+  else
+    match dgram.Mbuf.pkthdr with
+    | Some { Mbuf.rx_csum = Some rx; _ } ->
+        let skipped_len = max 0 rx.Csum_offload.rx_start in
+        let skipped =
+          if skipped_len = 0 then Inet_csum.zero
+          else Mbuf.checksum dgram ~off:0 ~len:(min skipped_len len)
+        in
+        let ok = Csum_offload.rx_verify rx ~skipped ~pseudo in
+        t.s <-
+          (if ok then
+             { t.s with csum_hw_verified_rx = t.s.csum_hw_verified_rx + 1 }
+           else { t.s with csum_failures_rx = t.s.csum_failures_rx + 1 });
+        (ok, 0)
+    | Some _ | None ->
+        let sum = Mbuf.checksum dgram ~off:0 ~len in
+        let ok = Inet_csum.is_valid (Inet_csum.add pseudo sum) in
+        let cost =
+          Memcost.checksum_read t.hst.Host.profile ~locality:Memcost.Cold len
+        in
+        t.s <-
+          (if ok then
+             { t.s with csum_host_verified_rx = t.s.csum_host_verified_rx + 1 }
+           else { t.s with csum_failures_rx = t.s.csum_failures_rx + 1 });
+        (ok, cost)
+
+let input t ~src ~dst dgram =
+  let dgram = Mbuf.pullup dgram Udp_header.size in
+  let hbytes = Bytes.create Udp_header.size in
+  Mbuf.copy_into dgram ~off:0 ~len:Udp_header.size hbytes ~dst_off:0;
+  match Udp_header.decode hbytes ~off:0 ~len:Udp_header.size with
+  | Error _ -> Mbuf.free dgram
+  | Ok (hdr, _) -> (
+      match List.assoc_opt hdr.Udp_header.dst_port t.ports with
+      | None ->
+          t.s <- { t.s with dropped_no_port = t.s.dropped_no_port + 1 };
+          Mbuf.free dgram
+      | Some handler ->
+          let ok, csum_cost = verify t ~src ~dst dgram in
+          if not ok then Mbuf.free dgram
+          else begin
+            let cost =
+              Memcost.per_packet t.hst.Host.profile + csum_cost
+            in
+            Host.in_intr t.hst cost (fun () ->
+                Mbuf.adj_head dgram Udp_header.size;
+                t.s <-
+                  {
+                    t.s with
+                    dgrams_rcvd = t.s.dgrams_rcvd + 1;
+                    bytes_rcvd = t.s.bytes_rcvd + Mbuf.chain_len dgram;
+                  };
+                handler
+                  ~src:{ addr = src; port = hdr.Udp_header.src_port }
+                  dgram)
+          end)
+
+let create ~ip ~single_copy =
+  let t =
+    { ip; hst = Ipv4.host ip; single_copy; ports = []; s = zero }
+  in
+  Ipv4.register_protocol ip ~proto:Ipv4_header.proto_udp
+    (fun ~src ~dst dgram -> input t ~src ~dst dgram);
+  t
+
+let bind t ~port handler =
+  if List.mem_assoc port t.ports then
+    invalid_arg (Printf.sprintf "Udp.bind: port %d in use" port);
+  t.ports <- (port, handler) :: t.ports
+
+let unbind t ~port = t.ports <- List.remove_assoc port t.ports
+
+let sendto t ~proc ?(checksum = true) ~src_port ~dst payload =
+  match Ipv4.route_for t.ip ~dst:dst.addr with
+  | None ->
+      Mbuf.free payload;
+      Error "no route to host"
+  | Some (iface, _) ->
+      let payload_len = Mbuf.chain_len payload in
+      let dgram_len = Udp_header.size + payload_len in
+      if dgram_len > 65507 then begin
+        Mbuf.free payload;
+        t.s <- { t.s with dropped_too_big = t.s.dropped_too_big + 1 };
+        Error "datagram exceeds the UDP maximum"
+      end
+      else begin
+        (* A datagram that will fragment cannot use the checksum engine:
+           the transport checksum spans fragments (Ipv4.output note). *)
+        let will_fragment =
+          dgram_len + Ipv4_header.size > iface.Netif.mtu
+        in
+        let src = iface.Netif.addr in
+        let pseudo =
+          Inet_csum.pseudo_header ~src ~dst:dst.addr
+            ~proto:Ipv4_header.proto_udp ~len:dgram_len
+        in
+        let hdr =
+          Udp_header.make ~src_port ~dst_port:dst.port ~length:dgram_len
+        in
+        let offload =
+          checksum && t.single_copy && iface.Netif.single_copy
+          && not will_fragment
+        in
+        let hbytes = Bytes.create Udp_header.size in
+        let record, csum_cost =
+          if not checksum then begin
+            Udp_header.encode_raw hdr ~csum:0 hbytes ~off:0;
+            (None, 0)
+          end
+          else if offload then begin
+            t.s <- { t.s with csum_offloaded_tx = t.s.csum_offloaded_tx + 1 };
+            Udp_header.encode_raw hdr ~csum:(Inet_csum.fold pseudo) hbytes
+              ~off:0;
+            ( Some
+                (Csum_offload.make_tx
+                   ~csum_offset:Udp_header.csum_field_offset ~skip_bytes:0
+                   ~seed:pseudo),
+              0 )
+          end
+          else begin
+            t.s <- { t.s with csum_host_tx = t.s.csum_host_tx + 1 };
+            Udp_header.encode hdr ~csum:0 hbytes ~off:0;
+            let hdr_sum = Inet_csum.of_bytes hbytes in
+            let body = Mbuf.checksum payload ~off:0 ~len:payload_len in
+            let field =
+              Inet_csum.finish
+                (Inet_csum.add pseudo
+                   (Inet_csum.concat ~first_len:Udp_header.size hdr_sum body))
+            in
+            Udp_header.encode hdr ~csum:field hbytes ~off:0;
+            ( None,
+              Memcost.checksum_read t.hst.Host.profile ~locality:Memcost.Cold
+                payload_len )
+          end
+        in
+        let dgram = Mbuf.prepend payload Udp_header.size in
+        Mbuf.copy_from dgram ~off:0 ~len:Udp_header.size hbytes ~src_off:0;
+        (match dgram.Mbuf.pkthdr with
+        | Some ph -> ph.Mbuf.tx_csum <- record
+        | None -> ());
+        t.s <-
+          {
+            t.s with
+            dgrams_sent = t.s.dgrams_sent + 1;
+            bytes_sent = t.s.bytes_sent + payload_len;
+          };
+        let cost = Memcost.per_packet t.hst.Host.profile + csum_cost in
+        Host.in_proc t.hst ~proc cost (fun () ->
+            match
+              Ipv4.output t.ip ~proto:Ipv4_header.proto_udp ~src
+                ~dst:dst.addr dgram
+            with
+            | Ok _ -> ()
+            | Error _ -> ());
+        Ok ()
+      end

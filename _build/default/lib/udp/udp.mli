@@ -1,0 +1,49 @@
+(** UDP with the same per-packet checksum strategy selection as TCP: on
+    the single-copy path the datagram carries an offload record (the
+    hardware computes a plain ones-complement "TCP checksum", which §4.3
+    argues is safe for UDP); otherwise the host sums the payload and pays
+    the per-byte cost. *)
+
+type t
+
+type endpoint = { addr : Inaddr.t; port : int }
+
+type stats = {
+  dgrams_sent : int;
+  dgrams_rcvd : int;
+  bytes_sent : int;
+  bytes_rcvd : int;
+  csum_offloaded_tx : int;
+  csum_host_tx : int;
+  csum_hw_verified_rx : int;
+  csum_host_verified_rx : int;
+  csum_failures_rx : int;
+  dropped_no_port : int;
+  dropped_too_big : int;
+}
+
+val create : ip:Ipv4.t -> single_copy:bool -> t
+(** Registers protocol 17 with the IP instance. *)
+
+val bind : t -> port:int -> (src:endpoint -> Mbuf.t -> unit) -> unit
+(** Receive handler for a local port.  The chain is the datagram payload
+    (headers stripped); it may contain M_WCAB mbufs on the single-copy
+    path. *)
+
+val unbind : t -> port:int -> unit
+
+val sendto :
+  t ->
+  proc:string ->
+  ?checksum:bool ->
+  src_port:int ->
+  dst:endpoint ->
+  Mbuf.t ->
+  (unit, string) result
+(** Transmit a datagram (chain may hold M_UIO descriptors).  Charges the
+    per-packet cost (plus host checksum cost when not offloaded) to
+    [proc].  [checksum:false] sends with the RFC 768 "no checksum"
+    encoding (field 0): no engine setup, no host pass — and no
+    protection. *)
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/vm/addr_space.ml: Hashtbl Host_profile List Memcost Option Page Printf Region

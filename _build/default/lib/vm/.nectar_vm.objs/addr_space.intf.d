@@ -1,0 +1,1 @@
+lib/vm/addr_space.mli: Host_profile Region Simtime

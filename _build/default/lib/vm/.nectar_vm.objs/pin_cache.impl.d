@@ -1,0 +1,1 @@
+lib/vm/pin_cache.ml: Addr_space Hashtbl Host_profile Region Simtime

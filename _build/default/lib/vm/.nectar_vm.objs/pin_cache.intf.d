@@ -1,0 +1,1 @@
+lib/vm/pin_cache.mli: Addr_space Region Simtime

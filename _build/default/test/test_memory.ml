@@ -1,0 +1,261 @@
+(* Tests for regions, cost model, and the VM subsystem. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Page ---------- *)
+
+let test_page_count () =
+  check_int "within one page" 1 (Page.count ~page_size:8192 ~base:0 ~len:100);
+  check_int "exactly one page" 1 (Page.count ~page_size:8192 ~base:0 ~len:8192);
+  check_int "straddles boundary" 2
+    (Page.count ~page_size:8192 ~base:8000 ~len:400);
+  check_int "32KB aligned" 4 (Page.count ~page_size:8192 ~base:0 ~len:32768);
+  check_int "32KB misaligned" 5
+    (Page.count ~page_size:8192 ~base:4096 ~len:32768);
+  check_int "zero length" 0 (Page.count ~page_size:8192 ~base:0 ~len:0)
+
+(* ---------- Region ---------- *)
+
+let test_region_sub_and_blit () =
+  let r = Region.create ~vaddr:0x10000 256 in
+  Region.fill_pattern r ~seed:7;
+  let s = Region.sub r ~off:100 ~len:50 in
+  check_int "sub vaddr" (0x10000 + 100) (Region.vaddr s);
+  check_int "sub length" 50 (Region.length s);
+  (* sub shares storage with parent *)
+  let b = Bytes.create 1 in
+  Region.blit_to_bytes s ~src_off:0 b ~dst_off:0 ~len:1;
+  let b2 = Bytes.create 1 in
+  Region.blit_to_bytes r ~src_off:100 b2 ~dst_off:0 ~len:1;
+  Alcotest.(check char) "shared bytes" (Bytes.get b2 0) (Bytes.get b 0);
+  Region.blit_from_bytes (Bytes.of_string "\xAB") ~src_off:0 s ~dst_off:0 ~len:1;
+  Region.blit_to_bytes r ~src_off:100 b2 ~dst_off:0 ~len:1;
+  Alcotest.(check char) "write through sub" '\xAB' (Bytes.get b2 0)
+
+let test_region_bounds () =
+  let r = Region.create ~vaddr:0 16 in
+  Alcotest.check_raises "sub out of range"
+    (Invalid_argument "Region.sub: off=10 len=10 in region of 16") (fun () ->
+      ignore (Region.sub r ~off:10 ~len:10))
+
+let test_region_alignment () =
+  check_bool "aligned" true (Region.is_word_aligned (Region.create ~vaddr:4096 8));
+  check_bool "odd" false (Region.is_word_aligned (Region.create ~vaddr:4097 8));
+  check_bool "halfword" false
+    (Region.is_word_aligned (Region.create ~vaddr:4098 8))
+
+let prop_fill_pattern_roundtrip =
+  QCheck.Test.make ~name:"pattern fill is deterministic per seed" ~count:100
+    QCheck.(pair small_nat (int_range 1 500))
+    (fun (seed, len) ->
+      let a = Region.create ~vaddr:0 len and b = Region.create ~vaddr:64 len in
+      Region.fill_pattern a ~seed;
+      Region.fill_pattern b ~seed;
+      Region.equal_contents a b)
+
+(* ---------- Memcost ---------- *)
+
+let p = Host_profile.alpha400
+
+let test_cost_calibration () =
+  (* The paper's §7.3 numbers: a cold 1 MByte copy at 350 Mbit/s takes
+     ~23.97 ms. *)
+  let t = Memcost.copy p ~locality:Memcost.Cold (1024 * 1024) in
+  let expect_ms = 8. *. 1024. *. 1024. /. 350e6 *. 1e3 in
+  Alcotest.(check (float 0.01)) "1MB cold copy (ms)" expect_ms (Simtime.to_ms t);
+  (* Table 2: pin of 4 pages = 35 + 29*4 = 151 us. *)
+  check_int "pin 4 pages" (Simtime.us 151.) (Memcost.pin p ~pages:4);
+  check_int "unpin 4 pages" (Simtime.us (48. +. (3.9 *. 4.)))
+    (Memcost.unpin p ~pages:4);
+  check_int "map 4 pages" (Simtime.us 24.) (Memcost.map p ~pages:4)
+
+let test_cost_locality () =
+  let cold = Memcost.copy p ~locality:Memcost.Cold 65536 in
+  let hot = Memcost.copy p ~locality:(Memcost.Working_set 65536) 65536 in
+  check_bool "cached copy faster" true (hot < cold);
+  let huge = Memcost.copy p ~locality:(Memcost.Working_set (16 * 1024 * 1024)) 65536 in
+  check_int "huge working set = cold" cold huge
+
+let test_effective_bw_blend () =
+  let bw ws =
+    Memcost.effective_bw ~cached:100. ~cold:50. ~cache_bytes:1000
+      (Memcost.Working_set ws)
+  in
+  Alcotest.(check (float 1e-9)) "fits quarter" 100. (bw 250);
+  Alcotest.(check (float 1e-9)) "cache-filling is cold" 50. (bw 1000);
+  check_bool "between" true (bw 600 < 100. && bw 600 > 50.)
+
+let test_fused_copy_checksum () =
+  let copy = Memcost.copy p ~locality:Memcost.Cold 32768 in
+  let fused = Memcost.copy_with_checksum p ~locality:Memcost.Cold 32768 in
+  let separate = copy + Memcost.checksum_read p ~locality:Memcost.Cold 32768 in
+  check_bool "fused beats separate passes" true (fused < separate);
+  check_bool "fused costs more than plain copy" true (fused > copy)
+
+(* ---------- Addr_space ---------- *)
+
+let space () = Addr_space.create ~profile:p ~name:"test"
+
+let test_alloc_alignment () =
+  let sp = space () in
+  let r = Addr_space.alloc sp 100 in
+  check_bool "page aligned by default" true
+    (Region.vaddr r mod p.Host_profile.page_size = 0);
+  let r2 = Addr_space.alloc sp ~align:4 100 in
+  check_bool "word aligned" true (Region.vaddr r2 mod 4 = 0);
+  check_bool "distinct addresses" true (Region.vaddr r <> Region.vaddr r2)
+
+let test_alloc_misaligned () =
+  let sp = space () in
+  let r = Addr_space.alloc_at_offset sp ~page_offset:2 64 in
+  check_bool "deliberately unaligned" false (Region.is_word_aligned r)
+
+let test_pin_refcount () =
+  let sp = space () in
+  let r = Addr_space.alloc sp 32768 in
+  let c1 = Addr_space.pin sp r in
+  check_int "pin cost 4 pages" (Simtime.us 151.) c1;
+  check_bool "pinned" true (Addr_space.is_pinned sp r);
+  check_int "4 pages pinned" 4 (Addr_space.pinned_pages sp);
+  (* Overlapping second pin. *)
+  let half = Region.sub r ~off:0 ~len:16384 in
+  ignore (Addr_space.pin sp half);
+  ignore (Addr_space.unpin sp r);
+  check_bool "still pinned via second ref" true (Addr_space.is_pinned sp half);
+  check_int "2 pages remain" 2 (Addr_space.pinned_pages sp);
+  ignore (Addr_space.unpin sp half);
+  check_int "all released" 0 (Addr_space.pinned_pages sp)
+
+let test_unpin_unpinned_rejected () =
+  let sp = space () in
+  let r = Addr_space.alloc sp 100 in
+  check_bool "unpin without pin raises" true
+    (try
+       ignore (Addr_space.unpin sp r);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Pin_cache ---------- *)
+
+let test_pin_cache_amortization () =
+  let sp = space () in
+  let cache = Pin_cache.create ~space:sp ~max_pages:64 in
+  let r = Addr_space.alloc sp 32768 in
+  let first = Pin_cache.acquire cache r in
+  check_bool "first acquire costs" true (first > 0);
+  let again = Pin_cache.acquire cache r in
+  check_int "hit is free" 0 again;
+  check_int "hits" 1 (Pin_cache.hits cache);
+  check_int "misses" 1 (Pin_cache.misses cache);
+  ignore (Pin_cache.release cache r);
+  check_int "release is lazy (still resident)" 4 (Pin_cache.resident_pages cache)
+
+let test_pin_cache_eviction () =
+  let sp = space () in
+  (* Budget of 8 pages; each buffer takes 4. *)
+  let cache = Pin_cache.create ~space:sp ~max_pages:8 in
+  let a = Addr_space.alloc sp 32768 in
+  let b = Addr_space.alloc sp 32768 in
+  let c = Addr_space.alloc sp 32768 in
+  ignore (Pin_cache.acquire cache a);
+  ignore (Pin_cache.acquire cache b);
+  ignore (Pin_cache.acquire cache c);
+  check_int "one eviction" 1 (Pin_cache.evictions cache);
+  check_int "resident bounded" 8 (Pin_cache.resident_pages cache);
+  (* LRU: [a] was evicted, so it misses; [c] hits. *)
+  ignore (Pin_cache.acquire cache c);
+  check_int "c still resident" 1 (Pin_cache.hits cache);
+  let cost_a = Pin_cache.acquire cache a in
+  check_bool "a was evicted" true (cost_a > 0)
+
+let test_pin_cache_flush () =
+  let sp = space () in
+  let cache = Pin_cache.create ~space:sp ~max_pages:64 in
+  let r = Addr_space.alloc sp 16384 in
+  ignore (Pin_cache.acquire cache r);
+  let cost = Pin_cache.flush cache in
+  check_bool "flush pays unpin" true (cost > 0);
+  check_int "nothing resident" 0 (Pin_cache.resident_pages cache);
+  check_int "space agrees" 0 (Addr_space.pinned_pages sp)
+
+let prop_pin_cache_bounded =
+  QCheck.Test.make ~name:"pin cache never exceeds its page budget"
+    ~count:200
+    QCheck.(
+      pair (int_range 4 32)
+        (list_of_size Gen.(1 -- 40) (pair (int_bound 15) (int_range 1 65536))))
+    (fun (budget, ops) ->
+      let sp = space () in
+      let cache = Pin_cache.create ~space:sp ~max_pages:budget in
+      let regions = Hashtbl.create 8 in
+      let ok = ref true in
+      List.iter
+        (fun (slot, size) ->
+          let r =
+            match Hashtbl.find_opt regions slot with
+            | Some r -> r
+            | None ->
+                let r = Addr_space.alloc sp size in
+                Hashtbl.add regions slot r;
+                r
+          in
+          ignore (Pin_cache.acquire cache r);
+          (* The budget can only be exceeded transiently by a single
+             too-large buffer; steady state must respect it whenever the
+             last buffer itself fits. *)
+          let pages = Region.pages ~page_size:p.Host_profile.page_size r in
+          if pages <= budget && Pin_cache.resident_pages cache > budget then
+            ok := false)
+        ops;
+      ignore (Pin_cache.flush cache);
+      !ok && Addr_space.pinned_pages sp = 0)
+
+(* ---------- Host profiles ---------- *)
+
+let test_profiles () =
+  check_bool "alpha400 exists" true (Host_profile.by_name "alpha400" <> None);
+  check_bool "alpha300lx exists" true
+    (Host_profile.by_name "alpha300lx" <> None);
+  check_bool "unknown absent" true (Host_profile.by_name "vax" = None);
+  let a4 = Host_profile.alpha400 and a3 = Host_profile.alpha300lx in
+  check_bool "300lx slower copy" true
+    (a3.Host_profile.copy_bw_nolocal < a4.Host_profile.copy_bw_nolocal);
+  check_bool "300lx slower bus" true
+    (a3.Host_profile.bus_bw < a4.Host_profile.bus_bw)
+
+let () =
+  Alcotest.run "memory"
+    [
+      ("page", [ Alcotest.test_case "count" `Quick test_page_count ]);
+      ( "region",
+        [
+          Alcotest.test_case "sub and blit" `Quick test_region_sub_and_blit;
+          Alcotest.test_case "bounds" `Quick test_region_bounds;
+          Alcotest.test_case "alignment" `Quick test_region_alignment;
+          QCheck_alcotest.to_alcotest prop_fill_pattern_roundtrip;
+        ] );
+      ( "memcost",
+        [
+          Alcotest.test_case "paper calibration" `Quick test_cost_calibration;
+          Alcotest.test_case "locality" `Quick test_cost_locality;
+          Alcotest.test_case "bandwidth blend" `Quick test_effective_bw_blend;
+          Alcotest.test_case "fused copy+checksum" `Quick
+            test_fused_copy_checksum;
+        ] );
+      ( "addr_space",
+        [
+          Alcotest.test_case "alloc alignment" `Quick test_alloc_alignment;
+          Alcotest.test_case "misaligned alloc" `Quick test_alloc_misaligned;
+          Alcotest.test_case "pin refcount" `Quick test_pin_refcount;
+          Alcotest.test_case "bad unpin" `Quick test_unpin_unpinned_rejected;
+        ] );
+      ( "pin_cache",
+        [
+          Alcotest.test_case "amortization" `Quick test_pin_cache_amortization;
+          Alcotest.test_case "eviction" `Quick test_pin_cache_eviction;
+          Alcotest.test_case "flush" `Quick test_pin_cache_flush;
+          QCheck_alcotest.to_alcotest prop_pin_cache_bounded;
+        ] );
+      ("profiles", [ Alcotest.test_case "sanity" `Quick test_profiles ]);
+    ]

@@ -1,0 +1,194 @@
+(* Focused tests for the copy-semantics socket layer: path-selection
+   statistics, blocking behaviour, pin-cache interaction, the §4.5
+   fix-up path, datagram sockets, and misuse handling. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let force_uio = { Socket.default_paths with Socket.force_uio = true }
+
+let with_stream ?mode ?tcp_config ?a_paths f =
+  let tb = Testbed.create ?mode ?tcp_config () in
+  Testbed.establish_stream tb ~port:5001 ?a_paths (fun sa sb -> f tb sa sb);
+  tb
+
+let test_write_blocks_counted () =
+  (* A sender that outruns the receiver must park on buffer space at
+     least once; the stat proves the blocking path ran. *)
+  let total = 4 * 1024 * 1024 in
+  let wsize = 262144 in
+  let finished = ref false in
+  let sa_ref = ref None in
+  let tb =
+    with_stream ~a_paths:force_uio (fun tb sa sb ->
+        sa_ref := Some sa;
+        let a_sp = Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"s" in
+        let b_sp = Netstack.make_space tb.Testbed.b.Testbed.stack ~name:"s" in
+        let src = Addr_space.alloc a_sp wsize in
+        let dst = Addr_space.alloc b_sp wsize in
+        let rec send n =
+          if n >= total then Socket.close sa
+          else Socket.write sa src (fun () -> send (n + wsize))
+        in
+        let rec recv n =
+          if n >= total then finished := true
+          else
+            (* A deliberately slow reader: extra delay per read. *)
+            ignore
+              (Sim.after tb.Testbed.sim (Simtime.ms 5.) (fun () ->
+                   Socket.read_exact sb dst (fun k ->
+                       if k = 0 then finished := true else recv (n + k))))
+        in
+        send 0;
+        recv 0)
+  in
+  Sim.run ~until:(Simtime.s 60.) tb.Testbed.sim;
+  check_bool "finished" true !finished;
+  let st = Socket.stats (Option.get !sa_ref) in
+  check_bool "writer blocked at least once" true (st.Socket.write_blocks > 0);
+  check_int "all bytes counted" total st.Socket.bytes_written
+
+let test_read_blocks_counted () =
+  let finished = ref false in
+  let sb_ref = ref None in
+  let tb =
+    with_stream (fun tb sa sb ->
+        sb_ref := Some sb;
+        let a_sp = Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"s" in
+        let b_sp = Netstack.make_space tb.Testbed.b.Testbed.stack ~name:"s" in
+        let src = Addr_space.alloc a_sp 8192 in
+        let dst = Addr_space.alloc b_sp 8192 in
+        (* Reader first; writer only after 10 ms: the read must block. *)
+        Socket.read_exact sb dst (fun n -> finished := n = 8192);
+        ignore
+          (Sim.after tb.Testbed.sim (Simtime.ms 10.) (fun () ->
+               Socket.write sa src (fun () -> ()))))
+  in
+  Sim.run ~until:(Simtime.s 10.) tb.Testbed.sim;
+  check_bool "read completed" true !finished;
+  check_bool "reader blocked" true
+    ((Socket.stats (Option.get !sb_ref)).Socket.read_blocks > 0)
+
+let test_align_fixup_stats () =
+  let paths = { force_uio with Socket.align_fixup = true } in
+  let finished = ref false in
+  let sa_ref = ref None in
+  let tb =
+    with_stream ~a_paths:paths (fun tb sa sb ->
+        sa_ref := Some sa;
+        let a_sp = Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"s" in
+        let b_sp = Netstack.make_space tb.Testbed.b.Testbed.stack ~name:"s" in
+        let src = Addr_space.alloc_at_offset a_sp ~page_offset:1 65536 in
+        let dst = Addr_space.alloc b_sp 65536 in
+        Region.fill_pattern src ~seed:3;
+        Socket.write sa src (fun () -> Socket.close sa);
+        Socket.read_exact sb dst (fun n ->
+            finished := n = 65536 && Region.equal_contents src dst))
+  in
+  Sim.run ~until:(Simtime.s 10.) tb.Testbed.sim;
+  check_bool "data intact through the fix-up" true !finished;
+  let st = Socket.stats (Option.get !sa_ref) in
+  check_int "one fix-up" 1 st.Socket.align_fixups;
+  check_bool "bulk went UIO" true (st.Socket.uio_writes >= 1);
+  check_int "no plain fallback" 0 st.Socket.unaligned_fallbacks
+
+let test_write_after_peer_gone () =
+  (* Writing into a connection whose peer aborted must complete the
+     continuation (data lost, like a real reset) rather than hang. *)
+  let wrote = ref 0 in
+  let tb =
+    with_stream ~a_paths:force_uio (fun tb sa sb ->
+        let a_sp = Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"s" in
+        let src = Addr_space.alloc a_sp 65536 in
+        Tcp.abort (Socket.pcb sb);
+        ignore
+          (Sim.after tb.Testbed.sim (Simtime.ms 50.) (fun () ->
+               Socket.write sa src (fun () -> incr wrote))))
+  in
+  Sim.run ~until:(Simtime.s 30.) tb.Testbed.sim;
+  check_int "write continuation ran" 1 !wrote
+
+let test_two_sockets_one_host () =
+  (* Two concurrent streams between the same pair of hosts, one in each
+     direction, sharing CPUs and adaptors. *)
+  let tb = Testbed.create () in
+  let a = tb.Testbed.a.Testbed.stack and b = tb.Testbed.b.Testbed.stack in
+  let done1 = ref false and done2 = ref false in
+  let total = 512 * 1024 in
+  Socket.listen ~stack_tcp:b.Netstack.tcp ~host:b.Netstack.host ~proc:"s1"
+    ~make_space:(fun () -> Netstack.make_space b ~name:"s1")
+    ~port:7001
+    (fun sock ->
+      let sp = Netstack.make_space b ~name:"r1" in
+      let buf = Addr_space.alloc sp total in
+      Socket.read_exact sock buf (fun n -> done1 := n = total));
+  Socket.listen ~stack_tcp:a.Netstack.tcp ~host:a.Netstack.host ~proc:"s2"
+    ~make_space:(fun () -> Netstack.make_space a ~name:"s2")
+    ~port:7002
+    (fun sock ->
+      let sp = Netstack.make_space a ~name:"r2" in
+      let buf = Addr_space.alloc sp total in
+      Socket.read_exact sock buf (fun n -> done2 := n = total));
+  let start stack dst port =
+    let pcb = ref None in
+    pcb :=
+      Some
+        (Tcp.connect stack.Netstack.tcp ~dst ~dst_port:port
+           ~on_established:(fun () ->
+             let sp = Netstack.make_space stack ~name:"w" in
+             let sock =
+               Socket.create ~host:stack.Netstack.host ~space:sp ~proc:"w"
+                 ~paths:force_uio (Option.get !pcb)
+             in
+             let buf = Addr_space.alloc sp total in
+             Socket.write sock buf (fun () -> Socket.close sock))
+           ())
+  in
+  start a Testbed.addr_b 7001;
+  start b Testbed.addr_a 7002;
+  Sim.run ~until:(Simtime.s 30.) tb.Testbed.sim;
+  check_bool "stream 1 done" true !done1;
+  check_bool "stream 2 done" true !done2
+
+let test_pin_cache_shared_across_write_and_read () =
+  (* One socket both sends and receives through its pin cache; the cache
+     must not interfere across directions. *)
+  let ok = ref false in
+  let tb =
+    with_stream ~a_paths:force_uio (fun tb sa sb ->
+        let a_sp = Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"s" in
+        let b_sp = Netstack.make_space tb.Testbed.b.Testbed.stack ~name:"s" in
+        let out = Addr_space.alloc a_sp 65536 in
+        let echo = Addr_space.alloc b_sp 65536 in
+        let back = Addr_space.alloc a_sp 65536 in
+        Region.fill_pattern out ~seed:9;
+        Socket.write sa out (fun () -> ());
+        Socket.read_exact sb echo (fun _ ->
+            Socket.write sb echo (fun () -> ()));
+        Socket.read_exact sa back (fun n ->
+            ok := n = 65536 && Region.equal_contents out back))
+  in
+  Sim.run ~until:(Simtime.s 30.) tb.Testbed.sim;
+  check_bool "echo roundtrip intact" true !ok
+
+let () =
+  Alcotest.run "socket"
+    [
+      ( "blocking",
+        [
+          Alcotest.test_case "writer blocks on slow reader" `Quick
+            test_write_blocks_counted;
+          Alcotest.test_case "reader blocks on empty stream" `Quick
+            test_read_blocks_counted;
+          Alcotest.test_case "write after peer abort" `Quick
+            test_write_after_peer_gone;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "align fixup stats" `Quick test_align_fixup_stats;
+          Alcotest.test_case "two sockets, both directions" `Quick
+            test_two_sockets_one_host;
+          Alcotest.test_case "echo through one pin cache" `Quick
+            test_pin_cache_shared_across_write_and_read;
+        ] );
+    ]
