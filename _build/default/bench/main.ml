@@ -48,7 +48,7 @@ let run_hol () = Exp_hol.print (Exp_hol.run ~seed:20260706 ())
 
 (* ---------------- Bechamel microbenchmarks ---------------- *)
 
-let micro () =
+let micro ?(json = false) () =
   let open Bechamel in
   let open Toolkit in
   let buf32k = Bytes.create 32768 in
@@ -58,12 +58,39 @@ let micro () =
   let chain = Mbuf.of_bytes ~pkthdr:true buf32k in
   let region = Region.of_bytes ~vaddr:0 (Bytes.copy buf32k) in
   let dst = Bytes.create 32768 in
+  (* A two-segment descriptor (M_UIO) chain over one user region: checksum
+     over it exercises the zero-copy iter_segments path. *)
+  let uio_chain =
+    let sp = Addr_space.create ~profile:Host_profile.alpha400 ~name:"bench" in
+    let r = Addr_space.alloc sp 32768 in
+    Region.fill_pattern r ~seed:7;
+    let a =
+      Mbuf.make_uio ~space:sp
+        ~region:(Region.sub r ~off:0 ~len:16384)
+        ~hdr:{ Mbuf.csum = None; notify = None }
+    in
+    let b =
+      Mbuf.make_uio ~space:sp
+        ~region:(Region.sub r ~off:16384 ~len:16384)
+        ~hdr:{ Mbuf.csum = None; notify = None }
+    in
+    Mbuf.append a b;
+    a
+  in
   let tests =
     [
       Test.make ~name:"inet_csum/32K" (Staged.stage (fun () ->
           ignore (Inet_csum.of_bytes buf32k)));
+      Test.make ~name:"inet_csum/32K-odd-offset" (Staged.stage (fun () ->
+          ignore (Inet_csum.of_bytes ~off:1 ~len:32001 buf32k)));
+      Test.make ~name:"inet_csum/copy_and_sum-32K" (Staged.stage (fun () ->
+          ignore
+            (Inet_csum.copy_and_sum ~src:buf32k ~src_off:0 ~dst ~dst_off:0
+               ~len:32768)));
       Test.make ~name:"inet_csum/chain-32K" (Staged.stage (fun () ->
           ignore (Mbuf.checksum chain ~off:0 ~len:32768)));
+      Test.make ~name:"inet_csum/uio-chain-32K" (Staged.stage (fun () ->
+          ignore (Mbuf.checksum uio_chain ~off:0 ~len:32768)));
       Test.make ~name:"mbuf/copy_range-32K" (Staged.stage (fun () ->
           Mbuf.free (Mbuf.copy_range chain ~off:100 ~len:30000)));
       Test.make ~name:"mbuf/of_bytes-32K" (Staged.stage (fun () ->
@@ -122,11 +149,28 @@ let micro () =
         | None -> "-"
       in
       Tabulate.print_row ~widths [ name; est; r2 ])
-    rows
+    rows;
+  if json then begin
+    let file = "BENCH_micro.json" in
+    let oc = open_out file in
+    output_string oc "{\n";
+    List.iteri
+      (fun i (name, ols) ->
+        let est =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        Printf.fprintf oc "  %S: %.1f%s\n" name est
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    output_string oc "}\n";
+    close_out oc;
+    Printf.printf "\n  wrote %s (name -> ns/run)\n" file
+  end
 
 (* ---------------- dispatch ---------------- *)
 
 let fig5_cache : Exp_figures.report option ref = ref None
+let json_mode = ref false
 
 let run_target = function
   | "fig5" -> fig5_cache := Some (run_fig5 ())
@@ -156,7 +200,7 @@ let run_target = function
   | "serverapi" -> Exp_serverapi.print (Exp_serverapi.run ())
   | "rpc" -> Exp_rpc.print (Exp_rpc.run ())
   | "window" -> Exp_window.print (Exp_window.run ())
-  | "micro" -> micro ()
+  | "micro" -> micro ~json:!json_mode ()
   | t ->
       Printf.eprintf "unknown target %S\n" t;
       exit 2
@@ -172,6 +216,16 @@ let all_targets =
 let () =
   Tracelog.init_from_env ();
   let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          json_mode := true;
+          false
+        end
+        else true)
+      args
+  in
   let targets =
     match args with
     | [] | [ "all" ] -> all_targets

@@ -10,7 +10,10 @@ type rx_info = {
 
 type intr = Sdma_done of int | Rx_packet of rx_info
 
-type tx_src = From_user of Region.t | From_kernel of Bytes.t
+type tx_src =
+  | From_user of Region.t
+  | From_kernel of Bytes.t
+  | From_mbuf of { buf : Bytes.t; off : int; len : int }
 
 type stats = {
   sdma_transfers : int;
@@ -151,43 +154,64 @@ let sdma_header t (pkt : Netmem.packet) ~header ~csum ?(cookie = 0)
   if len > Bytes.length pkt.buf then
     invalid_arg "Cab.sdma_header: header larger than packet buffer";
   sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
-      Bytes.blit header 0 pkt.buf 0 len;
       pkt.hdr_len <- len;
       pkt.csum <- csum;
       match csum with
-      | None -> ()
+      | None -> Bytes.blit header 0 pkt.buf 0 len
       | Some c ->
+          (* The transmit checksum engine sums the words as they stream
+             through (§2.1): blit the skipped prefix, then one fused
+             copy+sum pass over the checksummed range. *)
           let skip = c.Csum_offload.skip_bytes in
           if skip > len then
             invalid_arg "Cab.sdma_header: checksum skip beyond header";
+          Bytes.blit header 0 pkt.buf 0 skip;
           pkt.header_sum <-
-            Inet_csum.of_bytes ~off:skip ~len:(len - skip) pkt.buf)
+            Inet_csum.copy_and_sum ~src:header ~src_off:skip ~dst:pkt.buf
+              ~dst_off:skip ~len:(len - skip))
 
 let sdma_payload t (pkt : Netmem.packet) ~src ~pkt_off ?(cookie = 0)
     ?(interrupt = false) ?on_complete () =
   require_word_aligned "payload packet offset" pkt_off;
-  let len, read =
+  let len =
     match src with
     | From_user region ->
         require_word_aligned "user source address" (Region.vaddr region);
-        ( Region.length region,
-          fun dst dst_off ->
-            Region.blit_to_bytes region ~src_off:0 dst ~dst_off
-              ~len:(Region.length region) )
-    | From_kernel b ->
-        (Bytes.length b, fun dst dst_off -> Bytes.blit b 0 dst dst_off
-             (Bytes.length b))
+        Region.length region
+    | From_kernel b -> Bytes.length b
+    | From_mbuf { buf; off; len } ->
+        if off < 0 || len < 0 || off + len > Bytes.length buf then
+          invalid_arg "Cab.sdma_payload: mbuf source window out of range";
+        len
   in
   if pkt_off + len > Bytes.length pkt.buf then
     invalid_arg "Cab.sdma_payload: transfer past end of packet buffer";
   sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
-      read pkt.buf pkt_off;
       match pkt.csum with
-      | None -> ()
+      | None -> (
+          match src with
+          | From_user region ->
+              Region.blit_to_bytes region ~src_off:0 pkt.buf ~dst_off:pkt_off
+                ~len
+          | From_kernel b -> Bytes.blit b 0 pkt.buf pkt_off len
+          | From_mbuf { buf; off; _ } -> Bytes.blit buf off pkt.buf pkt_off len)
       | Some _ ->
-          (* Word alignment makes every segment offset even, so the body
-             sums combine without byte-swapping. *)
-          let seg = Inet_csum.of_bytes ~off:pkt_off ~len pkt.buf in
+          (* Fused copy + checksum, as in the hardware where the engine
+             sums words on their way through.  Word alignment makes every
+             segment offset even, so the body sums combine without
+             byte-swapping. *)
+          let seg =
+            match src with
+            | From_user region ->
+                Region.blit_csum_to_bytes region ~src_off:0 pkt.buf
+                  ~dst_off:pkt_off ~len
+            | From_kernel b ->
+                Inet_csum.copy_and_sum ~src:b ~src_off:0 ~dst:pkt.buf
+                  ~dst_off:pkt_off ~len
+            | From_mbuf { buf; off; _ } ->
+                Inet_csum.copy_and_sum ~src:buf ~src_off:off ~dst:pkt.buf
+                  ~dst_off:pkt_off ~len
+          in
           pkt.body_sum <- Inet_csum.add pkt.body_sum seg)
 
 let tx_rewrite_header t (pkt : Netmem.packet) ~header ~csum ?(cookie = 0)
@@ -200,14 +224,15 @@ let tx_rewrite_header t (pkt : Netmem.packet) ~header ~csum ?(cookie = 0)
     invalid_arg "Cab.tx_rewrite_header: header length changed";
   pkt.state <- Netmem.Filling;
   sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
-      Bytes.blit header 0 pkt.buf 0 len;
       pkt.csum <- csum;
       match csum with
-      | None -> ()
+      | None -> Bytes.blit header 0 pkt.buf 0 len
       | Some c ->
           let skip = c.Csum_offload.skip_bytes in
+          Bytes.blit header 0 pkt.buf 0 skip;
           pkt.header_sum <-
-            Inet_csum.of_bytes ~off:skip ~len:(len - skip) pkt.buf)
+            Inet_csum.copy_and_sum ~src:header ~src_off:skip ~dst:pkt.buf
+              ~dst_off:skip ~len:(len - skip))
 
 let mdma_send t (pkt : Netmem.packet) ~dst ~channel ~keep =
   let req = { dst; channel; keep } in
@@ -229,16 +254,21 @@ let deliver t frame =
   match Netmem.alloc t.mem ~len ~state:Netmem.Receiving with
   | None -> t.rx_dropped <- t.rx_dropped + 1
   | Some pkt ->
-      Bytes.blit frame 0 pkt.buf 0 len;
       t.rx_packets <- t.rx_packets + 1;
       t.rx_bytes <- t.rx_bytes + len;
       (* The receive checksum engine ran while the data streamed off the
-         media (§2.1): the sum is ready with the packet. *)
+         media (§2.1): the sum is ready with the packet.  One fused pass
+         copies the frame into network memory and produces the sum. *)
       let engine_sum =
-        if len > rx_csum_start then
-          Inet_csum.of_bytes ~off:rx_csum_start ~len:(len - rx_csum_start)
-            pkt.buf
-        else Inet_csum.zero
+        if len > rx_csum_start then begin
+          Bytes.blit frame 0 pkt.buf 0 rx_csum_start;
+          Inet_csum.copy_and_sum ~src:frame ~src_off:rx_csum_start
+            ~dst:pkt.buf ~dst_off:rx_csum_start ~len:(len - rx_csum_start)
+        end
+        else begin
+          Bytes.blit frame 0 pkt.buf 0 len;
+          Inet_csum.zero
+        end
       in
       pkt.body_sum <- engine_sum;
       let channel =

@@ -76,6 +76,11 @@ val tx_alloc : t -> len:int -> Netmem.packet option
 type tx_src =
   | From_user of Region.t  (** DMA directly out of an application buffer *)
   | From_kernel of Bytes.t  (** DMA out of kernel mbuf storage *)
+  | From_mbuf of { buf : Bytes.t; off : int; len : int }
+      (** DMA out of a window of mbuf storage in place — no staging copy.
+          The buffer must stay alive and unmodified until the transfer
+          commits (mbuf storage is never recycled, so capturing it at
+          enqueue time is safe). *)
 
 val sdma_header :
   t ->

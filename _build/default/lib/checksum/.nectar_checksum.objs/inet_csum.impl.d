@@ -1,1 +1,1 @@
-lib/checksum/inet_csum.ml: Bytes Format Int32
+lib/checksum/inet_csum.ml: Bytes Format Int32 Int64 Sys

@@ -14,7 +14,24 @@ type sum
 val zero : sum
 
 val of_bytes : ?off:int -> ?len:int -> Bytes.t -> sum
-(** Sum of a byte range ([off] defaults to 0, [len] to the rest). *)
+(** Sum of a byte range ([off] defaults to 0, [len] to the rest).
+    Word-at-a-time: one up-front bounds check, then 64-bit reads into a
+    wide accumulator with a single deferred fold. *)
+
+val reference_of_bytes : ?off:int -> ?len:int -> Bytes.t -> sum
+(** Byte-at-a-time reference implementation of {!of_bytes}, retained as
+    the oracle for property tests.  Bit-identical to [of_bytes] on every
+    input; an order of magnitude slower. *)
+
+val copy_and_sum :
+  src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> len:int -> sum
+(** Fused copy + checksum: blits [len] bytes from [src] to [dst] and
+    returns their ones-complement sum in the same pass — the software
+    image of the CAB DMA engines, which checksum words as they stream
+    through (§2.1).  The sum's parity is relative to the range start (the
+    first byte is the high byte of the first 16-bit word); combine
+    cross-range with {!concat}.  Overlapping ranges within one buffer are
+    handled like [Bytes.blit] (memmove semantics). *)
 
 val of_string : string -> sum
 

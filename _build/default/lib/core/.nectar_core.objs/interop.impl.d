@@ -1,1 +1,1 @@
-lib/core/interop.ml: Bytes Host List Mbuf Memcost Netif Simtime
+lib/core/interop.ml: Bytes Csum_offload Host Inet_csum Ipv4_header List Mbuf Memcost Netif Simtime

@@ -281,15 +281,19 @@ let output t ifc pkt ~next_hop =
                               (d.Mbuf.wcab_base + mb.Mbuf.off)
                               b 0 seg;
                             Cab.From_kernel b
-                        | Mbuf.Internal _ | Mbuf.Cluster _ ->
+                        | Mbuf.Internal b | Mbuf.Cluster b ->
                             t.s <-
                               {
                                 t.s with
                                 tx_kernel_segments = t.s.tx_kernel_segments + 1;
                               };
-                            let b = Bytes.create seg in
-                            Mbuf.copy_into mb ~off:0 ~len:seg b ~dst_off:0;
-                            Cab.From_kernel b
+                            (* Zero-copy capture: hand the adaptor a window
+                               on the mbuf storage itself.  [Mbuf.free]
+                               below only updates pool statistics — the
+                               bytes are never recycled — so the window
+                               stays valid until the SDMA commits. *)
+                            Cab.From_mbuf
+                              { buf = b; off = mb.Mbuf.off; len = seg }
                       in
                       (src, this_off, interrupt, on_complete))
                     nonempty

@@ -22,7 +22,12 @@ val flatten_for_legacy :
   host:Host.t -> proc_hint:string -> Mbuf.t -> (Bytes.t -> unit) -> unit
 (** Continuation receives the packet as contiguous bytes.  Raises
     [Mbuf.Outboard_data] if the chain holds M_WCAB data (a legacy device
-    can never send outboard data — the transport layer must prevent it). *)
+    can never send outboard data — the transport layer must prevent it).
+
+    A pending transmit-checksum offload record (packet built for an
+    offloading device, rerouted to a legacy one) is materialized in
+    software here, fused with the flatten copy, and cleared — the packet
+    leaves with a correct checksum instead of just the seed. *)
 
 val wcab_to_regular :
   host:Host.t -> iface:Netif.t -> Mbuf.t -> (Mbuf.t -> unit) -> unit
@@ -33,4 +38,8 @@ val conversions : unit -> int
 (** Global count of flatten conversions performed (for tests/benches). *)
 
 val wcab_conversions : unit -> int
+
+val csum_materializations : unit -> int
+(** Checksums materialized in software by {!flatten_for_legacy}. *)
+
 val reset_counters : unit -> unit

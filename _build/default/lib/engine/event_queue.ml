@@ -1,14 +1,17 @@
 type 'a entry = { time : Simtime.t; seq : int; payload : 'a }
 
 type 'a t = {
-  mutable heap : 'a entry array;
-  (* [heap] is a dense binary min-heap in [0, size); slot 0 is the root. *)
+  mutable heap : 'a entry option array;
+  (* [heap] is a dense binary min-heap in [0, size); slot 0 is the root.
+     Slots at and beyond [size] are [None], so a popped entry's payload
+     becomes unreachable immediately — the old entry-array representation
+     kept the last popped event (and whatever closures it captured) alive
+     in [heap.(size)] until a later push overwrote the slot. *)
   mutable size : int;
   mutable next_seq : int;
-  dummy : 'a option ref;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; dummy = ref None }
+let create () = { heap = [||]; size = 0; next_seq = 0 }
 
 let is_empty q = q.size = 0
 let length q = q.size
@@ -16,11 +19,16 @@ let length q = q.size
 let before a b =
   a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow q entry =
+let get q i =
+  match q.heap.(i) with
+  | Some e -> e
+  | None -> assert false (* dense in [0, size) *)
+
+let grow q =
   let cap = Array.length q.heap in
   if q.size = cap then begin
     let ncap = Stdlib.max 16 (2 * cap) in
-    let nheap = Array.make ncap entry in
+    let nheap = Array.make ncap None in
     Array.blit q.heap 0 nheap 0 q.size;
     q.heap <- nheap
   end
@@ -28,17 +36,18 @@ let grow q entry =
 let push q ~time payload =
   let entry = { time; seq = q.next_seq; payload } in
   q.next_seq <- q.next_seq + 1;
-  grow q entry;
-  (* sift up *)
+  grow q;
+  (* One box shared by every sift-up swap. *)
+  let boxed = Some entry in
   let i = ref q.size in
   q.size <- q.size + 1;
-  q.heap.(!i) <- entry;
+  q.heap.(!i) <- boxed;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if before entry q.heap.(parent) then begin
+    if before entry (get q parent) then begin
       q.heap.(!i) <- q.heap.(parent);
-      q.heap.(parent) <- entry;
+      q.heap.(parent) <- boxed;
       i := parent
     end
     else continue := false
@@ -47,21 +56,31 @@ let push q ~time payload =
 let pop q =
   if q.size = 0 then None
   else begin
-    let root = q.heap.(0) in
+    let root = get q 0 in
     q.size <- q.size - 1;
+    let last = q.heap.(q.size) in
+    q.heap.(q.size) <- None;
     if q.size > 0 then begin
-      let last = q.heap.(q.size) in
       q.heap.(0) <- last;
+      let last = match last with Some e -> e | None -> assert false in
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < q.size && before q.heap.(l) q.heap.(!smallest) then
-          smallest := l;
-        if r < q.size && before q.heap.(r) q.heap.(!smallest) then
-          smallest := r;
+        let smallest = ref !i and small_e = ref last in
+        (if l < q.size then
+           let le = get q l in
+           if before le !small_e then begin
+             smallest := l;
+             small_e := le
+           end);
+        (if r < q.size then
+           let re = get q r in
+           if before re !small_e then begin
+             smallest := r;
+             small_e := re
+           end);
         if !smallest <> !i then begin
           let tmp = q.heap.(!i) in
           q.heap.(!i) <- q.heap.(!smallest);
@@ -74,4 +93,4 @@ let pop q =
     Some (root.time, root.payload)
   end
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let peek_time q = if q.size = 0 then None else Some (get q 0).time

@@ -14,7 +14,9 @@ val length : 'a t -> int
 val push : 'a t -> time:Simtime.t -> 'a -> unit
 
 val pop : 'a t -> (Simtime.t * 'a) option
-(** Removes and returns the earliest event. *)
+(** Removes and returns the earliest event.  The vacated heap slot is
+    cleared, so the queue never keeps a popped payload (or the closures it
+    captures) reachable. *)
 
 val peek_time : 'a t -> Simtime.t option
 (** Time of the earliest event without removing it. *)

@@ -215,9 +215,16 @@ let forward t pkt (hdr : Ipv4_header.t) =
 let input t (_iface : Netif.t) pkt =
   t.s_received <- t.s_received + 1;
   let pkt = Mbuf.pullup pkt Ipv4_header.size in
-  let hbytes = Bytes.create Ipv4_header.size in
-  Mbuf.copy_into pkt ~off:0 ~len:Ipv4_header.size hbytes ~dst_off:0;
-  match Ipv4_header.decode hbytes ~off:0 with
+  (* After pullup the header is contiguous: decode it in place. *)
+  let hbytes, hoff =
+    match Mbuf.view pkt ~off:0 ~len:Ipv4_header.size with
+    | Some (b, pos) -> (b, pos)
+    | None ->
+        let b = Bytes.create Ipv4_header.size in
+        Mbuf.copy_into pkt ~off:0 ~len:Ipv4_header.size b ~dst_off:0;
+        (b, 0)
+  in
+  match Ipv4_header.decode hbytes ~off:hoff with
   | Error _ ->
       t.s_bad_header <- t.s_bad_header + 1;
       Mbuf.free pkt

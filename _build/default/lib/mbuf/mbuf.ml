@@ -276,9 +276,11 @@ let iter_segments m ~off ~len f =
             | Internal b | Cluster b -> f b (mb.off + skip) seg (off + len - remaining)
             | Ext_uio d ->
                 (* Reading through to user memory: allowed (it is host
-                   memory); the caller charges the cost. *)
-                let tmp = Region.sub d.uio_region ~off:(mb.off + skip) ~len:seg in
-                f (Region.bytes tmp) 0 seg (off + len - remaining)
+                   memory); the caller charges the cost.  Zero-copy: hand
+                   out the region's backing store directly rather than
+                   materializing a [Bytes.sub] of it per segment. *)
+                let ubuf, upos = Region.backing d.uio_region in
+                f ubuf (upos + mb.off + skip) seg (off + len - remaining)
             | Ext_wcab _ -> raise Outboard_data);
             go mb.next (pos + mb.len) (remaining - seg)
           end
@@ -290,6 +292,39 @@ let copy_into m ~off ~len dst ~dst_off =
     invalid_arg "Mbuf.copy_into: destination too small";
   iter_segments m ~off ~len (fun buf boff seg chain_off ->
       Bytes.blit buf boff dst (dst_off + (chain_off - off)) seg)
+
+let copy_into_csum m ~off ~len dst ~dst_off =
+  if dst_off + len > Bytes.length dst then
+    invalid_arg "Mbuf.copy_into_csum: destination too small";
+  let sum = ref Inet_csum.zero in
+  let consumed = ref 0 in
+  iter_segments m ~off ~len (fun buf boff seg chain_off ->
+      let part =
+        Inet_csum.copy_and_sum ~src:buf ~src_off:boff ~dst
+          ~dst_off:(dst_off + (chain_off - off)) ~len:seg
+      in
+      sum := Inet_csum.concat ~first_len:!consumed !sum part;
+      consumed := !consumed + seg);
+  !sum
+
+let view m ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Mbuf.view: negative range";
+  let rec go m pos =
+    match m with
+    | None -> None
+    | Some mb ->
+        let skip = off - pos in
+        if skip >= mb.len then go mb.next (pos + mb.len)
+        else if len > mb.len - skip then None
+        else (
+          match mb.storage with
+          | Internal b | Cluster b -> Some (b, mb.off + skip)
+          | Ext_uio d ->
+              let ubuf, upos = Region.backing d.uio_region in
+              Some (ubuf, upos + mb.off + skip)
+          | Ext_wcab _ -> None)
+  in
+  go (Some m) 0
 
 let copy_into_raw m ~off ~len dst ~dst_off =
   if dst_off + len > Bytes.length dst then
@@ -436,7 +471,9 @@ let copy_range m ~off ~len =
     invalid_arg
       (Printf.sprintf "Mbuf.copy_range: off=%d len=%d of chain %d" off len
          total);
-  let acc = ref [] in
+  (* Link copies in place as they are made (head/tail pointers) instead of
+     accumulating a list and reversing it. *)
+  let head = ref None and tail = ref None in
   if len > 0 then begin
     let rec go m pos remaining =
       if remaining > 0 then
@@ -447,25 +484,20 @@ let copy_range m ~off ~len =
             if skip >= mb.len then go mb.next (pos + mb.len) remaining
             else begin
               let seg = min (mb.len - skip) remaining in
-              acc := share_storage mb ~skip ~seg :: !acc;
+              let copy = share_storage mb ~skip ~seg in
+              (match !tail with
+              | None -> head := Some copy
+              | Some t -> t.next <- Some copy);
+              tail := Some copy;
               go mb.next (pos + mb.len) (remaining - seg)
             end
     in
     go (Some m) 0 len
   end;
-  let pieces = List.rev !acc in
   let head =
-    match pieces with
-    | [] -> mk (Internal (Bytes.create msize)) ~off:0 ~len:0
-    | h :: rest ->
-        let rec link prev = function
-          | [] -> ()
-          | x :: xs ->
-              prev.next <- Some x;
-              link x xs
-        in
-        link h rest;
-        h
+    match !head with
+    | None -> mk (Internal (Bytes.create msize)) ~off:0 ~len:0
+    | Some h -> h
   in
   head.pkthdr <-
     Some

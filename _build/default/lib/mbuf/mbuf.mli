@@ -159,6 +159,20 @@ val copy_into : t -> off:int -> len:int -> Bytes.t -> dst_off:int -> unit
     user memory for UIO mbufs (the host *can* read user data, it is just
     expensive — the caller accounts for the cost). *)
 
+val copy_into_csum : t -> off:int -> len:int -> Bytes.t -> dst_off:int -> Inet_csum.sum
+(** Like [copy_into], fused with the ones-complement sum of the bytes
+    copied (see {!Inet_csum.copy_and_sum}): one pass over the data instead
+    of a copy followed by a checksum pass.  Odd-length parity across mbuf
+    boundaries is handled as in {!checksum}. *)
+
+val view : t -> off:int -> len:int -> (Bytes.t * int) option
+(** [view m ~off ~len] is [Some (buf, pos)] when chain bytes
+    [off, off+len) are contiguous in host-readable storage, such that byte
+    [off + i] is [Bytes.get buf (pos + i)].  Zero-copy; [None] when the
+    range spans a segment boundary or lives outboard.  The buffer is the
+    real backing store — callers must not write through it and must stay
+    within the window. *)
+
 val copy_from : t -> off:int -> len:int -> Bytes.t -> src_off:int -> unit
 (** Writes into chain storage.  Raises [Outboard_data] on WCAB ranges. *)
 

@@ -1,1 +1,1 @@
-lib/memory/region.ml: Bytes Page Printf
+lib/memory/region.ml: Bytes Inet_csum Int64 Page Printf

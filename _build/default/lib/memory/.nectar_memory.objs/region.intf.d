@@ -1,1 +1,1 @@
-lib/memory/region.mli: Bytes
+lib/memory/region.mli: Bytes Inet_csum

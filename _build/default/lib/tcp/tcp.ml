@@ -1074,9 +1074,18 @@ let lookup tcp ~lport ~raddr ~rport =
 let input tcp ~src ~dst seg =
   let seg = Mbuf.pullup seg Tcp_header.base_size in
   let seg_len = Mbuf.pkt_len seg in
-  let hbytes = Bytes.create (min seg_len 64) in
-  Mbuf.copy_into seg ~off:0 ~len:(Bytes.length hbytes) hbytes ~dst_off:0;
-  match Tcp_header.decode hbytes ~off:0 ~len:(Bytes.length hbytes) with
+  let hlen = min seg_len 64 in
+  (* Zero-copy decode when the header (with options) is contiguous after
+     the pullup; staging copy only when it straddles a segment. *)
+  let hbytes, hoff =
+    match Mbuf.view seg ~off:0 ~len:hlen with
+    | Some (b, pos) -> (b, pos)
+    | None ->
+        let b = Bytes.create hlen in
+        Mbuf.copy_into seg ~off:0 ~len:hlen b ~dst_off:0;
+        (b, 0)
+  in
+  match Tcp_header.decode hbytes ~off:hoff ~len:hlen with
   | Error _ -> Mbuf.free seg
   | Ok (hdr, _csum_field) -> (
       let hdr_size = Tcp_header.size hdr in

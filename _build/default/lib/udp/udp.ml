@@ -45,9 +45,12 @@ let verify t ~src ~dst dgram =
     Inet_csum.pseudo_header ~src ~dst ~proto:Ipv4_header.proto_udp ~len
   in
   let field_raw =
-    let b = Bytes.create Udp_header.size in
-    Mbuf.copy_into dgram ~off:0 ~len:Udp_header.size b ~dst_off:0;
-    Bytes.get_uint16_be b Udp_header.csum_field_offset
+    match Mbuf.view dgram ~off:Udp_header.csum_field_offset ~len:2 with
+    | Some (b, pos) -> Bytes.get_uint16_be b pos
+    | None ->
+        let b = Bytes.create Udp_header.size in
+        Mbuf.copy_into dgram ~off:0 ~len:Udp_header.size b ~dst_off:0;
+        Bytes.get_uint16_be b Udp_header.csum_field_offset
   in
   if field_raw = 0 then (true, 0) (* sender disabled checksumming *)
   else
@@ -78,9 +81,16 @@ let verify t ~src ~dst dgram =
 
 let input t ~src ~dst dgram =
   let dgram = Mbuf.pullup dgram Udp_header.size in
-  let hbytes = Bytes.create Udp_header.size in
-  Mbuf.copy_into dgram ~off:0 ~len:Udp_header.size hbytes ~dst_off:0;
-  match Udp_header.decode hbytes ~off:0 ~len:Udp_header.size with
+  (* After pullup the header is contiguous: decode it in place. *)
+  let hbytes, hoff =
+    match Mbuf.view dgram ~off:0 ~len:Udp_header.size with
+    | Some (b, pos) -> (b, pos)
+    | None ->
+        let b = Bytes.create Udp_header.size in
+        Mbuf.copy_into dgram ~off:0 ~len:Udp_header.size b ~dst_off:0;
+        (b, 0)
+  in
+  match Udp_header.decode hbytes ~off:hoff ~len:Udp_header.size with
   | Error _ -> Mbuf.free dgram
   | Ok (hdr, _) -> (
       match List.assoc_opt hdr.Udp_header.dst_port t.ports with

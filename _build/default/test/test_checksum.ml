@@ -105,6 +105,75 @@ let prop_concat_associative =
       Inet_csum.equal left right
       && Inet_csum.equal left (Inet_csum.of_string (a ^ b ^ c)))
 
+(* ---------- word-at-a-time kernels vs the byte-at-a-time oracle ---------- *)
+
+let arb_buf_range =
+  (* A buffer plus an arbitrary (off, len) range inside it — including
+     empty ranges, odd offsets and odd lengths. *)
+  QCheck.make
+    QCheck.Gen.(
+      let* s = string_size (0 -- 300) in
+      let n = String.length s in
+      let* off = 0 -- n in
+      let* len = 0 -- (n - off) in
+      return (s, off, len))
+    ~print:(fun (s, off, len) ->
+      Printf.sprintf "len(buf)=%d off=%d len=%d" (String.length s) off len)
+
+let prop_kernel_matches_oracle =
+  QCheck.Test.make
+    ~name:"word kernel = byte oracle at any offset/length" ~count:1000
+    arb_buf_range
+    (fun (s, off, len) ->
+      let b = Bytes.of_string s in
+      Inet_csum.equal
+        (Inet_csum.of_bytes ~off ~len b)
+        (Inet_csum.reference_of_bytes ~off ~len b))
+
+let prop_oracle_matches_local_reference =
+  QCheck.Test.make
+    ~name:"retained oracle matches this file's independent reference"
+    ~count:500 arb_buf_range
+    (fun (s, off, len) ->
+      let b = Bytes.of_string s in
+      Inet_csum.fold (Inet_csum.reference_of_bytes ~off ~len b)
+      = reference_sum b ~off ~len)
+
+let prop_copy_and_sum =
+  QCheck.Test.make
+    ~name:"copy_and_sum copies exactly and sums like the oracle" ~count:1000
+    QCheck.(pair arb_buf_range (int_bound 8))
+    (fun ((s, src_off, len), dst_off) ->
+      let src = Bytes.of_string s in
+      let dst = Bytes.make (dst_off + len + 5) '\xaa' in
+      let sum = Inet_csum.copy_and_sum ~src ~src_off ~dst ~dst_off ~len in
+      Bytes.equal (Bytes.sub dst dst_off len) (Bytes.sub src src_off len)
+      && Inet_csum.equal sum (Inet_csum.reference_of_bytes ~off:dst_off ~len dst)
+      (* guard bytes around the destination window untouched *)
+      && (dst_off = 0 || Bytes.get dst (dst_off - 1) = '\xaa')
+      && Bytes.get dst (dst_off + len) = '\xaa')
+
+let prop_copy_and_sum_overlap =
+  QCheck.Test.make
+    ~name:"copy_and_sum has memmove semantics on overlapping ranges"
+    ~count:500
+    QCheck.(triple (string_of_size Gen.(1 -- 200)) small_nat small_nat)
+    (fun (s, a, c) ->
+      let n = String.length s in
+      let len = 1 + (a mod n) in
+      let max_off = n - len in
+      let src_off = c mod (max_off + 1) in
+      let dst_off = ((a * 7) + c) mod (max_off + 1) in
+      let fused = Bytes.of_string s in
+      let model = Bytes.of_string s in
+      let sum =
+        Inet_csum.copy_and_sum ~src:fused ~src_off ~dst:fused ~dst_off ~len
+      in
+      Bytes.blit model src_off model dst_off len;
+      Bytes.equal fused model
+      && Inet_csum.equal sum
+           (Inet_csum.reference_of_bytes ~off:dst_off ~len model))
+
 let test_pseudo_header () =
   let src = 0x0a000001l and dst = 0x0a000002l in
   let p = Inet_csum.pseudo_header ~src ~dst ~proto:6 ~len:20 in
@@ -241,6 +310,10 @@ let () =
           Alcotest.test_case "udp zero impossibility" `Quick
             test_never_zero_with_pseudo;
           QCheck_alcotest.to_alcotest prop_matches_reference;
+          QCheck_alcotest.to_alcotest prop_kernel_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_oracle_matches_local_reference;
+          QCheck_alcotest.to_alcotest prop_copy_and_sum;
+          QCheck_alcotest.to_alcotest prop_copy_and_sum_overlap;
           QCheck_alcotest.to_alcotest prop_concat;
           QCheck_alcotest.to_alcotest prop_sub;
           QCheck_alcotest.to_alcotest prop_concat_associative;

@@ -1,12 +1,15 @@
 let flatten_count = ref 0
 let wcab_count = ref 0
+let materialized_count = ref 0
 
 let conversions () = !flatten_count
 let wcab_conversions () = !wcab_count
+let csum_materializations () = !materialized_count
 
 let reset_counters () =
   flatten_count := 0;
-  wcab_count := 0
+  wcab_count := 0;
+  materialized_count := 0
 
 let flatten_for_legacy ~host ~proc_hint m k =
   let total = Mbuf.chain_len m in
@@ -28,7 +31,36 @@ let flatten_for_legacy ~host ~proc_hint m k =
   let finish () =
     if uio_bytes > 0 then incr flatten_count;
     let buf = Bytes.create total in
-    Mbuf.copy_into m ~off:0 ~len:total buf ~dst_off:0;
+    let pending_csum =
+      match m.Mbuf.pkthdr with Some ph -> ph.Mbuf.tx_csum | None -> None
+    in
+    (match pending_csum with
+    | Some rec_
+      when Ipv4_header.size + rec_.Csum_offload.skip_bytes <= total
+           && Ipv4_header.size + rec_.Csum_offload.csum_offset + 2 <= total ->
+        (* The packet was built for an offloading device — its checksum
+           field holds only the pseudo-header seed — but is leaving
+           through a legacy interface whose hardware will not finish the
+           job.  Materialize the checksum in software, fused with the
+           flatten copy so the data is still touched only once.  The
+           offload record is transport-relative; the chain here starts at
+           the IP header. *)
+        incr materialized_count;
+        let skip = Ipv4_header.size + rec_.Csum_offload.skip_bytes in
+        Mbuf.copy_into m ~off:0 ~len:skip buf ~dst_off:0;
+        let s =
+          Mbuf.copy_into_csum m ~off:skip ~len:(total - skip) buf
+            ~dst_off:skip
+        in
+        (* The seed sits inside the summed range, so the field value is
+           the plain complement of the sum — same arithmetic as the
+           adaptor's [Csum_offload.tx_finalize]. *)
+        let fld = Ipv4_header.size + rec_.Csum_offload.csum_offset in
+        Bytes.set_uint16_be buf fld (Inet_csum.finish s);
+        (match m.Mbuf.pkthdr with
+        | Some ph -> ph.Mbuf.tx_csum <- None
+        | None -> ())
+    | Some _ | None -> Mbuf.copy_into m ~off:0 ~len:total buf ~dst_off:0);
     (* The copy satisfies copy semantics: credit the UIO counters. *)
     Mbuf.iter
       (fun (mb : Mbuf.t) ->

@@ -127,6 +127,103 @@ let prop_bidirectional_independence =
       Sim.run ~until:(Simtime.s 60.) tb.Testbed.sim;
       fst !ok && snd !ok)
 
+(* ---------- data-touching kernels over mbuf chains ----------
+
+   Build chains mixing regular (internal/cluster) storage with M_UIO
+   descriptor segments at random, odd-length boundaries, and hold
+   [Mbuf.checksum] / [Mbuf.copy_into_csum] against the byte-at-a-time
+   oracle over the flat golden buffer.  Odd segment lengths exercise the
+   cross-segment [concat ~first_len] parity swap. *)
+
+let profile = Host_profile.alpha400
+
+(* A chain whose bytes are exactly [golden], cut into [cuts] segments;
+   segment [i] is a UIO descriptor when [uio.(i)], else regular storage. *)
+let build_mixed_chain ~golden ~cuts ~uio =
+  let sp = Addr_space.create ~profile ~name:"fuzzk" in
+  let n = Bytes.length golden in
+  let piece i lo hi =
+    let len = hi - lo in
+    if uio.(i) then begin
+      let r = Addr_space.alloc sp len in
+      Region.blit_from_bytes golden ~src_off:lo r ~dst_off:0 ~len;
+      Mbuf.make_uio ~space:sp ~region:r
+        ~hdr:{ Mbuf.csum = None; notify = None }
+    end
+    else Mbuf.of_bytes (Bytes.sub golden lo len)
+  in
+  let rec go i lo = function
+    | [] ->
+        if lo < n then [ piece i lo n ] else []
+    | c :: rest ->
+        if c <= lo || c >= n then go i lo rest
+        else piece i lo c :: go (i + 1) c rest
+  in
+  match go 0 0 cuts with
+  | [] -> Mbuf.of_bytes (Bytes.copy golden)
+  | first :: rest ->
+      List.iter (fun m -> Mbuf.append first m) rest;
+      first
+
+let arb_chain_case =
+  QCheck.make
+    QCheck.Gen.(
+      let* s = string_size (1 -- 400) in
+      let n = String.length s in
+      let* cuts = list_size (0 -- 6) (1 -- max 1 (n - 1)) in
+      let* uio = list_size (return 8) bool in
+      let* off = 0 -- (n - 1) in
+      let* len = 1 -- (n - off) in
+      return (s, List.sort_uniq compare cuts, Array.of_list uio, off, len))
+    ~print:(fun (s, cuts, _uio, off, len) ->
+      Printf.sprintf "n=%d cuts=%s off=%d len=%d" (String.length s)
+        (String.concat "," (List.map string_of_int cuts))
+        off len)
+
+let prop_chain_checksum_matches_oracle =
+  QCheck.Test.make
+    ~name:"chain checksum = flat oracle (mixed UIO, odd cuts)" ~count:500
+    arb_chain_case
+    (fun (s, cuts, uio, off, len) ->
+      let golden = Bytes.of_string s in
+      let chain = build_mixed_chain ~golden ~cuts ~uio in
+      let got = Mbuf.checksum chain ~off ~len in
+      let want = Inet_csum.reference_of_bytes ~off ~len golden in
+      Mbuf.free chain;
+      Inet_csum.equal got want)
+
+let prop_chain_copy_csum_matches_oracle =
+  QCheck.Test.make
+    ~name:"fused chain copy+checksum = copy then oracle" ~count:500
+    arb_chain_case
+    (fun (s, cuts, uio, off, len) ->
+      let golden = Bytes.of_string s in
+      let chain = build_mixed_chain ~golden ~cuts ~uio in
+      let dst_off = (off * 3) mod 5 in
+      let dst = Bytes.make (dst_off + len + 2) '\xee' in
+      let sum = Mbuf.copy_into_csum chain ~off ~len dst ~dst_off in
+      Mbuf.free chain;
+      Bytes.equal (Bytes.sub dst dst_off len) (Bytes.sub golden off len)
+      && Inet_csum.equal sum (Inet_csum.reference_of_bytes ~off ~len golden)
+      && Bytes.get dst (dst_off + len) = '\xee'
+      && (dst_off = 0 || Bytes.get dst (dst_off - 1) = '\xee'))
+
+let prop_chain_view_agrees =
+  QCheck.Test.make
+    ~name:"view windows read back the same bytes as copy_into" ~count:300
+    arb_chain_case
+    (fun (s, cuts, uio, off, len) ->
+      let golden = Bytes.of_string s in
+      let chain = build_mixed_chain ~golden ~cuts ~uio in
+      let ok =
+        match Mbuf.view chain ~off ~len with
+        | None -> true (* spans a boundary: nothing to check *)
+        | Some (b, pos) ->
+            Bytes.equal (Bytes.sub b pos len) (Bytes.sub golden off len)
+      in
+      Mbuf.free chain;
+      ok)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -135,5 +232,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_single_copy_stream;
           QCheck_alcotest.to_alcotest prop_unmodified_stream;
           QCheck_alcotest.to_alcotest prop_bidirectional_independence;
+        ] );
+      ( "kernels",
+        [
+          QCheck_alcotest.to_alcotest prop_chain_checksum_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_chain_copy_csum_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_chain_view_agrees;
         ] );
     ]
