@@ -114,7 +114,11 @@ let finalize_csum (pkt : Netmem.packet) =
 
 let do_mdma t (pkt : Netmem.packet) { dst; channel; keep } =
   finalize_csum pkt;
-  let frame = Bytes.sub pkt.buf 0 pkt.len in
+  (* The wire frame is a recycled buffer: [deliver] on the receiving
+     adaptor consumes it and returns it to the pool once the data has
+     been copied into network memory. *)
+  let frame = Bufpool.get Bufpool.shared pkt.len in
+  Bytes.blit pkt.buf 0 frame 0 pkt.len;
   t.mdma_packets <- t.mdma_packets + 1;
   t.mdma_bytes <- t.mdma_bytes + pkt.len;
   t.transmit frame ~dst ~channel;
@@ -249,10 +253,15 @@ let tx_free t pkt = Netmem.free t.mem pkt
 
 let rx_csum_start = 4 * Hippi_framing.rx_csum_start_words
 
+(* [deliver] consumes [frame]: once the bytes are in network memory the
+   buffer goes back to the shared pool, so callers must not touch a frame
+   after handing it over. *)
 let deliver t frame =
   let len = Bytes.length frame in
   match Netmem.alloc t.mem ~len ~state:Netmem.Receiving with
-  | None -> t.rx_dropped <- t.rx_dropped + 1
+  | None ->
+      t.rx_dropped <- t.rx_dropped + 1;
+      Bufpool.put Bufpool.shared frame
   | Some pkt ->
       t.rx_packets <- t.rx_packets + 1;
       t.rx_bytes <- t.rx_bytes + len;
@@ -271,6 +280,7 @@ let deliver t frame =
         end
       in
       pkt.body_sum <- engine_sum;
+      Bufpool.put Bufpool.shared frame;
       let channel =
         match Hippi_framing.decode pkt.buf ~off:0 with
         | Ok h -> h.Hippi_framing.channel
@@ -278,17 +288,19 @@ let deliver t frame =
       in
       let head_len = min (4 * t.autodma_words) len in
       let complete = len <= head_len in
-      (* Auto-DMA of the prefix into a preallocated host buffer, then the
-         receive interrupt. *)
+      (* Auto-DMA of the prefix, then the receive interrupt.  The bus
+         transfer is charged here; [rx_head] is a window on the packet
+         buffer ([rx_head_len] valid bytes) that the driver copies out of
+         synchronously in the interrupt handler, before it can release
+         the packet. *)
       let duration = Memcost.bus_transfer t.profile head_len in
       Resource.acquire t.bus duration (fun () ->
-          let head = Bytes.sub pkt.buf 0 head_len in
           pkt.state <- Netmem.Held;
           raise_intr t
             (Rx_packet
                {
                  rx_pkt = pkt;
-                 rx_head = head;
+                 rx_head = pkt.buf;
                  rx_head_len = head_len;
                  rx_total_len = len;
                  rx_engine_sum = engine_sum;

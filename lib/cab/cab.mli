@@ -139,7 +139,10 @@ val tx_free : t -> Netmem.packet -> unit
 (** {1 Receive} *)
 
 val deliver : t -> Bytes.t -> unit
-(** Media receive entry: wire as the rx callback of the link/switch. *)
+(** Media receive entry: wire as the rx callback of the link/switch.
+    Consumes the frame — once its bytes are in network memory the buffer
+    is recycled through {!Bufpool.shared}, so the caller must not touch
+    it after handing it over. *)
 
 val sdma_copy_out :
   t ->

@@ -51,7 +51,10 @@ let alloc t ~len ~state =
     Some
       {
         id;
-        buf = Bytes.create (pages * Page.cab_page_size);
+        (* Page-granular buffers recycle perfectly by exact size; the
+           producer (SDMA / frame copy-in) overwrites [0, len) before any
+           byte is read, so stale contents are harmless. *)
+        buf = Bufpool.get Bufpool.shared (pages * Page.cab_page_size);
         len;
         hdr_len = 0;
         header_sum = Inet_csum.zero;
@@ -68,7 +71,8 @@ let free t pkt =
     invalid_arg
       (Printf.sprintf "Netmem.free: packet %d not live (double free?)" pkt.id);
   Hashtbl.remove t.live_ids pkt.id;
-  t.used <- t.used - pkt.pages
+  t.used <- t.used - pkt.pages;
+  Bufpool.put Bufpool.shared pkt.buf
 
 let capacity_pages t = t.capacity
 let free_pages t = t.capacity - t.used

@@ -25,6 +25,22 @@ external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
 external unsafe_set_16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
 external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
 
+(* Native bulk kernels (csum_kernel.c): the checksum engines' data-touching
+   loops, with the sum held in independent 32-bit lanes so the C compiler
+   can vectorise.  Both return the sum folded towards 16 bits in native
+   order; [finish_native]'s byte swap still applies.  No allocation and no
+   callbacks, hence [@@noalloc]. *)
+external native_sum : Bytes.t -> int -> int -> int = "nectar_csum_sum_stub"
+[@@noalloc]
+
+external native_copy_sum : Bytes.t -> int -> Bytes.t -> int -> int -> int
+  = "nectar_csum_copy_sum_stub"
+[@@noalloc]
+
+(* Below this length the OCaml word loops win (no external-call setup) and
+   the protocol headers stay on the pure-OCaml path. *)
+let native_threshold = 64
+
 let big_endian = Sys.big_endian
 
 (* Fold a native-order accumulator [s] (plus the odd trailing byte [last],
@@ -41,6 +57,11 @@ let check_range ~what buf ~off ~len =
 let of_bytes ?(off = 0) ?len buf =
   let len = match len with Some l -> l | None -> Bytes.length buf - off in
   check_range ~what:"Inet_csum.of_bytes" buf ~off ~len;
+  if len >= native_threshold then begin
+    let s = normalize (native_sum buf off len) in
+    if big_endian then s else swab16 s
+  end
+  else begin
   let even_stop = off + len - (len land 1) in
   let s = ref 0 in
   let i = ref off in
@@ -59,6 +80,7 @@ let of_bytes ?(off = 0) ?len buf =
   finish_native ~odd:(len land 1 = 1)
     ~last:(if len land 1 = 1 then Bytes.get_uint8 buf (off + len - 1) else 0)
     !s
+  end
 
 (* Retained byte-at-a-time implementation: the oracle the property tests
    hold the word-wise kernels against. *)
@@ -85,6 +107,10 @@ let copy_and_sum ~src ~src_off ~dst ~dst_off ~len =
     (* Overlapping in-buffer move: memmove first, then sum the result. *)
     Bytes.blit src src_off dst dst_off len;
     of_bytes ~off:dst_off ~len dst
+  end
+  else if len >= native_threshold then begin
+    let s = normalize (native_copy_sum src src_off dst dst_off len) in
+    if big_endian then s else swab16 s
   end
   else begin
     let even_len = len - (len land 1) in

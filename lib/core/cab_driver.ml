@@ -239,10 +239,14 @@ let output t ifc pkt ~next_hop =
                         | Some n -> n.Mbuf.dma_pending <= seg
                         | None -> false
                       in
+                      (* Set for zero-copy captures: releases the pin on
+                         the mbuf storage once the SDMA has committed. *)
+                      let release = ref (fun () -> ()) in
                       let on_complete () =
                         (match notify with
                         | Some n -> Mbuf.notify_complete_n n seg
                         | None -> ());
+                        !release ();
                         decr remaining;
                         if !remaining = 0 then maybe_convert ()
                       in
@@ -281,19 +285,21 @@ let output t ifc pkt ~next_hop =
                               (d.Mbuf.wcab_base + mb.Mbuf.off)
                               b 0 seg;
                             Cab.From_kernel b
-                        | Mbuf.Internal b | Mbuf.Cluster b ->
+                        | Mbuf.Internal c | Mbuf.Cluster c ->
                             t.s <-
                               {
                                 t.s with
                                 tx_kernel_segments = t.s.tx_kernel_segments + 1;
                               };
                             (* Zero-copy capture: hand the adaptor a window
-                               on the mbuf storage itself.  [Mbuf.free]
-                               below only updates pool statistics — the
-                               bytes are never recycled — so the window
-                               stays valid until the SDMA commits. *)
+                               on the mbuf storage itself.  The storage is
+                               pinned ([retain_storage]) so the pool cannot
+                               recycle it between the [Mbuf.free] below and
+                               the SDMA commit; [on_complete] drops the
+                               pin. *)
+                            release := Mbuf.retain_storage mb;
                             Cab.From_mbuf
-                              { buf = b; off = mb.Mbuf.off; len = seg }
+                              { buf = c.Mbuf.cbuf; off = mb.Mbuf.off; len = seg }
                       in
                       (src, this_off, interrupt, on_complete))
                     nonempty
@@ -386,9 +392,12 @@ let handle_rx t (info : Cab.rx_info) =
   let host_bytes = head_len - hippi_hdr in
   if host_bytes <= 0 then Cab.rx_free t.cab info.Cab.rx_pkt
   else begin
-    let head_data = Bytes.create host_bytes in
-    Bytes.blit info.Cab.rx_head hippi_hdr head_data 0 host_bytes;
-    let head = Mbuf.of_bytes ~pkthdr:true head_data in
+    (* Copy the auto-DMA'd prefix (minus link framing) straight into
+       pooled mbuf storage — no intermediate staging buffer. *)
+    let head =
+      Mbuf.of_bytes ~pkthdr:true ~off:hippi_hdr ~len:host_bytes
+        info.Cab.rx_head
+    in
     if info.Cab.rx_complete then begin
       Cab.rx_free t.cab info.Cab.rx_pkt;
       (match (t.mode, head.Mbuf.pkthdr) with

@@ -15,8 +15,16 @@ type t = {
   intr_q : item Queue.t;
   normal_q : item Queue.t;
   buckets : (string * mode, int ref) Hashtbl.t;
+  (* One-entry bucket memo: the steady state charges the same
+     (proc, mode) pair event after event, so the common case skips the
+     tuple key and the hashed lookup. *)
+  mutable last_proc : string;
+  mutable last_mode : mode;
+  mutable last_cell : int ref;
   mutable busy_total : Simtime.t;
 }
+
+let no_cell : int ref = ref 0
 
 let create ~sim ~name =
   {
@@ -27,6 +35,9 @@ let create ~sim ~name =
     intr_q = Queue.create ();
     normal_q = Queue.create ();
     buckets = Hashtbl.create 8;
+    last_proc = "";
+    last_mode = Sys;
+    last_cell = no_cell;
     busy_total = 0;
   }
 
@@ -34,14 +45,24 @@ let name t = t.name
 let set_idle_proc t p = t.idle_proc <- p
 
 let charge t proc mode d =
-  let key = (proc, mode) in
   let cell =
-    match Hashtbl.find_opt t.buckets key with
-    | Some c -> c
-    | None ->
-        let c = ref 0 in
-        Hashtbl.add t.buckets key c;
-        c
+    if t.last_cell != no_cell && t.last_mode == mode && String.equal t.last_proc proc
+    then t.last_cell
+    else begin
+      let key = (proc, mode) in
+      let c =
+        match Hashtbl.find_opt t.buckets key with
+        | Some c -> c
+        | None ->
+            let c = ref 0 in
+            Hashtbl.add t.buckets key c;
+            c
+      in
+      t.last_proc <- proc;
+      t.last_mode <- mode;
+      t.last_cell <- c;
+      c
+    end
   in
   cell := !cell + d;
   t.busy_total <- t.busy_total + d
@@ -67,7 +88,7 @@ let rec start_next t =
 
 let submit t queue item =
   Queue.push item queue;
-  if t.running = None then start_next t
+  match t.running with None -> start_next t | Some _ -> ()
 
 let execute t ~proc ~mode duration k =
   submit t t.normal_q { duration; proc; mode; k }
@@ -95,4 +116,6 @@ let queue_length t =
 
 let reset_accounting t =
   Hashtbl.reset t.buckets;
+  (* The memoised cell points into the dropped table: invalidate it. *)
+  t.last_cell <- no_cell;
   t.busy_total <- 0

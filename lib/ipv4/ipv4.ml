@@ -37,6 +37,23 @@ type t = {
   frag : Ip_frag.t;
   mutable s_frags_sent : int;
   mutable s_frags_rcvd : int;
+  mutable hdr_memo : hdr_memo option;
+}
+
+(* Steady-state flow memo: a connection's packets repeat the same
+   (src, dst, proto, tos, ttl), so the header prototype (total_len,
+   ident, flags and checksum fields zero) and its checksum base are
+   cached — per packet the header cost is two 16-bit patches and an
+   incremental [finish (base + len + ident)] instead of a fresh encode
+   with a full 20-byte checksum pass. *)
+and hdr_memo = {
+  p_src : Inaddr.t;
+  p_dst : Inaddr.t;
+  p_proto : int;
+  p_tos : int;
+  p_ttl : int;
+  p_tpl : Bytes.t;
+  p_base : Inet_csum.sum;
 }
 
 let create ~host =
@@ -58,7 +75,37 @@ let create ~host =
     frag = Ip_frag.create ~host ();
     s_frags_sent = 0;
     s_frags_rcvd = 0;
+    hdr_memo = None;
   }
+
+let hdr_template t ~src ~dst ~proto ~tos ~ttl =
+  match t.hdr_memo with
+  | Some m
+    when Inaddr.equal m.p_src src && Inaddr.equal m.p_dst dst
+         && m.p_proto = proto && m.p_tos = tos && m.p_ttl = ttl ->
+      m
+  | Some _ | None ->
+      let tpl = Bytes.make Ipv4_header.size '\000' in
+      Bytes.set_uint8 tpl 0 0x45 (* version 4, ihl 5 *);
+      Bytes.set_uint8 tpl 1 tos;
+      (* total_len (2), ident (4), flags (6), checksum (10) stay zero *)
+      Bytes.set_uint8 tpl 8 ttl;
+      Bytes.set_uint8 tpl 9 proto;
+      Bytes.set_int32_be tpl 12 src;
+      Bytes.set_int32_be tpl 16 dst;
+      let m =
+        {
+          p_src = src;
+          p_dst = dst;
+          p_proto = proto;
+          p_tos = tos;
+          p_ttl = ttl;
+          p_tpl = tpl;
+          p_base = Inet_csum.of_bytes tpl;
+        }
+      in
+      t.hdr_memo <- Some m;
+      m
 
 let host t = t.host
 let routing t = t.routing
@@ -120,12 +167,20 @@ let output t ~proto ?src ~dst ?(tos = 0) ?(ttl = 64) seg =
           | Some ph -> ph.Mbuf.on_outboard
           | None -> None
         in
-        let hdr =
-          Ipv4_header.make ~tos ~ident ~ttl ~proto ~src ~dst ~total_len ()
+        (* Unfragmented packet: flags field is zero, so the cached
+           prototype needs only total_len, ident and the incrementally
+           derived header checksum patched in. *)
+        let memo = hdr_template t ~src ~dst ~proto ~tos ~ttl in
+        let hbytes = memo.p_tpl in
+        Bytes.set_uint16_be hbytes 2 total_len;
+        Bytes.set_uint16_be hbytes 4 ident;
+        let csum =
+          Inet_csum.finish
+            (Inet_csum.add_u16 (Inet_csum.add_u16 memo.p_base total_len)
+               ident)
         in
+        Bytes.set_uint16_be hbytes 10 csum;
         let pkt = Mbuf.prepend seg Ipv4_header.size in
-        let hbytes = Bytes.create Ipv4_header.size in
-        Ipv4_header.encode hdr hbytes ~off:0;
         Mbuf.copy_from pkt ~off:0 ~len:Ipv4_header.size hbytes ~src_off:0;
         (match pkt.Mbuf.pkthdr with
         | Some ph ->

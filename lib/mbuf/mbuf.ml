@@ -40,9 +40,16 @@ type wcab_desc = {
   wcab_refs : int ref;
 }
 
+(* Internal and cluster buffers are refcounted cells so that (a) shared
+   cluster storage ([copy_range]/[split]) is returned to the free list
+   only when the last reference drops, and (b) a driver can hold the
+   bytes across an asynchronous DMA capture ([retain_storage]) without
+   the pool recycling them underneath the transfer. *)
+type cell = { cbuf : Bytes.t; mutable refs : int }
+
 type storage =
-  | Internal of Bytes.t
-  | Cluster of Bytes.t
+  | Internal of cell
+  | Cluster of cell
   | Ext_uio of uio_desc
   | Ext_wcab of wcab_desc
 
@@ -66,31 +73,140 @@ type t = {
 let msize = 256
 let mclbytes = 2048
 
-(* ---- pool statistics ---- *)
+(* ---- storage pool ---- *)
 
+(* Free lists of recycled internal/cluster cells.  [get]/[put] keep the
+   steady-state datapath allocation-free: a released buffer goes back on
+   its free list and the next construction pops it instead of calling
+   [Bytes.create].  Only exactly-[msize]/[mclbytes] cells are recycled;
+   odd-sized buffers (oversize [prepend]/[pullup] heads) are left to the
+   GC. *)
 module Pool = struct
+  let max_small = 512
+  let max_clusters = 1024
+
   let live = ref 0
   let live_clusters = ref 0
-  let allocs = ref 0
+  let hwm_live = ref 0
+  let hwm_cl = ref 0
+
+  (* Surfaced through the engine's stats counters so harnesses and the
+     macro benchmark can read pool behaviour uniformly. *)
+  let allocs = Stats.Counter.create ()
+  let hits = Stats.Counter.create ()
+  let misses = Stats.Counter.create ()
+  let recycled = Stats.Counter.create ()
+
+  (* Free-lists as preallocated stacks: [put]/[get] in steady state touch
+     one array slot and a counter — no list cons, nothing for the GC.
+     Slots above the stack pointer hold [dummy] so popped cells do not
+     linger reachable. *)
+  let dummy = { cbuf = Bytes.create 0; refs = 0 }
+  let small_stack = Array.make max_small dummy
+  let nsmall = ref 0
+  let cluster_stack = Array.make max_clusters dummy
+  let nclusters = ref 0
 
   let allocated () = !live
   let clusters () = !live_clusters
-  let total_allocs () = !allocs
+  let total_allocs () = Stats.Counter.get allocs
+  let hit_count () = Stats.Counter.get hits
+  let miss_count () = Stats.Counter.get misses
+  let recycled_count () = Stats.Counter.get recycled
+  let free_small () = !nsmall
+  let free_clusters () = !nclusters
+  let hwm () = !hwm_live
+  let hwm_clusters () = !hwm_cl
+
+  let hit_rate () =
+    let h = Stats.Counter.get hits and m = Stats.Counter.get misses in
+    if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
 
   let reset () =
     live := 0;
     live_clusters := 0;
-    allocs := 0
+    hwm_live := 0;
+    hwm_cl := 0;
+    Stats.Counter.reset allocs;
+    Stats.Counter.reset hits;
+    Stats.Counter.reset misses;
+    Stats.Counter.reset recycled
+
+  let trim () =
+    let bytes = (!nsmall * msize) + (!nclusters * mclbytes) in
+    Array.fill small_stack 0 max_small dummy;
+    nsmall := 0;
+    Array.fill cluster_stack 0 max_clusters dummy;
+    nclusters := 0;
+    (bytes + 4095) / 4096
 
   let note_alloc storage =
     incr live;
-    incr allocs;
-    match storage with Cluster _ -> incr live_clusters | _ -> ()
+    if !live > !hwm_live then hwm_live := !live;
+    match storage with
+    | Cluster _ ->
+        incr live_clusters;
+        if !live_clusters > !hwm_cl then hwm_cl := !live_clusters
+    | _ -> ()
 
   let note_free storage =
     decr live;
     match storage with Cluster _ -> decr live_clusters | _ -> ()
+
+  let get_small () =
+    if !nsmall > 0 then begin
+      decr nsmall;
+      let c = small_stack.(!nsmall) in
+      small_stack.(!nsmall) <- dummy;
+      Stats.Counter.incr hits;
+      c.refs <- 1;
+      c
+    end
+    else begin
+      Stats.Counter.incr misses;
+      Stats.Counter.incr allocs;
+      { cbuf = Bytes.create msize; refs = 1 }
+    end
+
+  let get_cluster () =
+    if !nclusters > 0 then begin
+      decr nclusters;
+      let c = cluster_stack.(!nclusters) in
+      cluster_stack.(!nclusters) <- dummy;
+      Stats.Counter.incr hits;
+      c.refs <- 1;
+      c
+    end
+    else begin
+      Stats.Counter.incr misses;
+      Stats.Counter.incr allocs;
+      { cbuf = Bytes.create mclbytes; refs = 1 }
+    end
+
+  let put c =
+    let n = Bytes.length c.cbuf in
+    if n = msize && !nsmall < max_small then begin
+      small_stack.(!nsmall) <- c;
+      incr nsmall;
+      Stats.Counter.incr recycled
+    end
+    else if n = mclbytes && !nclusters < max_clusters then begin
+      cluster_stack.(!nclusters) <- c;
+      incr nclusters;
+      Stats.Counter.incr recycled
+    end
 end
+
+let cell_retain c = c.refs <- c.refs + 1
+
+let cell_release c =
+  if c.refs > 0 then begin
+    c.refs <- c.refs - 1;
+    if c.refs = 0 then Pool.put c
+  end
+
+(* Fresh (non-pooled) cell for odd-sized buffers. *)
+let cell_of_bytes b = { cbuf = b; refs = 1 }
 
 (* ---- construction ---- *)
 
@@ -115,10 +231,10 @@ let mk ?(pkthdr = false) storage ~off ~len =
     uwhdr = None;
   }
 
-let get ?pkthdr () = mk ?pkthdr (Internal (Bytes.create msize)) ~off:0 ~len:0
+let get ?pkthdr () = mk ?pkthdr (Internal (Pool.get_small ())) ~off:0 ~len:0
 
 let get_cluster ?pkthdr () =
-  mk ?pkthdr (Cluster (Bytes.create mclbytes)) ~off:0 ~len:0
+  mk ?pkthdr (Cluster (Pool.get_cluster ())) ~off:0 ~len:0
 
 let rec chain_len m =
   m.len + match m.next with None -> 0 | Some n -> chain_len n
@@ -128,31 +244,27 @@ let fix_pkthdr m =
   | None -> ()
   | Some h -> h.pkt_len <- chain_len m
 
-let of_bytes ?(pkthdr = false) src =
-  let total = Bytes.length src in
+(* Shared chain builder: [fill pos dst seg] writes [seg] bytes of source
+   data starting at source offset [pos] into [dst] at offset 0. *)
+let build_chain ?(pkthdr = false) ~total fill =
   let rec build pos =
     if pos >= total then None
-    else
+    else begin
       let seg = min mclbytes (total - pos) in
-      let storage, cap =
-        if seg <= msize then (Internal (Bytes.create msize), msize)
-        else (Cluster (Bytes.create mclbytes), mclbytes)
+      let cell =
+        if seg <= msize then Pool.get_small () else Pool.get_cluster ()
       in
-      ignore cap;
-      let buf =
-        match storage with
-        | Internal b | Cluster b -> b
-        | Ext_uio _ | Ext_wcab _ -> assert false
-      in
-      Bytes.blit src pos buf 0 seg;
+      let storage = if seg <= msize then Internal cell else Cluster cell in
+      fill pos cell.cbuf seg;
       let m = mk storage ~off:0 ~len:seg in
       m.next <- build (pos + seg);
       Some m
+    end
   in
   let head =
     match build 0 with
     | Some m -> m
-    | None -> mk (Internal (Bytes.create msize)) ~off:0 ~len:0
+    | None -> mk (Internal (Pool.get_small ())) ~off:0 ~len:0
   in
   if pkthdr then
     head.pkthdr <-
@@ -166,11 +278,24 @@ let of_bytes ?(pkthdr = false) src =
         };
   head
 
-let of_string ?pkthdr s = of_bytes ?pkthdr (Bytes.of_string s)
+let of_bytes ?pkthdr ?(off = 0) ?len src =
+  let len = match len with Some l -> l | None -> Bytes.length src - off in
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Mbuf.of_bytes: range out of bounds";
+  build_chain ?pkthdr ~total:len (fun pos dst seg ->
+      Bytes.blit src (off + pos) dst 0 seg)
+
+let of_string ?pkthdr s =
+  (* Blit straight from the string into the chain storage: no intermediate
+     [Bytes.of_string] copy. *)
+  build_chain ?pkthdr ~total:(String.length s) (fun pos dst seg ->
+      Bytes.blit_string s pos dst 0 seg)
 
 let alloc ?pkthdr n =
   if n < 0 then invalid_arg "Mbuf.alloc: negative";
-  of_bytes ?pkthdr (Bytes.create n)
+  (* Recycled cells hold stale data: [alloc] promises zeroed storage. *)
+  build_chain ?pkthdr ~total:n (fun _pos dst seg ->
+      Bytes.fill dst 0 seg '\000')
 
 let make_uio ~space ~region ~hdr =
   let desc = { uio_space = space; uio_region = region } in
@@ -232,7 +357,7 @@ let nth m i =
   if i < 0 then None else go m i
 
 let storage_capacity = function
-  | Internal b | Cluster b -> Bytes.length b
+  | Internal c | Cluster c -> Bytes.length c.cbuf
   | Ext_uio d -> Region.length d.uio_region
   | Ext_wcab d -> Bytes.length d.wcab_bytes - d.wcab_base
 
@@ -273,7 +398,8 @@ let iter_segments m ~off ~len f =
           else begin
             let seg = min (mb.len - skip) remaining in
             (match mb.storage with
-            | Internal b | Cluster b -> f b (mb.off + skip) seg (off + len - remaining)
+            | Internal c | Cluster c ->
+                f c.cbuf (mb.off + skip) seg (off + len - remaining)
             | Ext_uio d ->
                 (* Reading through to user memory: allowed (it is host
                    memory); the caller charges the cost.  Zero-copy: hand
@@ -318,7 +444,7 @@ let view m ~off ~len =
         else if len > mb.len - skip then None
         else (
           match mb.storage with
-          | Internal b | Cluster b -> Some (b, mb.off + skip)
+          | Internal c | Cluster c -> Some (c.cbuf, mb.off + skip)
           | Ext_uio d ->
               let ubuf, upos = Region.backing d.uio_region in
               Some (ubuf, upos + mb.off + skip)
@@ -340,8 +466,9 @@ let copy_into_raw m ~off ~len dst ~dst_off =
             let seg = min (mb.len - skip) remaining in
             let chain_off = off + len - remaining in
             (match mb.storage with
-            | Internal b | Cluster b ->
-                Bytes.blit b (mb.off + skip) dst (dst_off + (chain_off - off))
+            | Internal c | Cluster c ->
+                Bytes.blit c.cbuf (mb.off + skip) dst
+                  (dst_off + (chain_off - off))
                   seg
             | Ext_uio d ->
                 Region.blit_to_bytes d.uio_region ~src_off:(mb.off + skip)
@@ -370,9 +497,10 @@ let copy_from m ~off ~len src ~src_off =
             let seg = min (mb.len - skip) remaining in
             let chain_off = off + len - remaining in
             (match mb.storage with
-            | Internal b | Cluster b ->
-                Bytes.blit src (src_off + (chain_off - off)) b (mb.off + skip)
-                  seg
+            | Internal c | Cluster c ->
+                Bytes.blit src
+                  (src_off + (chain_off - off))
+                  c.cbuf (mb.off + skip) seg
             | Ext_uio d ->
                 Region.blit_from_bytes src
                   ~src_off:(src_off + (chain_off - off))
@@ -432,13 +560,15 @@ let prepend m n =
   end
   else begin
     let head =
-      if n <= msize then mk (Internal (Bytes.create msize)) ~off:0 ~len:n
-      else mk (Cluster (Bytes.create (max n mclbytes))) ~off:0 ~len:n
+      if n <= msize then mk (Internal (Pool.get_small ())) ~off:0 ~len:n
+      else if n <= mclbytes then
+        mk (Cluster (Pool.get_cluster ())) ~off:0 ~len:n
+      else mk (Cluster (cell_of_bytes (Bytes.create n))) ~off:0 ~len:n
     in
     (* Leave the data at the tail of the buffer so further prepends can
        reuse the leading space. *)
     (match head.storage with
-    | Internal b | Cluster b -> head.off <- Bytes.length b - n
+    | Internal c | Cluster c -> head.off <- Bytes.length c.cbuf - n
     | Ext_uio _ | Ext_wcab _ -> assert false);
     head.next <- Some m;
     head.pkthdr <- m.pkthdr;
@@ -449,11 +579,13 @@ let prepend m n =
 
 let share_storage mb ~skip ~seg =
   match mb.storage with
-  | Internal b ->
-      let nb = Bytes.create msize in
-      Bytes.blit b (mb.off + skip) nb 0 seg;
-      mk (Internal nb) ~off:0 ~len:seg
-  | Cluster b -> mk (Cluster b) ~off:(mb.off + skip) ~len:seg
+  | Internal c ->
+      let nc = Pool.get_small () in
+      Bytes.blit c.cbuf (mb.off + skip) nc.cbuf 0 seg;
+      mk (Internal nc) ~off:0 ~len:seg
+  | Cluster c ->
+      cell_retain c;
+      mk (Cluster c) ~off:(mb.off + skip) ~len:seg
   | Ext_uio d ->
       let copy = mk (Ext_uio d) ~off:(mb.off + skip) ~len:seg in
       copy.uwhdr <- mb.uwhdr;
@@ -496,7 +628,7 @@ let copy_range m ~off ~len =
   end;
   let head =
     match !head with
-    | None -> mk (Internal (Bytes.create msize)) ~off:0 ~len:0
+    | None -> mk (Internal (Pool.get_small ())) ~off:0 ~len:0
     | Some h -> h
   in
   head.pkthdr <-
@@ -515,8 +647,19 @@ let release_storage mb =
   | Ext_wcab d ->
       decr d.wcab_refs;
       if !(d.wcab_refs) = 0 then d.wcab_free ()
-  | Internal _ | Cluster _ | Ext_uio _ -> ());
+  | Internal c | Cluster c -> cell_release c
+  | Ext_uio _ -> ());
   Pool.note_free mb.storage
+
+(* Pin the head mbuf's host storage across an asynchronous transfer (the
+   driver's zero-copy SDMA capture).  The returned closure releases the
+   pin; until it runs, [free]ing the chain will not recycle the bytes. *)
+let retain_storage m =
+  match m.storage with
+  | Internal c | Cluster c ->
+      cell_retain c;
+      fun () -> cell_release c
+  | Ext_uio _ | Ext_wcab _ -> fun () -> ()
 
 let adj_head m n =
   if n < 0 then invalid_arg "Mbuf.adj_head: negative";
@@ -576,11 +719,15 @@ let pullup m n =
   if n > chain_len m then invalid_arg "Mbuf.pullup: chain too short";
   if n <= m.len && host_writable m then m
   else begin
-    let buf = Bytes.create (max n msize) in
-    copy_into m ~off:0 ~len:n buf ~dst_off:0;
+    let cell =
+      if n <= msize then Pool.get_small ()
+      else if n <= mclbytes then Pool.get_cluster ()
+      else cell_of_bytes (Bytes.create n)
+    in
+    copy_into m ~off:0 ~len:n cell.cbuf ~dst_off:0;
     let head =
-      if Bytes.length buf <= msize then mk (Internal buf) ~off:0 ~len:n
-      else mk (Cluster buf) ~off:0 ~len:n
+      if n <= msize then mk (Internal cell) ~off:0 ~len:n
+      else mk (Cluster cell) ~off:0 ~len:n
     in
     head.pkthdr <- m.pkthdr;
     m.pkthdr <- None;

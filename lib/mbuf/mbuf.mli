@@ -65,9 +65,15 @@ type wcab_desc = {
           when it drops to zero *)
 }
 
+(** Refcounted host buffer: cluster storage is shared by
+    [copy_range]/[split], and a driver may pin it across an asynchronous
+    DMA ([retain_storage]); the buffer returns to the free list only when
+    the last reference drops. *)
+type cell = { cbuf : Bytes.t; mutable refs : int }
+
 type storage =
-  | Internal of Bytes.t
-  | Cluster of Bytes.t
+  | Internal of cell
+  | Cluster of cell
   | Ext_uio of uio_desc
   | Ext_wcab of wcab_desc
 
@@ -110,9 +116,11 @@ val get : ?pkthdr:bool -> unit -> t
 val get_cluster : ?pkthdr:bool -> unit -> t
 
 val of_string : ?pkthdr:bool -> string -> t
-(** Chain of internal/cluster mbufs holding a copy of the string. *)
+(** Chain of internal/cluster mbufs holding a copy of the string (blitted
+    directly into chain storage, no intermediate buffer). *)
 
-val of_bytes : ?pkthdr:bool -> Bytes.t -> t
+val of_bytes : ?pkthdr:bool -> ?off:int -> ?len:int -> Bytes.t -> t
+(** Chain holding a copy of [src[off, off+len)] (default: all of [src]). *)
 
 val alloc : ?pkthdr:bool -> int -> t
 (** Zero-filled chain of the given total length. *)
@@ -223,18 +231,54 @@ val split : t -> int -> t * t
     is shared, not copied.  Both halves get packet headers. *)
 
 val free : t -> unit
-(** Releases the whole chain: runs WCAB release hooks, returns buffers to
-    the pool statistics. *)
+(** Releases the whole chain: runs WCAB release hooks, returns internal
+    and cluster buffers to the storage pool's free lists. *)
 
-(** {1 Pool statistics} *)
+val retain_storage : t -> unit -> unit
+(** Pin the head mbuf's host storage across an asynchronous transfer
+    (e.g. a driver's zero-copy DMA capture).  Returns the release
+    closure; until it runs, freeing the chain will not recycle the
+    bytes.  No-op closure for descriptor storage. *)
+
+(** {1 Storage pool}
+
+    Free lists of recycled [Internal]/[Cluster] buffers keep the
+    steady-state datapath allocation-free.  Only exactly-[msize] /
+    [mclbytes] buffers are recycled; odd sizes are left to the GC. *)
 
 module Pool : sig
   val allocated : unit -> int
   (** Currently live mbufs (all kinds). *)
 
   val clusters : unit -> int
+  (** Currently live cluster mbufs. *)
+
   val total_allocs : unit -> int
+  (** Fresh storage allocations ([Bytes.create]), i.e. pool misses —
+      flat across a steady-state workload once the pool is warm. *)
+
+  val hit_count : unit -> int
+  val miss_count : unit -> int
+  val recycled_count : unit -> int
+  (** Buffers returned to a free list (drops of odd sizes excluded). *)
+
+  val hit_rate : unit -> float
+  (** hits / (hits + misses), 0 when no requests yet. *)
+
+  val free_small : unit -> int
+  val free_clusters : unit -> int
+  (** Current free-list depths. *)
+
+  val hwm : unit -> int
+  val hwm_clusters : unit -> int
+  (** High-water marks of live mbufs / live clusters. *)
+
+  val trim : unit -> int
+  (** Drop both free lists; returns the number of 4K pages released. *)
+
   val reset : unit -> unit
+  (** Zero the gauges and counters.  Keeps the free lists (so tests can
+      reset statistics without discarding a warm pool). *)
 end
 
 val pp : Format.formatter -> t -> unit

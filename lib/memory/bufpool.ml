@@ -1,0 +1,67 @@
+type klass = { mutable bufs : Bytes.t list; mutable depth : int }
+
+type t = {
+  classes : (int, klass) Hashtbl.t;
+  max_per_class : int;
+  hits : Stats.Counter.t;
+  misses : Stats.Counter.t;
+  mutable free_total : int;
+}
+
+let create ?(max_per_class = 64) () =
+  {
+    classes = Hashtbl.create 8;
+    max_per_class;
+    hits = Stats.Counter.create ();
+    misses = Stats.Counter.create ();
+    free_total = 0;
+  }
+
+let get t n =
+  match Hashtbl.find_opt t.classes n with
+  | Some ({ bufs = b :: tl; _ } as k) ->
+      k.bufs <- tl;
+      k.depth <- k.depth - 1;
+      t.free_total <- t.free_total - n;
+      Stats.Counter.incr t.hits;
+      b
+  | Some _ | None ->
+      Stats.Counter.incr t.misses;
+      Bytes.create n
+
+let put t b =
+  let n = Bytes.length b in
+  let k =
+    match Hashtbl.find_opt t.classes n with
+    | Some k -> k
+    | None ->
+        let k = { bufs = []; depth = 0 } in
+        Hashtbl.replace t.classes n k;
+        k
+  in
+  if k.depth < t.max_per_class then begin
+    k.bufs <- b :: k.bufs;
+    k.depth <- k.depth + 1;
+    t.free_total <- t.free_total + n
+  end
+
+let trim t =
+  let released = t.free_total in
+  Hashtbl.reset t.classes;
+  t.free_total <- 0;
+  released
+
+let hit_count t = Stats.Counter.get t.hits
+let miss_count t = Stats.Counter.get t.misses
+
+let hit_rate t =
+  let h = hit_count t and m = miss_count t in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+let free_bytes t = t.free_total
+
+let reset_stats t =
+  Stats.Counter.reset t.hits;
+  Stats.Counter.reset t.misses
+
+let shared = create ()

@@ -1,0 +1,46 @@
+(** Exact-size-classed free lists of host byte buffers.
+
+    The steady-state datapath allocates the same few buffer sizes over
+    and over (network-memory packet buffers are whole numbers of CAB
+    pages, driver staging buffers are MTU-sized).  In OCaml any buffer
+    over 2 KBytes goes straight to the major heap, so per-packet
+    [Bytes.create] turns into GC pressure that dwarfs the data-touching
+    cost the paper is trying to expose.  A [Bufpool.t] recycles buffers
+    by exact length: [put] files a buffer under its size class, [get]
+    pops one of the same length or allocates on a miss.
+
+    Recycled buffers hold stale data — callers overwrite the range they
+    use (packet buffers are filled by DMA before any byte is read). *)
+
+type t
+
+val create : ?max_per_class:int -> unit -> t
+(** A fresh pool.  Each size class keeps at most [max_per_class]
+    (default 64) buffers; surplus [put]s are dropped to the GC. *)
+
+val get : t -> int -> Bytes.t
+(** [get t n] is a buffer of exactly [n] bytes, recycled when the size
+    class has one free.  Contents are unspecified. *)
+
+val put : t -> Bytes.t -> unit
+(** Return a buffer to its size class.  The caller must not touch the
+    buffer afterwards. *)
+
+val trim : t -> int
+(** Drop every free list; returns the number of bytes released. *)
+
+val hit_count : t -> int
+val miss_count : t -> int
+
+val hit_rate : t -> float
+(** hits / (hits + misses), 0 when no requests yet. *)
+
+val free_bytes : t -> int
+(** Total bytes currently parked on free lists. *)
+
+val reset_stats : t -> unit
+(** Zero the counters; keeps the free lists. *)
+
+val shared : t
+(** Process-wide instance used by the simulator datapath (network
+    memory, driver staging). *)

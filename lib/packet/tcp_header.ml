@@ -26,6 +26,9 @@ let bit_of_flag = function
 
 let has f t = List.mem f t.flags
 
+let flag_bits flags =
+  List.fold_left (fun acc f -> acc lor bit_of_flag f) 0 flags
+
 let options_size options =
   let raw =
     List.fold_left
@@ -50,8 +53,7 @@ let encode t ~csum buf ~off =
   Bytes.set_int32_be buf (off + 8) (Int32.of_int (t.ack land 0xffffffff));
   let data_off = hdr_size / 4 in
   Bytes.set_uint8 buf (off + 12) (data_off lsl 4);
-  let flag_bits = List.fold_left (fun acc f -> acc lor bit_of_flag f) 0 t.flags in
-  Bytes.set_uint8 buf (off + 13) flag_bits;
+  Bytes.set_uint8 buf (off + 13) (flag_bits t.flags);
   Bytes.set_uint16_be buf (off + 14) t.window;
   Bytes.set_uint16_be buf (off + 16) (csum land 0xffff);
   Bytes.set_uint16_be buf (off + 18) t.urgent;

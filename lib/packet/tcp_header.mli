@@ -26,7 +26,13 @@ val base_size : int
 val size : t -> int
 (** Header size including (padded) options — a multiple of 4. *)
 
+val options_size : option_ list -> int
+(** Encoded size of an option list, padded to a word boundary. *)
+
 val has : flag -> t -> bool
+
+val flag_bits : flag list -> int
+(** The flags byte (offset 13) for a flag list. *)
 
 val make :
   ?flags:flag list ->

@@ -314,11 +314,20 @@ let deliver_chain t chain region ~dst_off k =
               incr pending;
               let cost = Memcost.copy (profile t) ~locality:Memcost.Cold seg in
               charge t cost (fun () ->
-                  let tmp = Bytes.create seg in
-                  Mbuf.copy_into mb ~off:0 ~len:seg tmp ~dst_off:0;
-                  (* walk within this mbuf only: build a temp view *)
-                  Region.blit_from_bytes tmp ~src_off:0 dst ~dst_off:0
-                    ~len:seg;
+                  (match Mbuf.view mb ~off:0 ~len:seg with
+                  | Some (b, pos) ->
+                      (* Contiguous storage: copy straight into the user
+                         region, no staging buffer. *)
+                      Region.blit_from_bytes b ~src_off:pos dst ~dst_off:0
+                        ~len:seg
+                  | None ->
+                      (* Descriptor chains stage through a pooled buffer;
+                         walk within this mbuf only. *)
+                      let tmp = Bufpool.get Bufpool.shared seg in
+                      Mbuf.copy_into mb ~off:0 ~len:seg tmp ~dst_off:0;
+                      Region.blit_from_bytes tmp ~src_off:0 dst ~dst_off:0
+                        ~len:seg;
+                      Bufpool.put Bufpool.shared tmp);
                   release ())
           | Mbuf.K_wcab -> (
               match iface with

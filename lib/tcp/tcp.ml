@@ -149,6 +149,14 @@ type pcb = {
      the cache model for host checksum passes. *)
   mutable ws_hint_tx : int;
   mutable ws_hint_rx : int;
+  (* Steady-state transmit fast path (§4.2: per-packet bookkeeping must
+     stay cheap): a preencoded base header patched per segment, and the
+     pseudo-header checksum seed for len = 0 — per-segment seeds are one
+     [add_u16] instead of a full pseudo-header recomputation.  The
+     address/port fields never change for a connection, and the seed is
+     src/dst-commutative so the same base verifies receive checksums. *)
+  tpl : Bytes.t;
+  csum_base : Inet_csum.sum;
   (* pump guard *)
   mutable pumping : bool;
   (* callbacks *)
@@ -243,14 +251,14 @@ let default_mss tcp ~dst =
    Returns the checksum field value, the offload record for the pkthdr,
    and the extra CPU cost of the host computation. *)
 let checksum_plan pcb ~iface ~hdr_len ~(payload : Mbuf.t option) ~seg_len =
-  let pseudo =
-    Inet_csum.pseudo_header ~src:pcb.local_addr ~dst:pcb.raddr
-      ~proto:Ipv4_header.proto_tcp ~len:seg_len
-  in
+  (* Incremental seed: cached pseudo-header base plus this segment's
+     length word. *)
+  let pseudo = Inet_csum.add_u16 pcb.csum_base seg_len in
   let payload_has_wcab =
     match payload with
     | None -> false
-    | Some p -> List.mem Mbuf.K_wcab (Mbuf.chain_kinds p)
+    | Some p ->
+        Mbuf.fold (fun acc mb -> acc || Mbuf.kind mb = Mbuf.K_wcab) false p
   in
   let offload =
     pcb.tcp.cfg.single_copy && iface.Netif.single_copy
@@ -301,15 +309,46 @@ let emit pcb ~seq ~flags ~options ~(payload : Mbuf.t option) =
       (match payload with Some p -> Mbuf.free p | None -> ());
       Error "no route"
   | Some (iface, _next_hop) ->
-      let hdr =
-        Tcp_header.make ~flags ~window:(window_field pcb) ~options
-          ~src_port:pcb.lport ~dst_port:pcb.rport ~seq ~ack:pcb.rcv_nxt ()
-      in
-      let hdr_len = Tcp_header.size hdr in
+      let hdr_len = Tcp_header.base_size + Tcp_header.options_size options in
       let payload_len =
         match payload with Some p -> Mbuf.chain_len p | None -> 0
       in
       let seg_len = hdr_len + payload_len in
+      (* Encode the header (checksum field zero) into [hbytes]: the
+         per-connection template patched in place on the optionless
+         steady-state path, a fresh record + encode only when options
+         are present (SYN segments). *)
+      let hbytes =
+        if options = [] then begin
+          let b = pcb.tpl in
+          Bytes.set_int32_be b 4 (Int32.of_int (seq land 0xffffffff));
+          Bytes.set_int32_be b 8 (Int32.of_int (pcb.rcv_nxt land 0xffffffff));
+          Bytes.set_uint8 b 13 (Tcp_header.flag_bits flags);
+          Bytes.set_uint16_be b 14 (window_field pcb);
+          Bytes.set_uint16_be b 16 0;
+          b
+        end
+        else begin
+          let hdr =
+            Tcp_header.make ~flags ~window:(window_field pcb) ~options
+              ~src_port:pcb.lport ~dst_port:pcb.rport ~seq ~ack:pcb.rcv_nxt
+              ()
+          in
+          let b = Bytes.create hdr_len in
+          Tcp_header.encode hdr ~csum:0 b ~off:0;
+          b
+        end
+      in
+      (* [hbytes] may be the shared template, so every branch below must
+         copy it into the segment before returning. *)
+      let build_seg () =
+        match payload with
+        | Some p ->
+            let head = Mbuf.prepend p hdr_len in
+            Mbuf.copy_from head ~off:0 ~len:hdr_len hbytes ~src_off:0;
+            head
+        | None -> Mbuf.of_bytes ~pkthdr:true ~len:hdr_len hbytes
+      in
       (match checksum_plan pcb ~iface ~hdr_len ~payload ~seg_len with
       | `Unsendable ->
           (match payload with Some p -> Mbuf.free p | None -> ());
@@ -320,38 +359,22 @@ let emit pcb ~seq ~flags ~options ~(payload : Mbuf.t option) =
             };
           Error "outboard data on legacy path"
       | `Offload (field, record) ->
-          let hbytes = Bytes.create hdr_len in
-          Tcp_header.encode hdr ~csum:field hbytes ~off:0;
-          let seg =
-            match payload with
-            | Some p ->
-                let head = Mbuf.prepend p hdr_len in
-                Mbuf.copy_from head ~off:0 ~len:hdr_len hbytes ~src_off:0;
-                head
-            | None -> Mbuf.of_bytes ~pkthdr:true hbytes
-          in
+          Bytes.set_uint16_be hbytes Tcp_header.csum_field_offset
+            (field land 0xffff);
+          let seg = build_seg () in
           (match seg.Mbuf.pkthdr with
           | Some ph -> ph.Mbuf.tx_csum <- Some record
           | None -> assert false);
           Ok (seg, payload_len, 0)
       | `Host (pseudo, payload_sum, cost, _hdr_len) ->
-          let hbytes = Bytes.create hdr_len in
-          Tcp_header.encode hdr ~csum:0 hbytes ~off:0;
-          let hdr_sum = Inet_csum.of_bytes hbytes in
+          let hdr_sum = Inet_csum.of_bytes ~len:hdr_len hbytes in
           let total =
             Inet_csum.add pseudo
               (Inet_csum.concat ~first_len:hdr_len hdr_sum payload_sum)
           in
-          let field = Inet_csum.finish total in
-          Tcp_header.encode hdr ~csum:field hbytes ~off:0;
-          let seg =
-            match payload with
-            | Some p ->
-                let head = Mbuf.prepend p hdr_len in
-                Mbuf.copy_from head ~off:0 ~len:hdr_len hbytes ~src_off:0;
-                head
-            | None -> Mbuf.of_bytes ~pkthdr:true hbytes
-          in
+          Bytes.set_uint16_be hbytes Tcp_header.csum_field_offset
+            (Inet_csum.finish total);
+          let seg = build_seg () in
           Ok (seg, payload_len, cost))
       |> function
       | Error _ as e -> e
@@ -704,10 +727,9 @@ let rec arm_persist pcb =
 
 let verify_checksum pcb seg =
   let seg_len = Mbuf.pkt_len seg in
-  let pseudo =
-    Inet_csum.pseudo_header ~src:pcb.raddr ~dst:pcb.local_addr
-      ~proto:Ipv4_header.proto_tcp ~len:seg_len
-  in
+  (* The pseudo-header sum is commutative in src/dst, so the cached
+     transmit base serves receive verification too. *)
+  let pseudo = Inet_csum.add_u16 pcb.csum_base seg_len in
   match seg.Mbuf.pkthdr with
   | Some { Mbuf.rx_csum = Some rx; _ } ->
       (* Hardware path: add back the transport bytes the engine skipped
@@ -1015,6 +1037,12 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
 let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
   let iss = tcp.next_iss in
   tcp.next_iss <- Tcp_seq.norm (tcp.next_iss + 64000);
+  (* Preencode the connection-constant header fields; seq/ack/flags/
+     window/checksum are patched per segment (urgent stays 0). *)
+  let tpl = Bytes.make Tcp_header.base_size '\000' in
+  Bytes.set_uint16_be tpl 0 lport;
+  Bytes.set_uint16_be tpl 2 rport;
+  Bytes.set_uint8 tpl 12 ((Tcp_header.base_size / 4) lsl 4);
   let pcb =
     {
       tcp;
@@ -1057,6 +1085,10 @@ let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
       rexmt_shift = 0;
       ws_hint_tx = tcp.cfg.snd_buf;
       ws_hint_rx = tcp.cfg.rcv_buf;
+      tpl;
+      csum_base =
+        Inet_csum.pseudo_header ~src:local_addr ~dst:raddr
+          ~proto:Ipv4_header.proto_tcp ~len:0;
       pumping = false;
       on_readable = (fun () -> ());
       on_sendable = (fun () -> ());

@@ -14,12 +14,26 @@ type stats = {
   dropped_too_big : int;
 }
 
+(* Steady-state flow memo: a datagram stream repeats the same
+   (src, dst, ports) endpoint pair, so the preencoded header template
+   and the len-0 pseudo-header seed are cached and revalidated by key —
+   per-datagram work is two 16-bit patches and one [add_u16]. *)
+type flow = {
+  f_src : Inaddr.t;
+  f_dst : Inaddr.t;
+  f_sport : int;
+  f_dport : int;
+  f_tpl : Bytes.t;  (* ports preencoded; length/csum patched per dgram *)
+  f_base : Inet_csum.sum;  (* pseudo-header sum with len = 0 *)
+}
+
 type t = {
   ip : Ipv4.t;
   hst : Host.t;
   single_copy : bool;
   mutable ports : (int * (src:endpoint -> Mbuf.t -> unit)) list;
   mutable s : stats;
+  mutable flow : flow option;
 }
 
 let zero =
@@ -119,7 +133,7 @@ let input t ~src ~dst dgram =
 
 let create ~ip ~single_copy =
   let t =
-    { ip; hst = Ipv4.host ip; single_copy; ports = []; s = zero }
+    { ip; hst = Ipv4.host ip; single_copy; ports = []; s = zero; flow = None }
   in
   Ipv4.register_protocol ip ~proto:Ipv4_header.proto_udp
     (fun ~src ~dst dgram -> input t ~src ~dst dgram);
@@ -152,27 +166,49 @@ let sendto t ~proc ?(checksum = true) ~src_port ~dst payload =
           dgram_len + Ipv4_header.size > iface.Netif.mtu
         in
         let src = iface.Netif.addr in
-        let pseudo =
-          Inet_csum.pseudo_header ~src ~dst:dst.addr
-            ~proto:Ipv4_header.proto_udp ~len:dgram_len
+        (* Hit or refill the flow memo for this endpoint pair. *)
+        let fl =
+          match t.flow with
+          | Some f
+            when Inaddr.equal f.f_src src
+                 && Inaddr.equal f.f_dst dst.addr
+                 && f.f_sport = src_port && f.f_dport = dst.port ->
+              f
+          | Some _ | None ->
+              let tpl = Bytes.make Udp_header.size '\000' in
+              Bytes.set_uint16_be tpl 0 src_port;
+              Bytes.set_uint16_be tpl 2 dst.port;
+              let f =
+                {
+                  f_src = src;
+                  f_dst = dst.addr;
+                  f_sport = src_port;
+                  f_dport = dst.port;
+                  f_tpl = tpl;
+                  f_base =
+                    Inet_csum.pseudo_header ~src ~dst:dst.addr
+                      ~proto:Ipv4_header.proto_udp ~len:0;
+                }
+              in
+              t.flow <- Some f;
+              f
         in
-        let hdr =
-          Udp_header.make ~src_port ~dst_port:dst.port ~length:dgram_len
-        in
+        let pseudo = Inet_csum.add_u16 fl.f_base dgram_len in
         let offload =
           checksum && t.single_copy && iface.Netif.single_copy
           && not will_fragment
         in
-        let hbytes = Bytes.create Udp_header.size in
+        let hbytes = fl.f_tpl in
+        Bytes.set_uint16_be hbytes 4 dgram_len;
         let record, csum_cost =
           if not checksum then begin
-            Udp_header.encode_raw hdr ~csum:0 hbytes ~off:0;
+            Bytes.set_uint16_be hbytes Udp_header.csum_field_offset 0;
             (None, 0)
           end
           else if offload then begin
             t.s <- { t.s with csum_offloaded_tx = t.s.csum_offloaded_tx + 1 };
-            Udp_header.encode_raw hdr ~csum:(Inet_csum.fold pseudo) hbytes
-              ~off:0;
+            Bytes.set_uint16_be hbytes Udp_header.csum_field_offset
+              (Inet_csum.fold pseudo land 0xffff);
             ( Some
                 (Csum_offload.make_tx
                    ~csum_offset:Udp_header.csum_field_offset ~skip_bytes:0
@@ -181,7 +217,7 @@ let sendto t ~proc ?(checksum = true) ~src_port ~dst payload =
           end
           else begin
             t.s <- { t.s with csum_host_tx = t.s.csum_host_tx + 1 };
-            Udp_header.encode hdr ~csum:0 hbytes ~off:0;
+            Bytes.set_uint16_be hbytes Udp_header.csum_field_offset 0;
             let hdr_sum = Inet_csum.of_bytes hbytes in
             let body = Mbuf.checksum payload ~off:0 ~len:payload_len in
             let field =
@@ -189,7 +225,9 @@ let sendto t ~proc ?(checksum = true) ~src_port ~dst payload =
                 (Inet_csum.add pseudo
                    (Inet_csum.concat ~first_len:Udp_header.size hdr_sum body))
             in
-            Udp_header.encode hdr ~csum:field hbytes ~off:0;
+            (* RFC 768: a computed zero checksum is sent as all-ones. *)
+            let field = if field = 0 then 0xffff else field in
+            Bytes.set_uint16_be hbytes Udp_header.csum_field_offset field;
             ( None,
               Memcost.checksum_read t.hst.Host.profile ~locality:Memcost.Cold
                 payload_len )

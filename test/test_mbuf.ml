@@ -52,6 +52,74 @@ let test_pool_accounting () =
   check_int "all freed" 0 (Mbuf.Pool.allocated ());
   check_int "no clusters" 0 (Mbuf.Pool.clusters ())
 
+(* ---------- storage pooling ---------- *)
+
+let test_pool_recycle_clean () =
+  ignore (Mbuf.Pool.trim ());
+  Mbuf.Pool.reset ();
+  (* Populate both free lists with used storage. *)
+  let s = Mbuf.of_string ~pkthdr:true "stale small payload" in
+  let m = Mbuf.of_string ~pkthdr:true (String.make 3000 'z') in
+  Mbuf.free s;
+  Mbuf.free m;
+  check_bool "cells cached after free" true
+    (Mbuf.Pool.free_small () + Mbuf.Pool.free_clusters () > 0);
+  let before_hits = Mbuf.Pool.hit_count () in
+  let m2 = Mbuf.get ~pkthdr:true () in
+  check_bool "reuse came from the pool" true
+    (Mbuf.Pool.hit_count () > before_hits);
+  (* Recycled storage must come back logically empty — no stale length
+     or contents from its previous life. *)
+  assert_ok m2;
+  check_int "recycled mbuf is zero-length" 0 (Mbuf.chain_len m2);
+  check_int "recycled pkt_len is zero" 0 (Mbuf.pkt_len m2);
+  check_str "no stale payload" "" (Mbuf.to_string m2);
+  let c2 = Mbuf.get_cluster () in
+  assert_ok c2;
+  check_int "recycled cluster is zero-length" 0 (Mbuf.chain_len c2);
+  Mbuf.free m2;
+  Mbuf.free c2;
+  (* Ownership is clean: each free accounts exactly once. *)
+  check_int "nothing live" 0 (Mbuf.Pool.allocated ())
+
+let test_pool_steady_state_allocs () =
+  ignore (Mbuf.Pool.trim ());
+  Mbuf.Pool.reset ();
+  let round () =
+    let m = Mbuf.of_string ~pkthdr:true (String.make 6000 'a') in
+    Mbuf.free m
+  in
+  (* One warm-up round primes the free lists... *)
+  round ();
+  let warm = Mbuf.Pool.total_allocs () in
+  (* ...after which a steady-state workload allocates nothing fresh. *)
+  for _ = 1 to 50 do
+    round ()
+  done;
+  check_int "total_allocs flat once warm" warm (Mbuf.Pool.total_allocs ());
+  check_bool "steady state hit rate > 0.9" true (Mbuf.Pool.hit_rate () > 0.9);
+  check_int "nothing live at the end" 0 (Mbuf.Pool.allocated ())
+
+let test_pool_trim () =
+  ignore (Mbuf.Pool.trim ());
+  Mbuf.Pool.reset ();
+  let m = Mbuf.of_string (String.make 5000 'q') in
+  Mbuf.free m;
+  let small = Mbuf.Pool.free_small () and cl = Mbuf.Pool.free_clusters () in
+  check_bool "free lists populated" true (small + cl > 0);
+  let bytes = (small * Mbuf.msize) + (cl * Mbuf.mclbytes) in
+  check_int "trim returns the cached pages"
+    ((bytes + 4095) / 4096)
+    (Mbuf.Pool.trim ());
+  check_int "small list dropped" 0 (Mbuf.Pool.free_small ());
+  check_int "cluster list dropped" 0 (Mbuf.Pool.free_clusters ());
+  check_int "second trim releases nothing" 0 (Mbuf.Pool.trim ());
+  (* With the lists dropped, the next request must allocate fresh. *)
+  let misses = Mbuf.Pool.miss_count () in
+  let m2 = Mbuf.get () in
+  check_bool "post-trim get is a miss" true (Mbuf.Pool.miss_count () > misses);
+  Mbuf.free m2
+
 let test_uio_mbuf () =
   let sp = space () in
   let r = Addr_space.alloc sp 10000 in
@@ -363,6 +431,11 @@ let () =
         [
           Alcotest.test_case "of_string chains" `Quick test_of_string_chains;
           Alcotest.test_case "pool accounting" `Quick test_pool_accounting;
+          Alcotest.test_case "pool recycle clean" `Quick
+            test_pool_recycle_clean;
+          Alcotest.test_case "pool steady-state allocs" `Quick
+            test_pool_steady_state_allocs;
+          Alcotest.test_case "pool trim" `Quick test_pool_trim;
           Alcotest.test_case "uio mbuf" `Quick test_uio_mbuf;
           Alcotest.test_case "wcab outboard protection" `Quick
             test_wcab_outboard_protection;

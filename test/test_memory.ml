@@ -169,6 +169,58 @@ let test_pin_cache_eviction () =
   let cost_a = Pin_cache.acquire cache a in
   check_bool "a was evicted" true (cost_a > 0)
 
+let test_pin_cache_lru_touch_refreshes () =
+  let sp = space () in
+  let cache = Pin_cache.create ~space:sp ~max_pages:8 in
+  let a = Addr_space.alloc sp 32768 in
+  let b = Addr_space.alloc sp 32768 in
+  let c = Addr_space.alloc sp 32768 in
+  ignore (Pin_cache.acquire cache a);
+  ignore (Pin_cache.acquire cache b);
+  (* Touch [a]: now [b] is the least recently used entry. *)
+  check_int "touch is a hit" 0 (Pin_cache.acquire cache a);
+  ignore (Pin_cache.acquire cache c);
+  check_int "one eviction" 1 (Pin_cache.evictions cache);
+  check_int "a survived" 0 (Pin_cache.acquire cache a);
+  check_bool "b was the victim" true (Pin_cache.acquire cache b > 0)
+
+let test_pin_cache_eviction_cost_charged () =
+  let sp = space () in
+  let cache = Pin_cache.create ~space:sp ~max_pages:8 in
+  let a = Addr_space.alloc sp 32768 in
+  let b = Addr_space.alloc sp 32768 in
+  let c = Addr_space.alloc sp 32768 in
+  let cost_a = Pin_cache.acquire cache a in
+  check_int "miss without eviction = pin + map"
+    (Memcost.pin p ~pages:4 + Memcost.map p ~pages:4)
+    cost_a;
+  ignore (Pin_cache.acquire cache b);
+  (* The cache is full: acquiring [c] must also pay [a]'s unpin, folded
+     into the faulting acquire's cost rather than billed elsewhere. *)
+  let cost_c = Pin_cache.acquire cache c in
+  check_int "evicting miss also pays the victim's unpin"
+    (cost_a + Memcost.unpin p ~pages:4)
+    cost_c
+
+let test_pin_cache_flush_accounting () =
+  let sp = space () in
+  let cache = Pin_cache.create ~space:sp ~max_pages:64 in
+  let a = Addr_space.alloc sp 32768 in
+  (* 4 pages *)
+  let b = Addr_space.alloc sp 16384 in
+  (* 2 pages *)
+  ignore (Pin_cache.acquire cache a);
+  ignore (Pin_cache.acquire cache b);
+  check_int "six pages resident" 6 (Pin_cache.resident_pages cache);
+  let cost = Pin_cache.flush cache in
+  check_int "flush pays exactly the residents' unpins"
+    (Memcost.unpin p ~pages:4 + Memcost.unpin p ~pages:2)
+    cost;
+  check_int "nothing resident" 0 (Pin_cache.resident_pages cache);
+  check_int "space agrees" 0 (Addr_space.pinned_pages sp);
+  (* A flushed entry faults again. *)
+  check_bool "post-flush acquire misses" true (Pin_cache.acquire cache a > 0)
+
 let test_pin_cache_flush () =
   let sp = space () in
   let cache = Pin_cache.create ~space:sp ~max_pages:64 in
@@ -254,6 +306,12 @@ let () =
         [
           Alcotest.test_case "amortization" `Quick test_pin_cache_amortization;
           Alcotest.test_case "eviction" `Quick test_pin_cache_eviction;
+          Alcotest.test_case "lru touch refresh" `Quick
+            test_pin_cache_lru_touch_refreshes;
+          Alcotest.test_case "eviction cost charged to acquire" `Quick
+            test_pin_cache_eviction_cost_charged;
+          Alcotest.test_case "flush accounting" `Quick
+            test_pin_cache_flush_accounting;
           Alcotest.test_case "flush" `Quick test_pin_cache_flush;
           QCheck_alcotest.to_alcotest prop_pin_cache_bounded;
         ] );
