@@ -167,76 +167,171 @@ let micro ?(json = false) () =
     Printf.printf "\n  wrote %s (name -> ns/run)\n" file
   end
 
-(* ---------------- macro ttcp benchmark ----------------
+(* ---------------- macro benchmark ----------------
 
-   End-to-end ttcp transfers through the full simulated stack, on both the
-   single-copy CAB path and the unmodified two-copy path.  Each configuration
-   is run once to warm the storage pools, the pool counters are then reset
-   (keeping the free-lists), and the measured runs report
+   End-to-end workloads through the full simulated stack, on both the
+   single-copy CAB path and the unmodified two-copy path:
 
-     - real host ns per simulated transfer (what BENCH_micro gates on for
-       the 64K single-copy point, here across sizes and both modes),
-     - the simulated throughput ttcp reports, and
-     - the mbuf-pool and frame-pool hit rates over the measured runs — the
-       steady-state allocation-free property made visible (≥95% is the
-       regression gate). *)
+     - ttcp bulk transfers (4K / 64K / 1M).  The single-copy rows run the
+       adaptive path policy with TCP descriptor coalescing on — the
+       production configuration, not the paper's force-uio measurement
+       configuration — so small transfers route to whichever path the
+       policy picks.
+     - small-message RPC (64B / 512B / 4K request-response, one
+       outstanding request) — the regime the adaptive policy exists for.
+
+   Each configuration is run once to warm the storage pools, the pool
+   counters are then reset (keeping the free-lists), and the measured runs
+   report
+
+     - real host ns per simulated run (ttcp-4K-single-copy must stay at
+       or below ttcp-4K-unmodified — the small-transfer parity gate),
+     - the simulated throughput the workload achieves,
+     - the mbuf-pool and frame-pool hit rates over the measured runs
+       (≥95% is the steady-state allocation-free regression gate), and
+     - the adaptive policy's routing-decision counters where one ran. *)
+
+type macro_row = {
+  row_name : string;
+  row_ns : float;
+  row_mbit : float;
+  row_mbuf : float;
+  row_frame : float;
+  row_routing : Path_policy.stats option;
+}
+
+let macro_tcp_config ~adaptive c =
+  if adaptive then { c with Tcp.coalesce_descriptors = true } else c
+
+(* One full ttcp transfer; returns (sim Mbit/s, routing stats). *)
+let macro_ttcp ~mode ~total () =
+  let wsize = min total 65536 in
+  let adaptive = mode = Stack_mode.Single_copy in
+  let tb = Testbed.create ~mode ~tcp_config:(macro_tcp_config ~adaptive) () in
+  let r = Ttcp.run ~tb ~wsize ~total ~adaptive ~verify:false () in
+  (r.Ttcp.receiver.Measurement.throughput_mbit, r.Ttcp.sender_policy)
+
+(* [rounds] request-response exchanges of [size]-byte messages with one
+   outstanding request; returns (sim Mbit/s both directions, routing). *)
+let macro_rpc ~mode ~size ~rounds () =
+  let adaptive = mode = Stack_mode.Single_copy in
+  let tb = Testbed.create ~mode ~tcp_config:(macro_tcp_config ~adaptive) () in
+  let sim = tb.Testbed.sim in
+  let paths =
+    if adaptive then
+      { Socket.default_paths with Socket.force_uio = false; adaptive = true }
+    else Socket.default_paths
+  in
+  let finished = ref None in
+  Testbed.establish_stream tb ~port:5002 ~a_paths:paths ~b_paths:paths
+    (fun sa sb ->
+      let a_space =
+        Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"rpc"
+      in
+      let b_space =
+        Netstack.make_space tb.Testbed.b.Testbed.stack ~name:"rpc"
+      in
+      let req = Addr_space.alloc a_space size in
+      let reply = Addr_space.alloc a_space size in
+      let srv = Addr_space.alloc b_space size in
+      Region.fill_pattern req ~seed:4242;
+      let t0 = Sim.now sim in
+      let rec serve () =
+        Socket.read_exact sb srv (fun n ->
+            if n > 0 then Socket.write sb srv (fun () -> serve ()))
+      in
+      serve ();
+      let rec client i =
+        if i >= rounds then begin
+          finished :=
+            Some (Simtime.sub (Sim.now sim) t0, Socket.path_policy sa);
+          Socket.close sa
+        end
+        else
+          Socket.write sa req (fun () ->
+              Socket.read_exact sa reply (fun n ->
+                  if n <> size then failwith "macro rpc: short reply"
+                  else client (i + 1)))
+      in
+      client 0);
+  Sim.run ~until:(Simtime.s 600.) sim;
+  match !finished with
+  | None -> failwith "macro rpc: did not complete"
+  | Some (elapsed, policy) ->
+      let bits = float_of_int (rounds * size * 2 * 8) in
+      let mbit = bits /. Simtime.to_s elapsed /. 1e6 in
+      (mbit, Option.map Path_policy.stats policy)
 
 let macro ?(json = false) () =
-  let transfers = [ ("4K", 4096); ("64K", 65536); ("1M", 1 lsl 20) ] in
-  let modes = [ Stack_mode.Single_copy; Stack_mode.Unmodified ] in
-  let one ~mode ~total =
-    let wsize = min total 65536 in
-    let tb = Testbed.create ~mode () in
-    Ttcp.run ~tb ~wsize ~total ~verify:false ()
+  let measure ~name ~iters run =
+    (* Warm-up: fault in the pools, then measure with clean counters. *)
+    ignore (run ());
+    Mbuf.Pool.reset ();
+    Bufpool.reset_stats Bufpool.shared;
+    let t0 = Unix.gettimeofday () in
+    let last = ref None in
+    for _ = 1 to iters do
+      last := Some (run ())
+    done;
+    let t1 = Unix.gettimeofday () in
+    let mbit, routing = Option.get !last in
+    {
+      row_name = name;
+      row_ns = (t1 -. t0) /. float iters *. 1e9;
+      row_mbit = mbit;
+      row_mbuf = Mbuf.Pool.hit_rate ();
+      row_frame = Bufpool.hit_rate Bufpool.shared;
+      row_routing = routing;
+    }
   in
-  let configs =
+  let modes = [ Stack_mode.Single_copy; Stack_mode.Unmodified ] in
+  let transfers = [ ("4K", 4096); ("64K", 65536); ("1M", 1 lsl 20) ] in
+  let rpc_sizes = [ ("64B", 64); ("512B", 512); ("4K", 4096) ] in
+  let rows =
     List.concat_map
       (fun mode ->
+        let m = Stack_mode.to_string mode in
         List.map
           (fun (label, total) ->
-            let name =
-              Printf.sprintf "ttcp-%s-%s" label (Stack_mode.to_string mode)
-            in
-            (name, mode, total))
-          transfers)
+            measure
+              ~name:(Printf.sprintf "ttcp-%s-%s" label m)
+              ~iters:(if total >= 1 lsl 20 then 3 else 10)
+              (macro_ttcp ~mode ~total))
+          transfers
+        @ List.map
+            (fun (label, size) ->
+              measure
+                ~name:(Printf.sprintf "rpc-%s-%s" label m)
+                ~iters:5
+                (macro_rpc ~mode ~size ~rounds:64))
+            rpc_sizes)
       modes
   in
-  let rows =
-    List.map
-      (fun (name, mode, total) ->
-        (* Warm-up: fault in the pools, then measure with clean counters. *)
-        ignore (one ~mode ~total);
-        Mbuf.Pool.reset ();
-        Bufpool.reset_stats Bufpool.shared;
-        let iters = if total >= 1 lsl 20 then 3 else 10 in
-        let t0 = Unix.gettimeofday () in
-        let last = ref None in
-        for _ = 1 to iters do
-          last := Some (one ~mode ~total)
-        done;
-        let t1 = Unix.gettimeofday () in
-        let r = Option.get !last in
-        let ns = (t1 -. t0) /. float iters *. 1e9 in
-        let mbit = r.Ttcp.receiver.Measurement.throughput_mbit in
-        let mbuf_rate = Mbuf.Pool.hit_rate () in
-        let frame_rate = Bufpool.hit_rate Bufpool.shared in
-        (name, ns, mbit, mbuf_rate, frame_rate))
-      configs
-  in
-  Tabulate.print_header "Macro ttcp benchmark (full stack, both paths)";
-  let widths = [ 26; 14; 12; 10; 10 ] in
+  Tabulate.print_header
+    "Macro benchmark (full stack, both paths; ttcp bulk + small-message RPC)";
+  let widths = [ 24; 14; 12; 9; 9; 16 ] in
   Tabulate.print_row ~widths
-    [ "transfer"; "host ns/run"; "sim Mbit/s"; "mbuf hit"; "frame hit" ];
+    [ "workload"; "host ns/run"; "sim Mbit/s"; "mbuf hit"; "frame hit";
+      "routing" ];
   Tabulate.print_rule ~widths;
   List.iter
-    (fun (name, ns, mbit, mbuf_rate, frame_rate) ->
+    (fun r ->
+      let routing =
+        match r.row_routing with
+        | None -> "-"
+        | Some s ->
+            Printf.sprintf "u:%d c:%d co:%dK" s.Path_policy.uio_routed
+              s.Path_policy.copy_routed
+              (s.Path_policy.cutover_bytes / 1024)
+      in
       Tabulate.print_row ~widths
         [
-          name;
-          Printf.sprintf "%.0f" ns;
-          Printf.sprintf "%.1f" mbit;
-          Printf.sprintf "%.3f" mbuf_rate;
-          Printf.sprintf "%.3f" frame_rate;
+          r.row_name;
+          Printf.sprintf "%.0f" r.row_ns;
+          Printf.sprintf "%.1f" r.row_mbit;
+          Printf.sprintf "%.3f" r.row_mbuf;
+          Printf.sprintf "%.3f" r.row_frame;
+          routing;
         ])
     rows;
   if json then begin
@@ -244,11 +339,25 @@ let macro ?(json = false) () =
     let oc = open_out file in
     output_string oc "{\n";
     List.iteri
-      (fun i (name, ns, mbit, mbuf_rate, frame_rate) ->
+      (fun i r ->
+        let routing =
+          match r.row_routing with
+          | None -> ""
+          | Some s ->
+              Printf.sprintf
+                ", \"routing\": { \"uio\": %d, \"copy\": %d, \"unaligned\": \
+                 %d, \"below_cutover\": %d, \"cold_pin\": %d, \
+                 \"above_cutover\": %d, \"explored\": %d, \"cutover_bytes\": \
+                 %d }"
+                s.Path_policy.uio_routed s.Path_policy.copy_routed
+                s.Path_policy.unaligned s.Path_policy.below_cutover
+                s.Path_policy.cold_pin s.Path_policy.above_cutover
+                s.Path_policy.explored s.Path_policy.cutover_bytes
+        in
         Printf.fprintf oc
           "  %S: { \"ns_per_run\": %.1f, \"sim_throughput_mbit\": %.1f, \
-           \"mbuf_pool_hit_rate\": %.4f, \"frame_pool_hit_rate\": %.4f }%s\n"
-          name ns mbit mbuf_rate frame_rate
+           \"mbuf_pool_hit_rate\": %.4f, \"frame_pool_hit_rate\": %.4f%s }%s\n"
+          r.row_name r.row_ns r.row_mbit r.row_mbuf r.row_frame routing
           (if i = List.length rows - 1 then "" else ","))
       rows;
     output_string oc "}\n";

@@ -12,16 +12,21 @@ type result = {
   receiver_tcp : Tcp.pcb_stats;
   sender_socket : Socket.stats;
   receiver_socket : Socket.stats;
+  sender_policy : Path_policy.stats option;
 }
 
 (* ttcp's own loop overhead per write/read call, charged as user time. *)
 let loop_cost_us = 5.
 
-let run ~tb ~wsize ~total ?(force_uio = true) ?(verify = true) ?(port = 5001)
-    () =
+let run ~tb ~wsize ~total ?(force_uio = true) ?(adaptive = false)
+    ?(verify = true) ?(port = 5001) () =
   if total mod wsize <> 0 then
     invalid_arg "Ttcp.run: total must be a multiple of wsize";
-  let paths = { Socket.default_paths with Socket.force_uio } in
+  let paths =
+    if adaptive then
+      { Socket.default_paths with Socket.force_uio = false; adaptive = true }
+    else { Socket.default_paths with Socket.force_uio }
+  in
   let sim = tb.Testbed.sim in
   let a_host = tb.Testbed.a.Testbed.stack.Netstack.host in
   let b_host = tb.Testbed.b.Testbed.stack.Netstack.host in
@@ -99,4 +104,6 @@ let run ~tb ~wsize ~total ?(force_uio = true) ?(verify = true) ?(port = 5001)
         write_latency_p99 = Stats.Histogram.percentile write_lat 99.;
         sender_socket = Socket.stats sa;
         receiver_socket = Socket.stats sb;
+        sender_policy =
+          Option.map Path_policy.stats (Socket.path_policy sa);
       }

@@ -25,6 +25,8 @@ type result = {
   receiver_tcp : Tcp.pcb_stats;
   sender_socket : Socket.stats;
   receiver_socket : Socket.stats;
+  sender_policy : Path_policy.stats option;
+      (** routing-decision counters when the sender ran adaptive *)
 }
 
 val run :
@@ -32,6 +34,7 @@ val run :
   wsize:int ->
   total:int ->
   ?force_uio:bool ->
+  ?adaptive:bool ->
   ?verify:bool ->
   ?port:int ->
   unit ->
@@ -39,5 +42,8 @@ val run :
 (** Builds the workload on the testbed and runs the simulation to
     completion.  [force_uio] (default true) reproduces the paper's
     measurement configuration: the single-copy stack always takes the
-    single-copy path regardless of write size.  Raises [Failure] if the
-    transfer does not finish within simulated 10 minutes. *)
+    single-copy path regardless of write size.  [adaptive] (default
+    false) overrides it: sends route through a per-socket {!Path_policy}
+    (size / alignment / pin-warmth, online cutover) and the sender's
+    routing counters are reported in [sender_policy].  Raises [Failure]
+    if the transfer does not finish within simulated 10 minutes. *)

@@ -18,12 +18,14 @@ type tx_src =
 type stats = {
   sdma_transfers : int;
   sdma_bytes : int;
+  sdma_chains : int;
   mdma_packets : int;
   mdma_bytes : int;
   rx_packets : int;
   rx_bytes : int;
   rx_dropped : int;
   interrupts : int;
+  intr_events : int;
 }
 
 type pending_mdma = { dst : int; channel : int; keep : bool }
@@ -37,17 +39,25 @@ type t = {
   transmit : Bytes.t -> dst:int -> channel:int -> unit;
   bus : Resource.t;
   mutable intr_handler : intr -> unit;
+  mutable batch_handler : (intr list -> unit) option;
+  pending_intrs : intr Event_queue.t;
+      (* notifications waiting for the next delivery burst; an
+         Event_queue so bursts drain in raise order via [pop_ready] *)
+  mutable intr_scheduled : bool;
+  mutable intr_budget : int;
   mutable autodma_words : int;
   mdma_waiting : (int, pending_mdma) Hashtbl.t;
   (* statistics *)
   mutable sdma_transfers : int;
   mutable sdma_bytes : int;
+  mutable sdma_chains : int;
   mutable mdma_packets : int;
   mutable mdma_bytes : int;
   mutable rx_packets : int;
   mutable rx_bytes : int;
   mutable rx_dropped : int;
   mutable interrupts : int;
+  mutable intr_events : int;
 }
 
 let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
@@ -61,18 +71,24 @@ let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
     bus = Resource.create ~sim ~name:(name ^ ".turbochannel");
     intr_handler =
       (fun _ -> invalid_arg (name ^ ": no interrupt handler installed"));
+    batch_handler = None;
+    pending_intrs = Event_queue.create ();
+    intr_scheduled = false;
+    intr_budget = 64;
     (* 176 words: "the checksum is passed up the stack together with the
        first 176 words of the packet (data size of the mbuf)" — §4.3. *)
     autodma_words = 176;
     mdma_waiting = Hashtbl.create 16;
     sdma_transfers = 0;
     sdma_bytes = 0;
+    sdma_chains = 0;
     mdma_packets = 0;
     mdma_bytes = 0;
     rx_packets = 0;
     rx_bytes = 0;
     rx_dropped = 0;
     interrupts = 0;
+    intr_events = 0;
   }
 
 let name t = t.name
@@ -81,16 +97,54 @@ let netmem t = t.mem
 let sim t = t.sim
 let profile t = t.profile
 
-let set_interrupt_handler t f = t.intr_handler <- f
+(* Latest installed handler wins, whichever flavour: a per-event handler
+   displaces a batch handler and vice versa (apps like raw_hippi take the
+   adaptor over from the driver by reinstalling). *)
+let set_interrupt_handler t f =
+  t.intr_handler <- f;
+  t.batch_handler <- None
+
+let set_batch_interrupt_handler t f = t.batch_handler <- Some f
+
+let set_intr_budget t n =
+  if n <= 0 then invalid_arg "Cab.set_intr_budget: must be positive";
+  t.intr_budget <- n
+
+let intr_budget t = t.intr_budget
+
 let set_autodma_words t w =
   if w <= 0 then invalid_arg "Cab.set_autodma_words: must be positive";
   t.autodma_words <- w
 
 let autodma_words t = t.autodma_words
 
+(* NAPI-style coalesced notification delivery: completions and rx events
+   queue up, and the host sees one delivery per burst — at most
+   [intr_budget] events each — instead of one interrupt per packet.
+   Delivery is a zero-delay simulator event, so everything that became
+   ready at this instant (e.g. the per-segment completions of a chained
+   SDMA) lands in a single burst. *)
+let rec deliver_intrs t =
+  match
+    Event_queue.pop_ready ~max:t.intr_budget t.pending_intrs
+      ~now:(Sim.now t.sim)
+  with
+  | [] -> t.intr_scheduled <- false
+  | evs ->
+      t.interrupts <- t.interrupts + 1;
+      t.intr_events <- t.intr_events + List.length evs;
+      (match t.batch_handler with
+      | Some f -> f evs
+      | None -> List.iter t.intr_handler evs);
+      if Event_queue.is_empty t.pending_intrs then t.intr_scheduled <- false
+      else ignore (Sim.after t.sim Simtime.zero (fun () -> deliver_intrs t))
+
 let raise_intr t i =
-  t.interrupts <- t.interrupts + 1;
-  t.intr_handler i
+  Event_queue.push t.pending_intrs ~time:(Sim.now t.sim) i;
+  if not t.intr_scheduled then begin
+    t.intr_scheduled <- true;
+    ignore (Sim.after t.sim Simtime.zero (fun () -> deliver_intrs t))
+  end
 
 let require_word_aligned what v =
   if v land 3 <> 0 then
@@ -151,31 +205,35 @@ let sdma t (pkt : Netmem.packet) ~bytes ~cookie ~interrupt ~on_complete commit
       if interrupt then raise_intr t (Sdma_done cookie);
       sdma_finished t pkt)
 
-let sdma_header t (pkt : Netmem.packet) ~header ~csum ?(cookie = 0)
-    ?(interrupt = false) ?on_complete () =
+(* Validation happens at post time (the caller's bug surfaces where it was
+   made); the commit closures run when the bus transfer completes. *)
+
+let validate_header (pkt : Netmem.packet) ~header =
   let len = Bytes.length header in
   require_word_aligned "header length" len;
   if len > Bytes.length pkt.buf then
     invalid_arg "Cab.sdma_header: header larger than packet buffer";
-  sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
-      pkt.hdr_len <- len;
-      pkt.csum <- csum;
-      match csum with
-      | None -> Bytes.blit header 0 pkt.buf 0 len
-      | Some c ->
-          (* The transmit checksum engine sums the words as they stream
-             through (§2.1): blit the skipped prefix, then one fused
-             copy+sum pass over the checksummed range. *)
-          let skip = c.Csum_offload.skip_bytes in
-          if skip > len then
-            invalid_arg "Cab.sdma_header: checksum skip beyond header";
-          Bytes.blit header 0 pkt.buf 0 skip;
-          pkt.header_sum <-
-            Inet_csum.copy_and_sum ~src:header ~src_off:skip ~dst:pkt.buf
-              ~dst_off:skip ~len:(len - skip))
+  len
 
-let sdma_payload t (pkt : Netmem.packet) ~src ~pkt_off ?(cookie = 0)
-    ?(interrupt = false) ?on_complete () =
+let commit_header (pkt : Netmem.packet) ~header ~csum =
+  let len = Bytes.length header in
+  pkt.hdr_len <- len;
+  pkt.csum <- csum;
+  match csum with
+  | None -> Bytes.blit header 0 pkt.buf 0 len
+  | Some c ->
+      (* The transmit checksum engine sums the words as they stream
+         through (§2.1): blit the skipped prefix, then one fused
+         copy+sum pass over the checksummed range. *)
+      let skip = c.Csum_offload.skip_bytes in
+      if skip > len then
+        invalid_arg "Cab.sdma_header: checksum skip beyond header";
+      Bytes.blit header 0 pkt.buf 0 skip;
+      pkt.header_sum <-
+        Inet_csum.copy_and_sum ~src:header ~src_off:skip ~dst:pkt.buf
+          ~dst_off:skip ~len:(len - skip)
+
+let validate_payload (pkt : Netmem.packet) ~src ~pkt_off =
   require_word_aligned "payload packet offset" pkt_off;
   let len =
     match src with
@@ -190,33 +248,98 @@ let sdma_payload t (pkt : Netmem.packet) ~src ~pkt_off ?(cookie = 0)
   in
   if pkt_off + len > Bytes.length pkt.buf then
     invalid_arg "Cab.sdma_payload: transfer past end of packet buffer";
+  len
+
+let commit_payload (pkt : Netmem.packet) ~src ~pkt_off ~len =
+  match pkt.csum with
+  | None -> (
+      match src with
+      | From_user region ->
+          Region.blit_to_bytes region ~src_off:0 pkt.buf ~dst_off:pkt_off ~len
+      | From_kernel b -> Bytes.blit b 0 pkt.buf pkt_off len
+      | From_mbuf { buf; off; _ } -> Bytes.blit buf off pkt.buf pkt_off len)
+  | Some _ ->
+      (* Fused copy + checksum, as in the hardware where the engine
+         sums words on their way through.  Word alignment makes every
+         segment offset even, so the body sums combine without
+         byte-swapping. *)
+      let seg =
+        match src with
+        | From_user region ->
+            Region.blit_csum_to_bytes region ~src_off:0 pkt.buf
+              ~dst_off:pkt_off ~len
+        | From_kernel b ->
+            Inet_csum.copy_and_sum ~src:b ~src_off:0 ~dst:pkt.buf
+              ~dst_off:pkt_off ~len
+        | From_mbuf { buf; off; _ } ->
+            Inet_csum.copy_and_sum ~src:buf ~src_off:off ~dst:pkt.buf
+              ~dst_off:pkt_off ~len
+      in
+      pkt.body_sum <- Inet_csum.add pkt.body_sum seg
+
+let sdma_header t (pkt : Netmem.packet) ~header ~csum ?(cookie = 0)
+    ?(interrupt = false) ?on_complete () =
+  let len = validate_header pkt ~header in
   sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
-      match pkt.csum with
-      | None -> (
-          match src with
-          | From_user region ->
-              Region.blit_to_bytes region ~src_off:0 pkt.buf ~dst_off:pkt_off
-                ~len
-          | From_kernel b -> Bytes.blit b 0 pkt.buf pkt_off len
-          | From_mbuf { buf; off; _ } -> Bytes.blit buf off pkt.buf pkt_off len)
-      | Some _ ->
-          (* Fused copy + checksum, as in the hardware where the engine
-             sums words on their way through.  Word alignment makes every
-             segment offset even, so the body sums combine without
-             byte-swapping. *)
-          let seg =
-            match src with
-            | From_user region ->
-                Region.blit_csum_to_bytes region ~src_off:0 pkt.buf
-                  ~dst_off:pkt_off ~len
-            | From_kernel b ->
-                Inet_csum.copy_and_sum ~src:b ~src_off:0 ~dst:pkt.buf
-                  ~dst_off:pkt_off ~len
-            | From_mbuf { buf; off; _ } ->
-                Inet_csum.copy_and_sum ~src:buf ~src_off:off ~dst:pkt.buf
-                  ~dst_off:pkt_off ~len
+      commit_header pkt ~header ~csum)
+
+let sdma_payload t (pkt : Netmem.packet) ~src ~pkt_off ?(cookie = 0)
+    ?(interrupt = false) ?on_complete () =
+  let len = validate_payload pkt ~src ~pkt_off in
+  sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
+      commit_payload pkt ~src ~pkt_off ~len)
+
+(* ---- chained SDMA ---- *)
+
+type chain_seg =
+  | Seg_header of { header : Bytes.t; csum : Csum_offload.tx option }
+  | Seg_payload of {
+      src : tx_src;
+      pkt_off : int;
+      on_seg_complete : (unit -> unit) option;
+    }
+
+let sdma_chain t (pkt : Netmem.packet) ~segs ?(cookie = 0)
+    ?(interrupt = false) ?on_complete () =
+  match segs with
+  | [] -> ( match on_complete with Some f -> f () | None -> ())
+  | _ ->
+      (* One doorbell, one bus tenancy, one completion for the whole
+         descriptor chain.  The modeled duration is the sum of the
+         per-segment bus costs — chaining merges scheduler events and
+         host notifications, it does not shortcut the bus.  Segments
+         commit in list order, so the header (which installs the
+         checksum-offload record) must come first. *)
+      let duration = ref Simtime.zero and total = ref 0 in
+      List.iter
+        (fun seg ->
+          let len =
+            match seg with
+            | Seg_header { header; _ } -> validate_header pkt ~header
+            | Seg_payload { src; pkt_off; _ } ->
+                validate_payload pkt ~src ~pkt_off
           in
-          pkt.body_sum <- Inet_csum.add pkt.body_sum seg)
+          duration :=
+            Simtime.add !duration (Memcost.bus_transfer t.profile len);
+          total := !total + len)
+        segs;
+      pkt.sdma_pending <- pkt.sdma_pending + 1;
+      t.sdma_chains <- t.sdma_chains + 1;
+      Resource.acquire t.bus !duration (fun () ->
+          t.sdma_transfers <- t.sdma_transfers + List.length segs;
+          t.sdma_bytes <- t.sdma_bytes + !total;
+          List.iter
+            (fun seg ->
+              match seg with
+              | Seg_header { header; csum } -> commit_header pkt ~header ~csum
+              | Seg_payload { src; pkt_off; on_seg_complete } ->
+                  let len = validate_payload pkt ~src ~pkt_off in
+                  commit_payload pkt ~src ~pkt_off ~len;
+                  (match on_seg_complete with Some f -> f () | None -> ()))
+            segs;
+          (match on_complete with Some f -> f () | None -> ());
+          if interrupt then raise_intr t (Sdma_done cookie);
+          sdma_finished t pkt)
 
 let tx_rewrite_header t (pkt : Netmem.packet) ~header ~csum ?(cookie = 0)
     ?(interrupt = false) ?on_complete () =
@@ -335,12 +458,14 @@ let stats t =
   {
     sdma_transfers = t.sdma_transfers;
     sdma_bytes = t.sdma_bytes;
+    sdma_chains = t.sdma_chains;
     mdma_packets = t.mdma_packets;
     mdma_bytes = t.mdma_bytes;
     rx_packets = t.rx_packets;
     rx_bytes = t.rx_bytes;
     rx_dropped = t.rx_dropped;
     interrupts = t.interrupts;
+    intr_events = t.intr_events;
   }
 
 let bus_busy_time t = Resource.busy_time t.bus
@@ -348,7 +473,7 @@ let bus_busy_time t = Resource.busy_time t.bus
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
-    "sdma %d xfers / %d B; mdma %d pkts / %d B; rx %d pkts / %d B (%d \
-     dropped); %d interrupts"
-    s.sdma_transfers s.sdma_bytes s.mdma_packets s.mdma_bytes s.rx_packets
-    s.rx_bytes s.rx_dropped s.interrupts
+    "sdma %d xfers / %d B (%d chains); mdma %d pkts / %d B; rx %d pkts / %d \
+     B (%d dropped); %d interrupt bursts / %d events"
+    s.sdma_transfers s.sdma_bytes s.sdma_chains s.mdma_packets s.mdma_bytes
+    s.rx_packets s.rx_bytes s.rx_dropped s.interrupts s.intr_events

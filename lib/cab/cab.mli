@@ -59,7 +59,22 @@ val profile : t -> Host_profile.t
 
 val set_interrupt_handler : t -> (intr -> unit) -> unit
 (** The driver's interrupt entry point.  Called in "hardware context": the
-    handler is responsible for charging interrupt CPU time. *)
+    handler is responsible for charging interrupt CPU time.  Notifications
+    are delivered in coalesced bursts (NAPI-style): events queue on the
+    adaptor and the handler runs once per burst, invoked per event unless
+    a batch handler is installed with {!set_batch_interrupt_handler}. *)
+
+val set_batch_interrupt_handler : t -> (intr list -> unit) -> unit
+(** Burst-aware entry point: receives each delivery burst whole — at most
+    {!intr_budget} events, in raise order — so the driver can charge one
+    interrupt entry for the lot.  Takes precedence over the per-event
+    handler. *)
+
+val set_intr_budget : t -> int -> unit
+(** Maximum events delivered per burst (default 64).  A larger budget
+    coalesces harder; [1] degenerates to one interrupt per event. *)
+
+val intr_budget : t -> int
 
 val set_autodma_words : t -> int -> unit
 (** The host-selectable L of §2.2 (default 176 words = 704 bytes, the
@@ -110,6 +125,32 @@ val sdma_payload :
 (** DMA payload bytes into the outboard buffer at [pkt_off] (word aligned).
     The checksum engine accumulates the body sum when the packet has an
     offload record. *)
+
+(** One element of a chained SDMA post. *)
+type chain_seg =
+  | Seg_header of { header : Bytes.t; csum : Csum_offload.tx option }
+  | Seg_payload of {
+      src : tx_src;
+      pkt_off : int;
+      on_seg_complete : (unit -> unit) option;
+    }
+
+val sdma_chain :
+  t ->
+  Netmem.packet ->
+  segs:chain_seg list ->
+  ?cookie:int ->
+  ?interrupt:bool ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  unit
+(** Batched SDMA: post a whole descriptor chain with one doorbell.  The
+    chain occupies the TurboChannel once (for the sum of the per-segment
+    transfer costs — chaining merges control events, it does not shortcut
+    the bus), commits its segments in list order, and raises at most one
+    completion notification for the burst.  Put the header segment first:
+    it installs the checksum-offload record the payload commits consult.
+    Alignment rules are those of {!sdma_header} / {!sdma_payload}. *)
 
 val tx_rewrite_header :
   t ->
@@ -164,14 +205,16 @@ val rx_free : t -> Netmem.packet -> unit
 (** {1 Statistics} *)
 
 type stats = {
-  sdma_transfers : int;
+  sdma_transfers : int;  (** individual segments moved (chains count each) *)
   sdma_bytes : int;
+  sdma_chains : int;  (** chained posts ({!sdma_chain} doorbells) *)
   mdma_packets : int;
   mdma_bytes : int;
   rx_packets : int;
   rx_bytes : int;
   rx_dropped : int;  (** network memory exhausted *)
-  interrupts : int;
+  interrupts : int;  (** delivery bursts (handler invocations) *)
+  intr_events : int;  (** individual notifications across all bursts *)
 }
 
 val stats : t -> stats

@@ -53,44 +53,61 @@ let push q ~time payload =
     else continue := false
   done
 
+(* Remove the root.  The displaced last entry keeps its one box for the
+   whole sift-down (the same trick [push] uses for sift-up): child boxes
+   move up a slot and the box is written exactly once, at its final slot,
+   instead of re-boxing on every swap. *)
+let remove_root q =
+  q.size <- q.size - 1;
+  let boxed = q.heap.(q.size) in
+  q.heap.(q.size) <- None;
+  if q.size > 0 then begin
+    let last = match boxed with Some e -> e | None -> assert false in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref (-1) and small_e = ref last in
+      (if l < q.size then
+         let le = get q l in
+         if before le !small_e then begin
+           smallest := l;
+           small_e := le
+         end);
+      (if r < q.size then
+         let re = get q r in
+         if before re !small_e then begin
+           smallest := r;
+           small_e := re
+         end);
+      if !smallest >= 0 then begin
+        q.heap.(!i) <- q.heap.(!smallest);
+        i := !smallest
+      end
+      else continue := false
+    done;
+    q.heap.(!i) <- boxed
+  end
+
 let pop q =
   if q.size = 0 then None
   else begin
     let root = get q 0 in
-    q.size <- q.size - 1;
-    let last = q.heap.(q.size) in
-    q.heap.(q.size) <- None;
-    if q.size > 0 then begin
-      q.heap.(0) <- last;
-      let last = match last with Some e -> e | None -> assert false in
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i and small_e = ref last in
-        (if l < q.size then
-           let le = get q l in
-           if before le !small_e then begin
-             smallest := l;
-             small_e := le
-           end);
-        (if r < q.size then
-           let re = get q r in
-           if before re !small_e then begin
-             smallest := r;
-             small_e := re
-           end);
-        if !smallest <> !i then begin
-          let tmp = q.heap.(!i) in
-          q.heap.(!i) <- q.heap.(!smallest);
-          q.heap.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
+    remove_root q;
     Some (root.time, root.payload)
   end
+
+let pop_ready ?(max = Stdlib.max_int) q ~now =
+  let rec drain acc n =
+    if n >= max || q.size = 0 then List.rev acc
+    else
+      let root = get q 0 in
+      if root.time > now then List.rev acc
+      else begin
+        remove_root q;
+        drain (root.payload :: acc) (n + 1)
+      end
+  in
+  drain [] 0
 
 let peek_time q = if q.size = 0 then None else Some (get q 0).time

@@ -18,5 +18,12 @@ val pop : 'a t -> (Simtime.t * 'a) option
     cleared, so the queue never keeps a popped payload (or the closures it
     captures) reachable. *)
 
+val pop_ready : ?max:int -> 'a t -> now:Simtime.t -> 'a list
+(** Bulk drain: removes every event with [time <= now] — at most [max] of
+    them — and returns the payloads in (time, seq) order.  One traversal
+    of the heap per removed event, no allocation beyond the result list.
+    Backs batch-mode consumers (coalesced interrupt delivery, same-instant
+    scheduler drains). *)
+
 val peek_time : 'a t -> Simtime.t option
 (** Time of the earliest event without removing it. *)

@@ -51,8 +51,17 @@ let run ?until ?(max_events = 200_000_000) t =
                 (Stuck
                    (Printf.sprintf "Sim.run: fired %d events without draining"
                       !fired));
-            incr fired;
-            ignore (step t))
+            (* Drain the whole same-instant batch in one heap pass.
+               Handlers that push new events for this same instant are
+               picked up by the next loop iteration (their seq numbers are
+               higher, so ordering is preserved). *)
+            t.clock <- time;
+            let batch = Event_queue.pop_ready t.queue ~now:time in
+            List.iter
+              (fun h ->
+                incr fired;
+                if not h.cancelled then h.fn ())
+              batch)
   done;
   match until with
   | Some limit when t.clock < limit && Event_queue.is_empty t.queue ->

@@ -1,0 +1,179 @@
+type route = Uio | Copy
+
+type reason =
+  | Unaligned
+  | Below_cutover
+  | Cold_pin
+  | Above_cutover
+  | Explore
+
+type stats = {
+  uio_routed : int;
+  copy_routed : int;
+  unaligned : int;
+  below_cutover : int;
+  cold_pin : int;
+  above_cutover : int;
+  explored : int;
+  uio_observed : int;
+  copy_observed : int;
+  cutover_bytes : int;
+}
+
+(* Per-path cost table bucketed by log2(size): bucket i covers sizes in
+   [2^i, 2^(i+1)).  EWMA with a 1/4 gain — new costs move the estimate
+   quickly enough to track pin-cache warm-up without thrashing on one
+   outlier. *)
+let buckets = 31
+
+type table = { ewma_us : float array; samples : int array }
+
+let make_table () =
+  { ewma_us = Array.make buckets 0.; samples = Array.make buckets 0 }
+
+let bucket_of len =
+  let len = Stdlib.max 1 len in
+  let rec bits n acc = if n <= 1 then acc else bits (n lsr 1) (acc + 1) in
+  Stdlib.min (buckets - 1) (bits len 0)
+
+type t = {
+  uio : table;
+  copy : table;
+  min_cutover : int;
+  max_cutover : int;
+  cold_shift : int;
+  explore_period : int;
+  mutable cutover : int;
+  mutable decisions : int;
+  (* counters *)
+  mutable uio_routed : int;
+  mutable copy_routed : int;
+  mutable n_unaligned : int;
+  mutable n_below : int;
+  mutable n_cold : int;
+  mutable n_above : int;
+  mutable n_explored : int;
+  mutable uio_observed : int;
+  mutable copy_observed : int;
+}
+
+let create ?(cutover = 16384) ?(min_cutover = 1024)
+    ?(max_cutover = 1 lsl 20) ?(cold_shift = 1) ?(explore_period = 16) () =
+  if cutover <= 0 then invalid_arg "Path_policy.create: cutover <= 0";
+  {
+    uio = make_table ();
+    copy = make_table ();
+    min_cutover;
+    max_cutover;
+    cold_shift;
+    explore_period;
+    cutover = Stdlib.max min_cutover (Stdlib.min max_cutover cutover);
+    decisions = 0;
+    uio_routed = 0;
+    copy_routed = 0;
+    n_unaligned = 0;
+    n_below = 0;
+    n_cold = 0;
+    n_above = 0;
+    n_explored = 0;
+    uio_observed = 0;
+    copy_observed = 0;
+  }
+
+let table t = function Uio -> t.uio | Copy -> t.copy
+
+(* Re-derive the cutover from the tables: the smallest bucket where both
+   paths have evidence and Uio is no more expensive.  Buckets where Copy
+   still wins push the candidate above them, so a Uio win at 8K cannot
+   survive a Copy win at 16K based on stale small-message data. *)
+let min_samples = 2
+
+let refresh_cutover t =
+  let candidate = ref None in
+  for i = 0 to buckets - 1 do
+    if t.uio.samples.(i) >= min_samples && t.copy.samples.(i) >= min_samples
+    then
+      if t.uio.ewma_us.(i) <= t.copy.ewma_us.(i) then begin
+        match !candidate with
+        | None -> candidate := Some (1 lsl i)
+        | Some _ -> ()
+      end
+      else candidate := Some (1 lsl (i + 1))
+  done;
+  match !candidate with
+  | None -> ()
+  | Some c ->
+      t.cutover <- Stdlib.max t.min_cutover (Stdlib.min t.max_cutover c)
+
+let count_reason t = function
+  | Unaligned -> t.n_unaligned <- t.n_unaligned + 1
+  | Below_cutover -> t.n_below <- t.n_below + 1
+  | Cold_pin -> t.n_cold <- t.n_cold + 1
+  | Above_cutover -> t.n_above <- t.n_above + 1
+  | Explore -> t.n_explored <- t.n_explored + 1
+
+let decide t ~len ~aligned ~pin_warm =
+  t.decisions <- t.decisions + 1;
+  let route, reason =
+    if not aligned then (Copy, Unaligned)
+    else begin
+      let threshold =
+        if pin_warm then t.cutover else t.cutover lsl t.cold_shift
+      in
+      let base =
+        if len >= threshold then (Uio, Above_cutover)
+        else if len >= t.cutover then (Copy, Cold_pin)
+        else (Copy, Below_cutover)
+      in
+      if
+        t.explore_period > 0
+        && t.decisions mod t.explore_period = 0
+      then
+        match base with
+        | Uio, _ -> (Copy, Explore)
+        | Copy, _ -> (Uio, Explore)
+      else base
+    end
+  in
+  (match route with
+  | Uio -> t.uio_routed <- t.uio_routed + 1
+  | Copy -> t.copy_routed <- t.copy_routed + 1);
+  count_reason t reason;
+  (route, reason)
+
+let observe t ~route ~len ~cost =
+  let tab = table t route in
+  let i = bucket_of len in
+  let us = Simtime.to_us cost in
+  let n = tab.samples.(i) in
+  tab.ewma_us.(i) <-
+    (if n = 0 then us else (0.75 *. tab.ewma_us.(i)) +. (0.25 *. us));
+  tab.samples.(i) <- n + 1;
+  (match route with
+  | Uio -> t.uio_observed <- t.uio_observed + 1
+  | Copy -> t.copy_observed <- t.copy_observed + 1);
+  refresh_cutover t
+
+let cutover t = t.cutover
+
+let stats t =
+  {
+    uio_routed = t.uio_routed;
+    copy_routed = t.copy_routed;
+    unaligned = t.n_unaligned;
+    below_cutover = t.n_below;
+    cold_pin = t.n_cold;
+    above_cutover = t.n_above;
+    explored = t.n_explored;
+    uio_observed = t.uio_observed;
+    copy_observed = t.copy_observed;
+    cutover_bytes = t.cutover;
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "routed uio=%d copy=%d (unaligned=%d below=%d cold=%d above=%d \
+     explore=%d) observed uio=%d copy=%d cutover=%dB"
+    s.uio_routed s.copy_routed s.unaligned s.below_cutover s.cold_pin
+    s.above_cutover s.explored s.uio_observed s.copy_observed
+    s.cutover_bytes

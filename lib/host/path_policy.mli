@@ -1,0 +1,80 @@
+(** Adaptive send-path selection (single-copy vs. copying).
+
+    The paper's measurements (and BENCH_macro) show the outboard
+    single-copy path losing to the ordinary copying stack for small
+    transfers: per-send VM pin/map and descriptor bookkeeping outweigh
+    the saved copy until the message is large enough.  Rather than a
+    fixed threshold, this layer routes each send from three cheap
+    observables — message size, word alignment, and pin-cache warmth —
+    around an online *cutover* estimate refined from observed per-path
+    costs.
+
+    Cost model: per-path EWMA cost tables bucketed by log2(size).  Every
+    completed send reports its elapsed (simulated) cost back through
+    {!observe}; the cutover is re-derived as the smallest bucket where
+    the single-copy path is no more expensive than the copy path,
+    clamped to [\[min_cutover, max_cutover\]].  A periodic exploration
+    probe sends an occasional message down the road not taken so both
+    tables stay populated.
+
+    Every decision is counted; {!stats} exposes the full routing
+    breakdown for benchmarks and tests. *)
+
+(** Where a send is routed. *)
+type route =
+  | Uio  (** single-copy: pin/map + M_UIO descriptor, DMA from user memory *)
+  | Copy  (** classic path: copy into kernel mbufs *)
+
+(** Why it was routed there. *)
+type reason =
+  | Unaligned  (** buffer not word aligned — DMA engine cannot take it *)
+  | Below_cutover  (** small message: copy is cheaper *)
+  | Cold_pin  (** above cutover but the pin cache is cold and the size
+                  does not clear the cold-start handicap *)
+  | Above_cutover  (** big enough for the outboard path to win *)
+  | Explore  (** periodic probe down the currently-losing path *)
+
+type stats = {
+  uio_routed : int;
+  copy_routed : int;
+  unaligned : int;
+  below_cutover : int;
+  cold_pin : int;
+  above_cutover : int;
+  explored : int;
+  uio_observed : int;  (** completed sends reported for the Uio path *)
+  copy_observed : int;
+  cutover_bytes : int;  (** current online estimate *)
+}
+
+type t
+
+val create :
+  ?cutover:int ->
+  ?min_cutover:int ->
+  ?max_cutover:int ->
+  ?cold_shift:int ->
+  ?explore_period:int ->
+  unit ->
+  t
+(** [cutover] seeds the estimate (default 16384 — the static
+    [uio_threshold] the stack shipped with).  [cold_shift] raises the
+    effective threshold for pin-cold buffers to [cutover lsl cold_shift]
+    (default 1, i.e. 2x: a cold send must amortize pin+map on this one
+    transfer).  Every [explore_period]-th eligible decision (default 16;
+    [0] disables) is sent down the opposite path so the cost tables see
+    both sides. *)
+
+val decide : t -> len:int -> aligned:bool -> pin_warm:bool -> route * reason
+(** Route one send.  Unaligned buffers always take [Copy] — exploration
+    never overrides a correctness constraint. *)
+
+val observe : t -> route:route -> len:int -> cost:Simtime.t -> unit
+(** Report the observed end-to-end cost of a completed send; feeds the
+    EWMA table for [route]'s size bucket and re-derives the cutover. *)
+
+val cutover : t -> int
+(** The current cutover estimate in bytes. *)
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -4,6 +4,7 @@ type path_config = {
   use_pin_cache : bool;
   pin_cache_pages : int;
   align_fixup : bool;
+  adaptive : bool;
 }
 
 let default_paths =
@@ -13,6 +14,7 @@ let default_paths =
     use_pin_cache = true;
     pin_cache_pages = 1024;
     align_fixup = false;
+    adaptive = false;
   }
 
 type stats = {
@@ -53,6 +55,7 @@ type t = {
   paths : path_config;
   pcb : Tcp.pcb;
   cache : Pin_cache.t option;
+  policy : Path_policy.t option;
   mutable writer_waiting : (unit -> unit) option;
   mutable reader_waiting : (unit -> unit) option;
   mutable pending_notify : Mbuf.notify option;
@@ -65,11 +68,17 @@ type t = {
 let pcb t = t.pcb
 let stats t = t.s
 let pin_cache t = t.cache
+let path_policy t = t.policy
 
 let create ~host ~space ~proc ?(paths = default_paths) pcb =
   let cache =
     if paths.use_pin_cache then
       Some (Pin_cache.create ~space ~max_pages:paths.pin_cache_pages)
+    else None
+  in
+  let policy =
+    if paths.adaptive then
+      Some (Path_policy.create ~cutover:paths.uio_threshold ())
     else None
   in
   let t =
@@ -80,6 +89,7 @@ let create ~host ~space ~proc ?(paths = default_paths) pcb =
       paths;
       pcb;
       cache;
+      policy;
       writer_waiting = None;
       reader_waiting = None;
       pending_notify = None;
@@ -248,6 +258,40 @@ let write t region k =
   charge t (Memcost.syscall (profile t)) (fun () ->
       let len = Region.length region in
       let aligned = Region.is_word_aligned region in
+      match t.policy with
+      | Some policy when single_copy_route t && not t.paths.force_uio ->
+          (* Adaptive routing: size / alignment / pin-cache warmth feed
+             the policy; the observed (simulated) time until the app may
+             reuse the buffer — which is what copy semantics make
+             app-visible — feeds its online cutover estimate. *)
+          let pin_warm =
+            match t.cache with
+            | Some cache -> Pin_cache.is_resident cache region
+            | None -> false
+          in
+          let route, _reason =
+            Path_policy.decide policy ~len ~aligned ~pin_warm
+          in
+          let t0 = Host.now t.host in
+          let finish route () =
+            Path_policy.observe policy ~route ~len
+              ~cost:(Simtime.sub (Host.now t.host) t0);
+            k ()
+          in
+          (match route with
+          | Path_policy.Uio ->
+              t.s <- { t.s with uio_writes = t.s.uio_writes + 1 };
+              write_uio t region (finish Path_policy.Uio)
+          | Path_policy.Copy ->
+              if not aligned then
+                t.s <-
+                  {
+                    t.s with
+                    unaligned_fallbacks = t.s.unaligned_fallbacks + 1;
+                  };
+              t.s <- { t.s with copy_writes = t.s.copy_writes + 1 };
+              write_copy t region (finish Path_policy.Copy))
+      | Some _ | None ->
       let want_uio =
         single_copy_route t
         && (t.paths.force_uio || len >= t.paths.uio_threshold)

@@ -31,6 +31,12 @@ type path_config = {
           copying path so the bulk can still be DMAed.  "This might pay
           off for very large writes, although we have not implemented this
           optimization." *)
+  adaptive : bool;
+      (** route each write through a per-socket {!Path_policy} instead of
+          the static [uio_threshold] rule: size, alignment, and pin-cache
+          warmth pick the path, and observed per-path costs refine the
+          cutover online.  Ignored when [force_uio] is set (measurement
+          runs pin the path on purpose). *)
 }
 
 val default_paths : path_config
@@ -68,6 +74,10 @@ val create :
 val pcb : t -> Tcp.pcb
 val stats : t -> stats
 val pin_cache : t -> Pin_cache.t option
+
+val path_policy : t -> Path_policy.t option
+(** The adaptive routing policy, when [paths.adaptive] is set — exposes
+    every routing decision and the live cutover estimate. *)
 
 val write : t -> Region.t -> (unit -> unit) -> unit
 (** Copy-semantics send of the whole region; continuation runs when the

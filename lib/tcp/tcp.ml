@@ -77,6 +77,7 @@ type pcb_stats = {
   wcab_converted : int;
   wcab_retransmit_hits : int;
   dropped_wcab_legacy : int;
+  descriptor_merges : int;
 }
 
 let zero_stats =
@@ -98,6 +99,7 @@ let zero_stats =
     wcab_converted = 0;
     wcab_retransmit_hits = 0;
     dropped_wcab_legacy = 0;
+    descriptor_merges = 0;
   }
 
 type pcb = {
@@ -1219,7 +1221,14 @@ let sosend_append pcb ~proc chain =
       (* The app's buffer plus the kernel copy form the cache working set
          for the checksum pass. *)
       pcb.ws_hint_tx <- 2 * Mbuf.chain_len chain;
-      Tcp_sendq.append pcb.sendq chain;
+      let merge = pcb.tcp.cfg.coalesce_descriptors in
+      if merge && Tcp_sendq.append_merges_descriptor pcb.sendq chain then
+        pcb.stats <-
+          {
+            pcb.stats with
+            descriptor_merges = pcb.stats.descriptor_merges + 1;
+          };
+      Tcp_sendq.append ~merge_descriptors:merge pcb.sendq chain;
       pump pcb ~proc;
       Ok ()
   | st ->
@@ -1308,8 +1317,9 @@ let pp_stats fmt (s : pcb_stats) =
   Format.fprintf fmt
     "segs %d/%d out/in; bytes %d/%d; acks %d (dup %d); retx %d (rto %d, \
      fast %d); csum tx %d hw / %d host; csum rx %d hw / %d host / %d bad; \
-     wcab conv %d, rewrite hits %d"
+     wcab conv %d, rewrite hits %d; desc merges %d"
     s.segs_sent s.segs_rcvd s.bytes_sent s.bytes_rcvd s.acks_rcvd s.dup_acks
     s.retransmits s.rto_fires s.fast_retransmits s.csum_offloaded_tx
     s.csum_host_tx s.csum_hw_verified_rx s.csum_host_verified_rx
     s.csum_failures_rx s.wcab_converted s.wcab_retransmit_hits
+    s.descriptor_merges

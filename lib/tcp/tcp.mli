@@ -160,6 +160,9 @@ type pcb_stats = {
   wcab_retransmit_hits : int;  (** retransmits that found data outboard *)
   dropped_wcab_legacy : int;
       (** outboard retransmit data routed to a device that cannot send it *)
+  descriptor_merges : int;
+      (** M_UIO descriptors from consecutive writes linked into one
+          symbolic send-queue chain ([coalesce_descriptors]) *)
 }
 
 val pcb_stats : pcb -> pcb_stats

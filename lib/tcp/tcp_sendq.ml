@@ -10,10 +10,38 @@ let length t = t.len
 let space t = max 0 (t.hiwat - t.len)
 let hiwat t = t.hiwat
 
-let append t m =
+let rec last_mbuf (m : Mbuf.t) =
+  match m.Mbuf.next with None -> m | Some n -> last_mbuf n
+
+let append ?(merge_descriptors = false) t m =
   m.Mbuf.pkthdr <- None;
   t.len <- t.len + Mbuf.chain_len m;
-  t.chains <- t.chains @ [ m ]
+  (* Descriptor coalescing (§7.2 revisited): link a new M_UIO descriptor
+     onto a trailing M_UIO chain instead of starting a fresh chain, so
+     consecutive small writes form one symbolic chain that packetization
+     can cut full-MSS segments from.  Each descriptor keeps its own
+     uiowcab header, so per-write UIO counters still resynchronize their
+     writers individually. *)
+  let merged =
+    merge_descriptors
+    && Mbuf.kind m = Mbuf.K_uio
+    &&
+    match List.rev t.chains with
+    | last :: _ when Mbuf.kind (last_mbuf last) = Mbuf.K_uio ->
+        Mbuf.append last m;
+        true
+    | _ -> false
+  in
+  if not merged then t.chains <- t.chains @ [ m ]
+
+let append_merges_descriptor t m =
+  (* Would [append ~merge_descriptors:true] merge this chain? (observable
+     for stats without duplicating the predicate at the call site) *)
+  Mbuf.kind m = Mbuf.K_uio
+  &&
+  match List.rev t.chains with
+  | last :: _ -> Mbuf.kind (last_mbuf last) = Mbuf.K_uio
+  | [] -> false
 
 (* Locate chain list position of byte [off]; returns (prefix chains rev,
    chain containing off, offset within it, suffix chains). *)

@@ -24,8 +24,18 @@ val space : t -> int
 
 val hiwat : t -> int
 
-val append : t -> Mbuf.t -> unit
-(** Takes ownership of the chain (its pkthdr is dropped). *)
+val append : ?merge_descriptors:bool -> t -> Mbuf.t -> unit
+(** Takes ownership of the chain (its pkthdr is dropped).  With
+    [merge_descriptors] (default false), a new M_UIO descriptor arriving
+    behind a trailing M_UIO chain is linked onto that chain rather than
+    starting a new one: consecutive small writes build one symbolic chain
+    that packetization can cut full-MSS segments from.  Each descriptor
+    keeps its own uiowcab header, so per-write UIO counters still drain
+    their own writers. *)
+
+val append_merges_descriptor : t -> Mbuf.t -> bool
+(** Whether [append ~merge_descriptors:true] would merge this chain into
+    the queue's tail (stats probe; does not modify the queue). *)
 
 val range : t -> off:int -> len:int -> Mbuf.t
 (** Share-semantics copy of bytes [off, off+len) — the driver-bound

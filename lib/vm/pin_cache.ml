@@ -77,6 +77,8 @@ let acquire t region =
 
 let release _t _region = Simtime.zero
 
+let is_resident t region = Hashtbl.mem t.table (key region)
+
 let flush t =
   let cost =
     Hashtbl.fold

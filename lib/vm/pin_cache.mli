@@ -22,6 +22,11 @@ val acquire : t -> Region.t -> Simtime.t
 val release : t -> Region.t -> Simtime.t
 (** Lazy: returns zero cost and leaves the buffer pinned. *)
 
+val is_resident : t -> Region.t -> bool
+(** Warmth probe: whether [acquire] would hit without any pin/map work.
+    Does not touch the LRU clock, so policy layers can ask without
+    distorting eviction order. *)
+
 val flush : t -> Simtime.t
 (** Unpins everything; returns the total unpin cost. *)
 

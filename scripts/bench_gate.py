@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Macro-bench regression gate.
+
+Compares a freshly generated BENCH_macro.json against the committed
+baseline (bench/BENCH_baseline.json).  Because absolute wall-clock
+ns/run depends on the machine, every row is first normalized by the
+same file's ttcp-4K-unmodified ns/run; a row fails when its normalized
+cost grew more than the tolerance over the baseline.  Rows that got
+*faster* than the baseline by more than the tolerance only warn — that
+means the baseline should be refreshed, not that the build is broken.
+
+Two machine-independent invariants are checked unconditionally:
+
+  * ttcp-4K-single-copy must not be slower than ttcp-4K-unmodified
+    (the adaptive path policy's small-transfer parity guarantee);
+  * the routing counters must show the policy copying small sends and
+    taking the single-copy path for the warm bulk transfers.
+
+Usage: bench_gate.py BASELINE CURRENT
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.15
+ANCHOR = "ttcp-4K-unmodified"
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if ANCHOR not in data:
+        sys.exit(f"{path}: missing anchor row {ANCHOR!r}")
+    return data
+
+
+def normalized(data):
+    anchor = data[ANCHOR]["ns_per_run"]
+    return {k: v["ns_per_run"] / anchor for k, v in data.items()}
+
+
+def main(baseline_path, current_path):
+    base = load(baseline_path)
+    cur = load(current_path)
+    failures, warnings = [], []
+
+    # Hard invariant: small-transfer parity.
+    sc = cur["ttcp-4K-single-copy"]["ns_per_run"]
+    un = cur[ANCHOR]["ns_per_run"]
+    if sc > un:
+        failures.append(
+            f"ttcp-4K-single-copy ({sc:.0f} ns) slower than {ANCHOR} "
+            f"({un:.0f} ns): adaptive policy lost small-transfer parity"
+        )
+
+    # Hard invariant: the policy routes by size/warmth.
+    r4 = cur["ttcp-4K-single-copy"].get("routing", {})
+    if r4.get("copy", 0) == 0 or r4.get("uio", 0) > 0:
+        failures.append(
+            f"ttcp-4K-single-copy routing {r4}: expected every send on "
+            "the copy path"
+        )
+    for big in ("ttcp-64K-single-copy", "ttcp-1M-single-copy"):
+        r = cur.get(big, {}).get("routing", {})
+        if r.get("uio", 0) == 0:
+            failures.append(
+                f"{big} routing {r}: expected single-copy-path sends"
+            )
+
+    # Anchor-normalized drift vs the committed baseline.
+    bn, cn = normalized(base), normalized(cur)
+    for key in sorted(bn):
+        if key == ANCHOR:
+            continue
+        if key not in cn:
+            failures.append(f"row {key!r} disappeared from {current_path}")
+            continue
+        drift = cn[key] / bn[key] - 1.0
+        line = (
+            f"{key}: normalized {cn[key]:.3f} vs baseline {bn[key]:.3f} "
+            f"({drift:+.1%})"
+        )
+        if drift > TOLERANCE:
+            failures.append(line)
+        elif drift < -TOLERANCE:
+            warnings.append(line + " — consider refreshing the baseline")
+        else:
+            print(f"  ok   {line}")
+
+    for w in warnings:
+        print(f"  WARN {w}")
+    if failures:
+        print(f"\n{len(failures)} bench gate failure(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  FAIL {f_}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench gate ok ({len(bn) - 1} rows, tolerance ±{TOLERANCE:.0%})")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    main(sys.argv[1], sys.argv[2])

@@ -243,6 +243,138 @@ let test_retransmit_header_rewrite () =
   | l -> Alcotest.fail (Printf.sprintf "expected 2 receptions, got %d" (List.length l)));
   Cab.tx_free pair.cab_a pkt
 
+(* ---------- chained SDMA and batched notifications ---------- *)
+
+(* The same two-segment packet posted as one descriptor chain and as three
+   individual doorbells: the chain must move the same bytes, occupy the
+   bus for the same time, fire every per-segment hook, and verify at the
+   receiver — it merges control events, it does not shortcut the bus. *)
+let test_sdma_chain_equivalent () =
+  let payload_len = 8192 in
+  let half = payload_len / 2 in
+  let run ~chained =
+    let pair = make_pair () in
+    let space = Addr_space.create ~profile ~name:"app" in
+    let user = Addr_space.alloc space payload_len in
+    Region.fill_pattern user ~seed:42;
+    let pseudo = pseudo_for payload_len in
+    let hdr, csum = build_header ~payload_len ~pseudo in
+    let got = ref None in
+    Cab.set_interrupt_handler pair.cab_b (fun i ->
+        match i with Cab.Rx_packet info -> got := Some info | _ -> ());
+    Cab.set_interrupt_handler pair.cab_a (fun _ -> ());
+    let pkt =
+      Option.get (Cab.tx_alloc pair.cab_a ~len:(hdr_total + payload_len))
+    in
+    let seg_done = ref 0 in
+    let lo = Region.sub user ~off:0 ~len:half
+    and hi = Region.sub user ~off:half ~len:half in
+    if chained then
+      Cab.sdma_chain pair.cab_a pkt
+        ~segs:
+          [
+            Cab.Seg_header { header = hdr; csum = Some csum };
+            Cab.Seg_payload
+              {
+                src = Cab.From_user lo;
+                pkt_off = hdr_total;
+                on_seg_complete = Some (fun () -> incr seg_done);
+              };
+            Cab.Seg_payload
+              {
+                src = Cab.From_user hi;
+                pkt_off = hdr_total + half;
+                on_seg_complete = Some (fun () -> incr seg_done);
+              };
+          ]
+        ()
+    else begin
+      Cab.sdma_header pair.cab_a pkt ~header:hdr ~csum:(Some csum) ();
+      Cab.sdma_payload pair.cab_a pkt ~src:(Cab.From_user lo)
+        ~pkt_off:hdr_total
+        ~on_complete:(fun () -> incr seg_done)
+        ();
+      Cab.sdma_payload pair.cab_a pkt ~src:(Cab.From_user hi)
+        ~pkt_off:(hdr_total + half)
+        ~on_complete:(fun () -> incr seg_done)
+        ()
+    end;
+    Cab.mdma_send pair.cab_a pkt ~dst:2 ~channel:0 ~keep:false;
+    Sim.run pair.sim;
+    check_int "both segment hooks ran" 2 !seg_done;
+    let info =
+      match !got with
+      | Some i -> i
+      | None -> Alcotest.fail "no receive interrupt"
+    in
+    check_int "full length arrived" (hdr_total + payload_len)
+      info.Cab.rx_total_len;
+    let transport_off = Hippi_framing.size + Ipv4_header.size in
+    let rx_start = 4 * Hippi_framing.rx_csum_start_words in
+    let skipped =
+      Inet_csum.of_bytes ~off:transport_off ~len:(rx_start - transport_off)
+        info.Cab.rx_head
+    in
+    check_bool "offloaded checksum verifies" true
+      (Csum_offload.rx_verify
+         (Csum_offload.make_rx ~engine_sum:info.Cab.rx_engine_sum ~rx_start)
+         ~skipped ~pseudo);
+    let s = Cab.stats pair.cab_a in
+    (s.Cab.sdma_bytes, Cab.bus_busy_time pair.cab_a, s.Cab.sdma_chains)
+  in
+  let bytes_c, bus_c, chains_c = run ~chained:true in
+  let bytes_i, bus_i, chains_i = run ~chained:false in
+  check_int "chain moved the same bytes" bytes_i bytes_c;
+  check_int "chain occupied the bus equally" bus_i bus_c;
+  check_int "one chained doorbell" 1 chains_c;
+  check_int "individual posts are not chains" 0 chains_i
+
+let test_batch_interrupt_handler () =
+  (* The NAPI-style handler receives every notification exactly once, in
+     order, and the burst counters add up. *)
+  let pair = make_pair () in
+  Cab.set_intr_budget pair.cab_b 4;
+  check_int "budget readable" 4 (Cab.intr_budget pair.cab_b);
+  let bursts = ref 0 and seen = ref [] in
+  Cab.set_batch_interrupt_handler pair.cab_b (fun evs ->
+      incr bursts;
+      check_bool "bursts are never empty" true (evs <> []);
+      check_bool "bursts respect the budget" true (List.length evs <= 4);
+      List.iter
+        (function
+          | Cab.Rx_packet info ->
+              seen := info.Cab.rx_total_len :: !seen;
+              Cab.rx_free pair.cab_b info.Cab.rx_pkt
+          | Cab.Sdma_done _ -> ())
+        evs);
+  Cab.set_interrupt_handler pair.cab_a (fun _ -> ());
+  let sizes = [ 1024; 2048; 4096; 512; 8192 ] in
+  List.iter (fun n -> Cab.deliver pair.cab_b (Bytes.create n)) sizes;
+  Sim.run pair.sim;
+  Alcotest.(check (list int))
+    "every packet notified once, in arrival order" sizes (List.rev !seen);
+  let s = Cab.stats pair.cab_b in
+  check_int "stats count individual notifications" (List.length sizes)
+    s.Cab.intr_events;
+  check_int "stats count handler bursts" !bursts s.Cab.interrupts;
+  check_bool "no more bursts than events" true (!bursts <= List.length sizes)
+
+let test_interrupt_handler_latest_wins () =
+  (* An application (e.g. raw HIPPI) installing a per-event handler must
+     take the adaptor over from a previously installed batch handler. *)
+  let pair = make_pair () in
+  let batch_calls = ref 0 and single_calls = ref 0 in
+  Cab.set_batch_interrupt_handler pair.cab_b (fun _ -> incr batch_calls);
+  Cab.set_interrupt_handler pair.cab_b (fun i ->
+      (match i with
+      | Cab.Rx_packet info -> Cab.rx_free pair.cab_b info.Cab.rx_pkt
+      | Cab.Sdma_done _ -> ());
+      incr single_calls);
+  Cab.deliver pair.cab_b (Bytes.create 2048);
+  Sim.run pair.sim;
+  check_int "per-event handler took over" 1 !single_calls;
+  check_int "stale batch handler silenced" 0 !batch_calls
+
 let test_alignment_enforced () =
   let pair = make_pair () in
   let space = Addr_space.create ~profile ~name:"app" in
@@ -358,6 +490,15 @@ let () =
             test_checksum_corruption_detected;
           Alcotest.test_case "retransmit rewrite" `Quick
             test_retransmit_header_rewrite;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "sdma chain equivalent to posts" `Quick
+            test_sdma_chain_equivalent;
+          Alcotest.test_case "batch interrupt handler" `Quick
+            test_batch_interrupt_handler;
+          Alcotest.test_case "latest handler wins" `Quick
+            test_interrupt_handler_latest_wins;
         ] );
       ( "restrictions",
         [

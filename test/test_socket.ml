@@ -150,6 +150,195 @@ let test_two_sockets_one_host () =
   check_bool "stream 1 done" true !done1;
   check_bool "stream 2 done" true !done2
 
+(* ---------- adaptive path policy ---------- *)
+
+let check_route msg expected got = check_bool msg true (expected = got)
+
+let test_path_policy_decide () =
+  (* Defaults: cutover 16384, cold_shift 1 (cold threshold 32768). *)
+  let p = Path_policy.create ~explore_period:0 () in
+  check_route "unaligned always copies"
+    (Path_policy.Copy, Path_policy.Unaligned)
+    (Path_policy.decide p ~len:65536 ~aligned:false ~pin_warm:true);
+  check_route "small write copies"
+    (Path_policy.Copy, Path_policy.Below_cutover)
+    (Path_policy.decide p ~len:4096 ~aligned:true ~pin_warm:true);
+  check_route "warm mid-size goes single-copy"
+    (Path_policy.Uio, Path_policy.Above_cutover)
+    (Path_policy.decide p ~len:16384 ~aligned:true ~pin_warm:true);
+  check_route "cold mid-size copies (pin cost not amortized)"
+    (Path_policy.Copy, Path_policy.Cold_pin)
+    (Path_policy.decide p ~len:16384 ~aligned:true ~pin_warm:false);
+  check_route "cold large clears the handicap"
+    (Path_policy.Uio, Path_policy.Above_cutover)
+    (Path_policy.decide p ~len:65536 ~aligned:true ~pin_warm:false)
+
+let test_path_policy_refines () =
+  (* Uio measured cheaper at 4K: the cutover falls to that bucket. *)
+  let p = Path_policy.create ~explore_period:0 () in
+  for _ = 1 to 4 do
+    Path_policy.observe p ~route:Path_policy.Uio ~len:4096
+      ~cost:(Simtime.us 10.);
+    Path_policy.observe p ~route:Path_policy.Copy ~len:4096
+      ~cost:(Simtime.us 50.)
+  done;
+  check_int "cutover fell to the winning bucket" 4096 (Path_policy.cutover p);
+  (* Copy measured cheaper at 64K: the cutover is pushed above 64K. *)
+  let p = Path_policy.create ~explore_period:0 () in
+  for _ = 1 to 4 do
+    Path_policy.observe p ~route:Path_policy.Uio ~len:65536
+      ~cost:(Simtime.us 500.);
+    Path_policy.observe p ~route:Path_policy.Copy ~len:65536
+      ~cost:(Simtime.us 50.)
+  done;
+  check_bool "cutover pushed above the losing bucket" true
+    (Path_policy.cutover p > 65536);
+  (* Clamps: evidence at 64B cannot drag the cutover below min_cutover. *)
+  let p = Path_policy.create ~explore_period:0 ~min_cutover:1024 () in
+  for _ = 1 to 4 do
+    Path_policy.observe p ~route:Path_policy.Uio ~len:64
+      ~cost:(Simtime.us 1.);
+    Path_policy.observe p ~route:Path_policy.Copy ~len:64
+      ~cost:(Simtime.us 9.)
+  done;
+  check_int "clamped at min_cutover" 1024 (Path_policy.cutover p)
+
+let test_path_policy_explore () =
+  let p = Path_policy.create ~explore_period:4 () in
+  let explored = ref 0 in
+  for _ = 1 to 16 do
+    let route, reason =
+      Path_policy.decide p ~len:4096 ~aligned:true ~pin_warm:true
+    in
+    if reason = Path_policy.Explore then begin
+      incr explored;
+      (* 4K normally copies, so the probe takes the other road. *)
+      check_route "probe flips the route" Path_policy.Uio route
+    end
+  done;
+  check_int "every 4th eligible decision explores" 4 !explored;
+  check_int "stats agree" 4 (Path_policy.stats p).Path_policy.explored;
+  (* Exploration never overrides the alignment constraint. *)
+  let p = Path_policy.create ~explore_period:1 () in
+  for _ = 1 to 8 do
+    let route, _ =
+      Path_policy.decide p ~len:65536 ~aligned:false ~pin_warm:true
+    in
+    check_route "unaligned never explored onto the DMA path" Path_policy.Copy
+      route
+  done
+
+let test_adaptive_routing_end_to_end () =
+  (* One adaptive socket sends four writes that must route differently:
+     4K aligned -> copy (below cutover), 64K aligned -> single-copy
+     (twice: cold then pin-warm), 4K at an odd offset -> copy
+     (unaligned).  Data must arrive byte-identical on every route with
+     no checksum failures. *)
+  let adaptive =
+    { Socket.default_paths with Socket.force_uio = false; adaptive = true }
+  in
+  let sa_ref = ref None and sb_ref = ref None in
+  let reads_ok = ref 0 in
+  let tb =
+    with_stream ~a_paths:adaptive (fun tb sa sb ->
+        sa_ref := Some sa;
+        sb_ref := Some sb;
+        let a_sp = Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"s" in
+        let b_sp = Netstack.make_space tb.Testbed.b.Testbed.stack ~name:"s" in
+        let small = Addr_space.alloc a_sp 4096 in
+        let big = Addr_space.alloc a_sp 65536 in
+        let odd = Addr_space.alloc_at_offset a_sp ~page_offset:1 4096 in
+        Region.fill_pattern small ~seed:1;
+        Region.fill_pattern big ~seed:2;
+        Region.fill_pattern odd ~seed:3;
+        Socket.write sa small (fun () ->
+            Socket.write sa big (fun () ->
+                Socket.write sa big (fun () ->
+                    Socket.write sa odd (fun () -> Socket.close sa))));
+        let dst_small = Addr_space.alloc b_sp 4096 in
+        let dst_big = Addr_space.alloc b_sp 65536 in
+        let expect src dst k =
+          Socket.read_exact sb dst (fun n ->
+              if n = Region.length dst && Region.equal_contents src dst then
+                incr reads_ok;
+              k ())
+        in
+        expect small dst_small (fun () ->
+            expect big dst_big (fun () ->
+                expect big dst_big (fun () ->
+                    expect odd dst_small (fun () -> ())))))
+  in
+  Sim.run ~until:(Simtime.s 60.) tb.Testbed.sim;
+  check_int "all four transfers byte-identical" 4 !reads_ok;
+  let sa = Option.get !sa_ref and sb = Option.get !sb_ref in
+  let st = Socket.stats sa in
+  check_int "two writes took the copy path" 2 st.Socket.copy_writes;
+  check_int "two writes took the single-copy path" 2 st.Socket.uio_writes;
+  check_int "odd buffer fell back" 1 st.Socket.unaligned_fallbacks;
+  let ps = Path_policy.stats (Option.get (Socket.path_policy sa)) in
+  check_int "policy routed two uio" 2 ps.Path_policy.uio_routed;
+  check_int "policy routed two copy" 2 ps.Path_policy.copy_routed;
+  check_int "one unaligned decision" 1 ps.Path_policy.unaligned;
+  check_int "one below-cutover decision" 1 ps.Path_policy.below_cutover;
+  check_int "two above-cutover decisions" 2 ps.Path_policy.above_cutover;
+  check_int "every send reported a cost" 4
+    (ps.Path_policy.uio_observed + ps.Path_policy.copy_observed);
+  check_int "no receive checksum failures" 0
+    (Tcp.pcb_stats (Socket.pcb sb)).Tcp.csum_failures_rx
+
+let test_descriptor_coalescing () =
+  (* An in-kernel sender (direct sosend_append, so no copy-semantics
+     blocking between writes) queues sixteen 4K descriptor writes
+     back-to-back.  With [coalesce_descriptors] the sendq links them
+     into one symbolic chain and packetization cuts full-MSS segments
+     across write boundaries — fewer segments on the wire, same bytes,
+     no checksum failures. *)
+  let wsize = 4096 and count = 16 in
+  let run coalesce =
+    let sa_ref = ref None and sb_ref = ref None in
+    let ok = ref false in
+    let tb =
+      with_stream
+        ~tcp_config:(fun c -> { c with Tcp.coalesce_descriptors = coalesce })
+        (fun tb sa sb ->
+          sa_ref := Some sa;
+          sb_ref := Some sb;
+          let a_sp =
+            Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"s"
+          in
+          let b_sp =
+            Netstack.make_space tb.Testbed.b.Testbed.stack ~name:"s"
+          in
+          let src = Addr_space.alloc a_sp (wsize * count) in
+          let dst = Addr_space.alloc b_sp (wsize * count) in
+          Region.fill_pattern src ~seed:7;
+          let pcb = Socket.pcb sa in
+          for i = 0 to count - 1 do
+            let m =
+              Mbuf.make_uio ~space:a_sp
+                ~region:(Region.sub src ~off:(i * wsize) ~len:wsize)
+                ~hdr:{ Mbuf.csum = None; notify = None }
+            in
+            match Tcp.sosend_append pcb ~proc:"ksend" m with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e
+          done;
+          Socket.read_exact sb dst (fun n ->
+              ok := n = wsize * count && Region.equal_contents src dst))
+    in
+    Sim.run ~until:(Simtime.s 60.) tb.Testbed.sim;
+    check_bool "all bytes byte-identical at the receiver" true !ok;
+    check_int "no receive checksum failures" 0
+      (Tcp.pcb_stats (Socket.pcb (Option.get !sb_ref))).Tcp.csum_failures_rx;
+    let st = Tcp.pcb_stats (Socket.pcb (Option.get !sa_ref)) in
+    (st.Tcp.segs_sent, st.Tcp.descriptor_merges)
+  in
+  let segs_merged, merges = run true in
+  let segs_plain, no_merges = run false in
+  check_bool "writes were linked into symbolic chains" true (merges > 0);
+  check_int "paper configuration never merges" 0 no_merges;
+  check_bool "coalescing cut the segment count" true (segs_merged < segs_plain)
+
 let test_pin_cache_shared_across_write_and_read () =
   (* One socket both sends and receives through its pin cache; the cache
      must not interfere across directions. *)
@@ -190,5 +379,16 @@ let () =
             test_two_sockets_one_host;
           Alcotest.test_case "echo through one pin cache" `Quick
             test_pin_cache_shared_across_write_and_read;
+        ] );
+      ( "path policy",
+        [
+          Alcotest.test_case "decide" `Quick test_path_policy_decide;
+          Alcotest.test_case "online cutover refinement" `Quick
+            test_path_policy_refines;
+          Alcotest.test_case "exploration" `Quick test_path_policy_explore;
+          Alcotest.test_case "adaptive routing end to end" `Quick
+            test_adaptive_routing_end_to_end;
+          Alcotest.test_case "descriptor coalescing" `Quick
+            test_descriptor_coalescing;
         ] );
     ]

@@ -86,6 +86,42 @@ let test_sendq_chain_extent () =
   check_int "remaining extent" 60 ext;
   Tcp_sendq.clear q
 
+let test_sendq_merge_descriptors () =
+  let q = Tcp_sendq.create ~hiwat:(1 lsl 19) in
+  let space = Addr_space.create ~profile:Host_profile.alpha400 ~name:"t" in
+  let r = Addr_space.alloc space 16384 in
+  Region.fill_pattern r ~seed:11;
+  let chunk i =
+    Mbuf.make_uio ~space
+      ~region:(Region.sub r ~off:(i * 4096) ~len:4096)
+      ~hdr:{ Mbuf.csum = None; notify = None }
+  in
+  Tcp_sendq.append q (chunk 0);
+  check_bool "a second descriptor would merge" true
+    (Tcp_sendq.append_merges_descriptor q (chunk 1));
+  Tcp_sendq.append ~merge_descriptors:true q (chunk 1);
+  Tcp_sendq.append ~merge_descriptors:true q (chunk 2);
+  check_int "three writes queued" 12288 (Tcp_sendq.length q);
+  (* The merged writes form one symbolic chain that packetization can
+     cut full-MSS segments from. *)
+  let k, ext = Tcp_sendq.chain_extent q ~off:0 in
+  check_bool "descriptor kind" true (k = Mbuf.K_uio);
+  check_int "one chain spans the merged writes" 12288 ext;
+  (* Without the flag, the next write starts its own chain. *)
+  Tcp_sendq.append q (chunk 3);
+  let _, ext = Tcp_sendq.chain_extent q ~off:0 in
+  check_int "unmerged write not linked on" 12288 ext;
+  (* Merging must not disturb the bytes. *)
+  let m = Tcp_sendq.range q ~off:0 ~len:16384 in
+  let want = Bytes.create 16384 in
+  Region.blit_to_bytes r ~src_off:0 want ~dst_off:0 ~len:16384;
+  check_int "byte-identical through the merge"
+    (Inet_csum.fold (Inet_csum.of_bytes want))
+    (Inet_csum.fold (Mbuf.checksum m ~off:0 ~len:16384));
+  Mbuf.free m;
+  Alcotest.(check (result unit string)) "consistent" (Ok ()) (Tcp_sendq.check q);
+  Tcp_sendq.clear q
+
 let prop_sendq_like_string =
   (* Model-based: the queue must behave like a byte string under
      append/drop/range/replace. *)
@@ -419,6 +455,8 @@ let () =
           Alcotest.test_case "replace full chain" `Quick
             test_sendq_replace_full_chain;
           Alcotest.test_case "chain extent" `Quick test_sendq_chain_extent;
+          Alcotest.test_case "descriptor merge" `Quick
+            test_sendq_merge_descriptors;
           QCheck_alcotest.to_alcotest prop_sendq_like_string;
         ] );
       ( "reasm",
