@@ -60,8 +60,25 @@ type t = {
   mutable intr_events : int;
 }
 
+(* Publish this adaptor's counters under ["cab.<name>"]; gauges read the
+   live record, and re-creating an adaptor with the same name replaces the
+   previous registration (the benchmarks build one testbed at a time). *)
+let register_obs t =
+  let section = "cab." ^ t.name in
+  let g name f = Obs.gauge ~section ~name (fun () -> float_of_int (f ())) in
+  g "sdma_transfers" (fun () -> t.sdma_transfers);
+  g "sdma_bytes" (fun () -> t.sdma_bytes);
+  g "sdma_chains" (fun () -> t.sdma_chains);
+  g "mdma_packets" (fun () -> t.mdma_packets);
+  g "mdma_bytes" (fun () -> t.mdma_bytes);
+  g "rx_packets" (fun () -> t.rx_packets);
+  g "rx_bytes" (fun () -> t.rx_bytes);
+  g "rx_dropped" (fun () -> t.rx_dropped);
+  g "interrupts" (fun () -> t.interrupts);
+  g "intr_events" (fun () -> t.intr_events)
+
 let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
-  {
+  let t = {
     sim;
     profile;
     name;
@@ -90,6 +107,9 @@ let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
     interrupts = 0;
     intr_events = 0;
   }
+  in
+  register_obs t;
+  t
 
 let name t = t.name
 let hippi_addr t = t.addr
@@ -132,7 +152,9 @@ let rec deliver_intrs t =
   | [] -> t.intr_scheduled <- false
   | evs ->
       t.interrupts <- t.interrupts + 1;
-      t.intr_events <- t.intr_events + List.length evs;
+      let n_evs = List.length evs in
+      t.intr_events <- t.intr_events + n_evs;
+      Obs_trace.emit Obs_trace.Intr ~a:n_evs ~b:t.intr_budget;
       (match t.batch_handler with
       | Some f -> f evs
       | None -> List.iter t.intr_handler evs);
@@ -173,6 +195,7 @@ let do_mdma t (pkt : Netmem.packet) { dst; channel; keep } =
      been copied into network memory. *)
   let frame = Bufpool.get Bufpool.shared pkt.len in
   Bytes.blit pkt.buf 0 frame 0 pkt.len;
+  Obs_ledger.touch Obs_ledger.Media Obs_ledger.Copy pkt.len;
   t.mdma_packets <- t.mdma_packets + 1;
   t.mdma_bytes <- t.mdma_bytes + pkt.len;
   t.transmit frame ~dst ~channel;
@@ -196,6 +219,7 @@ let sdma_finished t (pkt : Netmem.packet) =
 let sdma t (pkt : Netmem.packet) ~bytes ~cookie ~interrupt ~on_complete commit
     =
   pkt.sdma_pending <- pkt.sdma_pending + 1;
+  Obs_trace.emit Obs_trace.Sdma_post ~a:bytes ~b:1;
   let duration = Memcost.bus_transfer t.profile bytes in
   Resource.acquire t.bus duration (fun () ->
       t.sdma_transfers <- t.sdma_transfers + 1;
@@ -251,6 +275,9 @@ let validate_payload (pkt : Netmem.packet) ~src ~pkt_off =
   len
 
 let commit_payload (pkt : Netmem.packet) ~src ~pkt_off ~len =
+  Obs_ledger.touch Obs_ledger.Sdma_payload
+    (match pkt.csum with None -> Obs_ledger.Copy | Some _ -> Obs_ledger.Copy_sum)
+    len;
   match pkt.csum with
   | None -> (
       match src with
@@ -325,6 +352,7 @@ let sdma_chain t (pkt : Netmem.packet) ~segs ?(cookie = 0)
         segs;
       pkt.sdma_pending <- pkt.sdma_pending + 1;
       t.sdma_chains <- t.sdma_chains + 1;
+      Obs_trace.emit Obs_trace.Sdma_post ~a:!total ~b:(List.length segs);
       Resource.acquire t.bus !duration (fun () ->
           t.sdma_transfers <- t.sdma_transfers + List.length segs;
           t.sdma_bytes <- t.sdma_bytes + !total;
@@ -362,6 +390,7 @@ let tx_rewrite_header t (pkt : Netmem.packet) ~header ~csum ?(cookie = 0)
               ~dst_off:skip ~len:(len - skip))
 
 let mdma_send t (pkt : Netmem.packet) ~dst ~channel ~keep =
+  Obs_trace.emit Obs_trace.Doorbell ~a:pkt.len ~b:pkt.sdma_pending;
   let req = { dst; channel; keep } in
   if pkt.sdma_pending = 0 then do_mdma t pkt req
   else begin
@@ -393,11 +422,15 @@ let deliver t frame =
          copies the frame into network memory and produces the sum. *)
       let engine_sum =
         if len > rx_csum_start then begin
+          Obs_ledger.touch Obs_ledger.Rx_engine Obs_ledger.Copy rx_csum_start;
+          Obs_ledger.touch Obs_ledger.Rx_engine Obs_ledger.Copy_sum
+            (len - rx_csum_start);
           Bytes.blit frame 0 pkt.buf 0 rx_csum_start;
           Inet_csum.copy_and_sum ~src:frame ~src_off:rx_csum_start
             ~dst:pkt.buf ~dst_off:rx_csum_start ~len:(len - rx_csum_start)
         end
         else begin
+          Obs_ledger.touch Obs_ledger.Rx_engine Obs_ledger.Copy len;
           Bytes.blit frame 0 pkt.buf 0 len;
           Inet_csum.zero
         end
@@ -445,6 +478,7 @@ let sdma_copy_out t (pkt : Netmem.packet) ~off ~len ~dst ?(cookie = 0)
       if k_off + len > Bytes.length b then
         invalid_arg "Cab.sdma_copy_out: kernel destination too small");
   sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
+      Obs_ledger.touch Obs_ledger.Copyout Obs_ledger.Copy len;
       match dst with
       | Netif.To_user (_, region) ->
           Region.blit_from_bytes pkt.buf ~src_off:off region ~dst_off:0 ~len

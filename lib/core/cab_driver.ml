@@ -11,6 +11,10 @@ type driver_stats = {
   rx_copied_kernel : int;
   copyouts : int;
   unaligned_staged : int;
+  tx_gather_fallbacks : int;  (* unaligned-scatter packets flattened *)
+  tx_gather_bytes : int;
+  tx_staged_segments : int;   (* unaligned pieces bounced via kernel *)
+  tx_staged_bytes : int;
 }
 
 type t = {
@@ -37,6 +41,10 @@ let zero_stats =
     rx_copied_kernel = 0;
     copyouts = 0;
     unaligned_staged = 0;
+    tx_gather_fallbacks = 0;
+    tx_gather_bytes = 0;
+    tx_staged_segments = 0;
+    tx_staged_bytes = 0;
   }
 
 let iface t = Option.get t.ifc
@@ -98,6 +106,25 @@ let rewrite_candidate t ~prefix_len pieces =
       | _ -> None)
   | _ -> None
 
+(* Ledger attribution for the prefix gather in [build_header]: leading
+   internal mbufs are protocol headers (prepended by the transports),
+   cluster mbufs are staged payload (the unmodified stack's kernel
+   copies), so the copy splits into header vs payload host touches. *)
+let charge_prefix chain ~prefix_len =
+  let rec go (m : Mbuf.t option) remaining =
+    if remaining > 0 then
+      match m with
+      | None -> ()
+      | Some mb ->
+          let n = min remaining mb.Mbuf.len in
+          (match Mbuf.kind mb with
+          | Mbuf.K_internal ->
+              Obs_ledger.touch Obs_ledger.Drv_tx_header Obs_ledger.Copy n
+          | _ -> Obs_ledger.touch Obs_ledger.Drv_tx_gather Obs_ledger.Copy n);
+          go mb.Mbuf.next (remaining - n)
+  in
+  go (Some chain) prefix_len
+
 let build_header t ~dst ~payload_total chain ~prefix_len =
   let hdr_len = word_pad (hippi_hdr + prefix_len) in
   (* Zero-filled: the word-alignment pad bytes ride through the transmit
@@ -109,6 +136,7 @@ let build_header t ~dst ~payload_total chain ~prefix_len =
        ~src:(Cab.hippi_addr t.cab)
        ~dst ~channel:(channel_for dst) ~payload_len:payload_total)
     hdr ~off:0;
+  charge_prefix chain ~prefix_len;
   Mbuf.copy_into chain ~off:0 ~len:prefix_len hdr ~dst_off:hippi_hdr;
   hdr
 
@@ -187,11 +215,22 @@ let output t ifc pkt ~next_hop =
                    unit.  The checksum engine still covers [skip, end)
                    during the single SDMA. *)
                 let blob = Bytes.make (word_pad pkt_len) '\000' in
+                let gathered = total - prefix_len in
+                Obs_ledger.touch Obs_ledger.Drv_tx_header Obs_ledger.Copy
+                  (hippi_hdr + prefix_len);
+                Obs_ledger.touch Obs_ledger.Drv_tx_gather Obs_ledger.Copy
+                  gathered;
                 Bytes.blit hdr 0 blob 0 (hippi_hdr + prefix_len);
                 Mbuf.copy_into_raw pkt ~off:prefix_len
-                  ~len:(total - prefix_len) blob
+                  ~len:gathered blob
                   ~dst_off:(hippi_hdr + prefix_len);
-                t.s <- { t.s with tx_packets = t.s.tx_packets + 1 };
+                t.s <-
+                  {
+                    t.s with
+                    tx_packets = t.s.tx_packets + 1;
+                    tx_gather_fallbacks = t.s.tx_gather_fallbacks + 1;
+                    tx_gather_bytes = t.s.tx_gather_bytes + gathered;
+                  };
                 (* Credit any UIO counters: the gather is the copy. *)
                 Mbuf.iter
                   (fun (mb : Mbuf.t) ->
@@ -202,9 +241,7 @@ let output t ifc pkt ~next_hop =
                   pkt;
                 Mbuf.free pkt;
                 Host.in_intr t.host post_cost (fun () ->
-                    Cab.sdma_header t.cab netpkt
-                      ~header:(Bytes.sub blob 0 (word_pad pkt_len))
-                      ~csum:tx_csum ();
+                    Cab.sdma_header t.cab netpkt ~header:blob ~csum:tx_csum ();
                     Cab.mdma_send t.cab netpkt ~dst
                       ~channel:(channel_for dst) ~keep:false)
               end
@@ -297,6 +334,8 @@ let output t ifc pkt ~next_hop =
                                 t.s with
                                 tx_adaptor_copies = t.s.tx_adaptor_copies + 1;
                               };
+                            Obs_ledger.touch Obs_ledger.Drv_tx_stage
+                              Obs_ledger.Copy seg;
                             let b = Bytes.create seg in
                             Bytes.blit d.Mbuf.wcab_bytes
                               (d.Mbuf.wcab_base + mb.Mbuf.off)
@@ -400,6 +439,8 @@ let copy_out t (mb : Mbuf.t) ~off ~len ~dst ~on_done =
                   Memcost.copy t.host.Host.profile ~locality:Memcost.Cold len
                 in
                 Host.in_intr t.host copy_cost (fun () ->
+                    Obs_ledger.touch Obs_ledger.Drv_rx_stage Obs_ledger.Copy
+                      len;
                     (match dst with
                     | Netif.To_user (_, region) ->
                         Region.blit_from_bytes stage ~src_off:lead region
@@ -428,6 +469,7 @@ let handle_rx t (info : Cab.rx_info) =
   else begin
     (* Copy the auto-DMA'd prefix (minus link framing) straight into
        pooled mbuf storage — no intermediate staging buffer. *)
+    Obs_ledger.touch Obs_ledger.Drv_rx_head Obs_ledger.Copy host_bytes;
     let head =
       Mbuf.of_bytes ~pkthdr:true ~off:hippi_hdr ~len:host_bytes
         info.Cab.rx_head
@@ -486,7 +528,10 @@ let handle_rx t (info : Cab.rx_info) =
                 ~interrupt:true
                 ~on_complete:(fun () ->
                   Cab.rx_free t.cab pkt;
-                  Mbuf.append head (Mbuf.of_bytes tail);
+                  (* The copy-out DMA already landed the tail in [tail];
+                     wrap it zero-copy instead of re-copying into pooled
+                     cells, matching the paper's 2-copy baseline profile. *)
+                  Mbuf.append head (Mbuf.wrap_bytes tail);
                   t.s <-
                     { t.s with rx_copied_kernel = t.s.rx_copied_kernel + 1 };
                   deliver_chain t head)
@@ -532,6 +577,24 @@ let attach ~host ~ip ~cab ~addr ?(mtu = 32 * 1024) ~mode () =
       ()
   in
   t.ifc <- Some ifc;
+  (let section = "cab_driver." ^ Cab.name cab in
+   let g name f = Obs.gauge ~section ~name (fun () -> float_of_int (f ())) in
+   g "tx_packets" (fun () -> t.s.tx_packets);
+   g "tx_uio_segments" (fun () -> t.s.tx_uio_segments);
+   g "tx_kernel_segments" (fun () -> t.s.tx_kernel_segments);
+   g "tx_rewrites" (fun () -> t.s.tx_rewrites);
+   g "tx_adaptor_copies" (fun () -> t.s.tx_adaptor_copies);
+   g "tx_conversions" (fun () -> t.s.tx_conversions);
+   g "tx_drops" (fun () -> t.s.tx_drops);
+   g "rx_packets" (fun () -> t.s.rx_packets);
+   g "rx_wcab_delivered" (fun () -> t.s.rx_wcab_delivered);
+   g "rx_copied_kernel" (fun () -> t.s.rx_copied_kernel);
+   g "copyouts" (fun () -> t.s.copyouts);
+   g "unaligned_staged" (fun () -> t.s.unaligned_staged);
+   g "tx_gather_fallbacks" (fun () -> t.s.tx_gather_fallbacks);
+   g "tx_gather_bytes" (fun () -> t.s.tx_gather_bytes);
+   g "tx_staged_segments" (fun () -> t.s.tx_staged_segments);
+   g "tx_staged_bytes" (fun () -> t.s.tx_staged_bytes));
   Cab.set_batch_interrupt_handler cab (fun evs -> interrupt_batch t evs);
   Netif.attach_input ifc (fun m -> Ipv4.input ip ifc m);
   Host.add_iface host ifc;
@@ -543,8 +606,10 @@ let add_neighbor t ip ~hippi_addr = Netif.add_neighbor (iface t) ip hippi_addr
 let pp_stats fmt (s : driver_stats) =
   Format.fprintf fmt
     "tx %d pkts (%d uio segs, %d kernel segs, %d rewrites, %d adaptor \
-     copies, %d drops); rx %d pkts (%d with outboard tails, %d copied to \
-     kernel); %d copy-outs (%d staged)"
+     copies, %d drops, %d gather fallbacks / %d B, %d staged segs / %d B); \
+     rx %d pkts (%d with outboard tails, %d copied to kernel); %d copy-outs \
+     (%d staged)"
     s.tx_packets s.tx_uio_segments s.tx_kernel_segments s.tx_rewrites
-    s.tx_adaptor_copies s.tx_drops s.rx_packets s.rx_wcab_delivered
+    s.tx_adaptor_copies s.tx_drops s.tx_gather_fallbacks s.tx_gather_bytes
+    s.tx_staged_segments s.tx_staged_bytes s.rx_packets s.rx_wcab_delivered
     s.rx_copied_kernel s.copyouts s.unaligned_staged

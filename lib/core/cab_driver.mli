@@ -33,6 +33,12 @@ type driver_stats = {
   rx_copied_kernel : int;  (** packets fully copied to kernel (unmodified) *)
   copyouts : int;
   unaligned_staged : int;  (** copy-outs staged through kernel memory *)
+  tx_gather_fallbacks : int;
+      (** unaligned-scatter packets flattened into one kernel blob *)
+  tx_gather_bytes : int;  (** payload bytes those flattens copied *)
+  tx_staged_segments : int;
+      (** scatter pieces bounced through a kernel staging buffer *)
+  tx_staged_bytes : int;
 }
 
 val attach :

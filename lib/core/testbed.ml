@@ -19,6 +19,9 @@ let create ?(profile = Host_profile.alpha400)
     ?(netmem_pages = 4096) ?tcp_config ?(drop_a_frames = [])
     ?(drop_b_frames = []) () =
   let sim = Sim.create () in
+  (* Packet-trace timestamps come from this testbed's simulator; a new
+     testbed retargets the (process-global) tracer clock. *)
+  Obs_trace.set_clock (fun () -> Sim.now sim);
   let link = Hippi_link.create ~sim () in
   let a_frame_count = ref 0 in
   let b_frame_count = ref 0 in

@@ -177,3 +177,42 @@ let pp_stats ppf (s : stats) =
     s.uio_routed s.copy_routed s.unaligned s.below_cutover s.cold_pin
     s.above_cutover s.explored s.uio_observed s.copy_observed
     s.cutover_bytes
+
+(* Registry export: decision counters as gauges over the live instance,
+   EWMA cost tables as a lazy JSON table. Policies are per-socket;
+   [register] uses the registry's replace semantics, so the most recently
+   registered policy is the one exported (the benchmarks create one
+   testbed at a time). *)
+let tables_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  for i = 0 to buckets - 1 do
+    if t.uio.samples.(i) > 0 || t.copy.samples.(i) > 0 then begin
+      if not !first then Buffer.add_string buf ", ";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"bucket_lo\": %d, \"uio_us\": %.3f, \"uio_samples\": %d, \
+            \"copy_us\": %.3f, \"copy_samples\": %d}"
+           (1 lsl i) t.uio.ewma_us.(i) t.uio.samples.(i) t.copy.ewma_us.(i)
+           t.copy.samples.(i))
+    end
+  done;
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let register ?(section = "path_policy") t =
+  let g name f = Obs.gauge ~section ~name (fun () -> float_of_int (f ())) in
+  g "uio_routed" (fun () -> t.uio_routed);
+  g "copy_routed" (fun () -> t.copy_routed);
+  g "unaligned" (fun () -> t.n_unaligned);
+  g "below_cutover" (fun () -> t.n_below);
+  g "cold_pin" (fun () -> t.n_cold);
+  g "above_cutover" (fun () -> t.n_above);
+  g "explored" (fun () -> t.n_explored);
+  g "uio_observed" (fun () -> t.uio_observed);
+  g "copy_observed" (fun () -> t.copy_observed);
+  g "cutover_bytes" (fun () -> t.cutover);
+  g "decisions" (fun () -> t.decisions);
+  Obs.table ~section ~name:"ewma_tables" (fun () -> tables_json t)

@@ -78,3 +78,9 @@ val cutover : t -> int
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+val register : ?section:string -> t -> unit
+(** Publish this policy's decision counters (as gauges over the live
+    instance) and its EWMA cost tables (as a lazy JSON table) in the
+    {!Obs} registry under [section] (default ["path_policy"]); replaces
+    any previously registered policy. *)

@@ -291,6 +291,14 @@ let of_string ?pkthdr s =
   build_chain ?pkthdr ~total:(String.length s) (fun pos dst seg ->
       Bytes.blit_string s pos dst 0 seg)
 
+let wrap_bytes ?pkthdr ?(off = 0) ?len src =
+  let len = match len with Some l -> l | None -> Bytes.length src - off in
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Mbuf.wrap_bytes: range out of bounds";
+  (* Ownership of [src] transfers to the chain: the cell releases it (and
+     may recycle it, if it happens to be exactly cluster-sized) on free. *)
+  mk ?pkthdr (Cluster (cell_of_bytes src)) ~off ~len
+
 let alloc ?pkthdr n =
   if n < 0 then invalid_arg "Mbuf.alloc: negative";
   (* Recycled cells hold stale data: [alloc] promises zeroed storage. *)
@@ -786,3 +794,20 @@ let pp fmt m =
     (match m.pkthdr with
     | Some h -> Printf.sprintf " pkt=%d" h.pkt_len
     | None -> "")
+
+(* Publish pool statistics in the central registry (module init: the pool
+   is a process-global, so plain registration is enough). *)
+let () =
+  let s = "mbuf_pool" in
+  let fi f () = float_of_int (f ()) in
+  Obs.gauge ~section:s ~name:"live" (fi Pool.allocated);
+  Obs.gauge ~section:s ~name:"live_clusters" (fi Pool.clusters);
+  Obs.gauge ~section:s ~name:"hwm" (fi Pool.hwm);
+  Obs.gauge ~section:s ~name:"hwm_clusters" (fi Pool.hwm_clusters);
+  Obs.gauge ~section:s ~name:"allocs" (fi Pool.total_allocs);
+  Obs.gauge ~section:s ~name:"hits" (fi Pool.hit_count);
+  Obs.gauge ~section:s ~name:"misses" (fi Pool.miss_count);
+  Obs.gauge ~section:s ~name:"recycled" (fi Pool.recycled_count);
+  Obs.gauge ~section:s ~name:"hit_rate" Pool.hit_rate;
+  Obs.gauge ~section:s ~name:"free_small" (fi Pool.free_small);
+  Obs.gauge ~section:s ~name:"free_clusters" (fi Pool.free_clusters)

@@ -122,6 +122,11 @@ val of_string : ?pkthdr:bool -> string -> t
 val of_bytes : ?pkthdr:bool -> ?off:int -> ?len:int -> Bytes.t -> t
 (** Chain holding a copy of [src[off, off+len)] (default: all of [src]). *)
 
+val wrap_bytes : ?pkthdr:bool -> ?off:int -> ?len:int -> Bytes.t -> t
+(** Zero-copy: wrap existing storage as a single-segment chain instead of
+    copying it into pooled cells. Ownership of the buffer transfers to the
+    chain — the caller must not reuse it after [free]. *)
+
 val alloc : ?pkthdr:bool -> int -> t
 (** Zero-filled chain of the given total length. *)
 

@@ -65,3 +65,13 @@ let reset_stats t =
   Stats.Counter.reset t.misses
 
 let shared = create ()
+
+(* The shared instance is the one the datapath uses; publish it. *)
+let () =
+  let s = "bufpool" in
+  Obs.gauge ~section:s ~name:"hits" (fun () -> float_of_int (hit_count shared));
+  Obs.gauge ~section:s ~name:"misses" (fun () ->
+      float_of_int (miss_count shared));
+  Obs.gauge ~section:s ~name:"hit_rate" (fun () -> hit_rate shared);
+  Obs.gauge ~section:s ~name:"free_bytes" (fun () ->
+      float_of_int (free_bytes shared))

@@ -1,0 +1,148 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let get t = t.n
+  let reset t = t.n <- 0
+end
+
+module Histogram = struct
+  let buckets = 63
+
+  type t = { counts : int array; mutable total : int }
+
+  let create () = { counts = Array.make buckets 0; total = 0 }
+
+  let bucket_of v =
+    if v <= 1 then 0
+    else
+      let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+      let b = go 0 v in
+      if b > buckets - 1 then buckets - 1 else b
+
+  let observe t v =
+    let b = bucket_of v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+  let bucket_lo i = if i = 0 then 0 else 1 lsl i
+  let bucket_hi i = if i >= buckets - 1 then max_int else 1 lsl (i + 1)
+
+  let bucket_count t i =
+    if i < 0 || i >= buckets then invalid_arg "Histogram.bucket_count"
+    else t.counts.(i)
+
+  let reset t =
+    Array.fill t.counts 0 buckets 0;
+    t.total <- 0
+end
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of (unit -> float)
+  | M_histogram of Histogram.t
+  | M_table of (unit -> string)
+
+(* Registry: keyed (section, name); replace semantics so per-instance
+   subsystems re-register freely. Insertion order of sections/names is
+   preserved for stable JSON output. *)
+let tbl : (string * string, metric) Hashtbl.t = Hashtbl.create 64
+let order : (string * string) list ref = ref []
+
+let register ~section ~name m =
+  let key = (section, name) in
+  if not (Hashtbl.mem tbl key) then order := key :: !order;
+  Hashtbl.replace tbl key m
+
+let counter ~section ~name =
+  let c = Counter.create () in
+  register ~section ~name (M_counter c);
+  c
+
+let gauge ~section ~name f = register ~section ~name (M_gauge f)
+
+let histogram ~section ~name =
+  let h = Histogram.create () in
+  register ~section ~name (M_histogram h);
+  h
+
+let table ~section ~name f = register ~section ~name (M_table f)
+let find ~section ~name = Hashtbl.find_opt tbl (section, name)
+
+let ordered () = List.rev !order
+
+let sections () =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (s, _) ->
+      if Hashtbl.mem seen s then None
+      else (
+        Hashtbl.add seen s ();
+        Some s))
+    (ordered ())
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let metric_json = function
+  | M_counter c -> string_of_int (Counter.get c)
+  | M_gauge f -> json_float (f ())
+  | M_table f -> f ()
+  | M_histogram h ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b
+        (Printf.sprintf "{\"count\": %d, \"buckets\": [" (Histogram.count h));
+      let first = ref true in
+      for i = 0 to Histogram.buckets - 1 do
+        let n = Histogram.bucket_count h i in
+        if n > 0 then (
+          if not !first then Buffer.add_string b ", ";
+          first := false;
+          Buffer.add_string b
+            (Printf.sprintf "[%d, %d, %d]" (Histogram.bucket_lo i)
+               (Histogram.bucket_hi i) n))
+      done;
+      Buffer.add_string b "]}";
+      Buffer.contents b
+
+let to_json ?sections:(only = []) () =
+  let keep s = only = [] || List.mem s only in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{";
+  let first_section = ref true in
+  List.iter
+    (fun s ->
+      if keep s then (
+        if not !first_section then Buffer.add_string buf ",";
+        first_section := false;
+        Buffer.add_string buf (Printf.sprintf "\n  \"%s\": {" s);
+        let first = ref true in
+        List.iter
+          (fun (s', n) ->
+            if String.equal s s' then
+              match Hashtbl.find_opt tbl (s', n) with
+              | None -> ()
+              | Some m ->
+                  if not !first then Buffer.add_string buf ",";
+                  first := false;
+                  Buffer.add_string buf
+                    (Printf.sprintf "\n    \"%s\": %s" n (metric_json m)))
+          (ordered ());
+        Buffer.add_string buf "\n  }"))
+    (sections ());
+  Buffer.add_string buf "\n}";
+  Buffer.contents buf
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter c -> Counter.reset c
+      | M_histogram h -> Histogram.reset h
+      | M_gauge _ | M_table _ -> ())
+    tbl

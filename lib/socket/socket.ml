@@ -56,6 +56,7 @@ type t = {
   pcb : Tcp.pcb;
   cache : Pin_cache.t option;
   policy : Path_policy.t option;
+  mutable policy_registered : bool;
   mutable writer_waiting : (unit -> unit) option;
   mutable reader_waiting : (unit -> unit) option;
   mutable pending_notify : Mbuf.notify option;
@@ -90,6 +91,7 @@ let create ~host ~space ~proc ?(paths = default_paths) pcb =
       pcb;
       cache;
       policy;
+      policy_registered = false;
       writer_waiting = None;
       reader_waiting = None;
       pending_notify = None;
@@ -151,6 +153,7 @@ let profile t = t.host.Host.profile
    driver's DMA completions. *)
 let write_uio t region k =
   let total = Region.length region in
+  Obs_trace.emit Obs_trace.Sock_write ~a:total ~b:1;
   let notify = Mbuf.make_notify () in
   Mbuf.notify_add notify total;
   t.pending_notify <- Some notify;
@@ -213,6 +216,7 @@ let write_uio t region k =
    buffered. *)
 let write_copy t region k =
   let total = Region.length region in
+  Obs_trace.emit Obs_trace.Sock_write ~a:total ~b:0;
   let rec push off =
     if off >= total then k ()
     else begin
@@ -230,6 +234,7 @@ let write_copy t region k =
         in
         charge t copy_cost (fun () ->
             let buf = Bytes.create chunk in
+            Obs_ledger.touch Obs_ledger.Sock_tx_copy Obs_ledger.Copy chunk;
             Region.blit_to_bytes region ~src_off:off buf ~dst_off:0 ~len:chunk;
             let m = Mbuf.of_bytes ~pkthdr:true buf in
             match Tcp.sosend_append t.pcb ~proc:t.proc m with
@@ -264,6 +269,13 @@ let write t region k =
              the policy; the observed (simulated) time until the app may
              reuse the buffer — which is what copy semantics make
              app-visible — feeds its online cutover estimate. *)
+          (* Registry registration is deferred to the first routing
+             decision so an idle peer's policy (a receiver never routes a
+             write) cannot replace-register over the active sender's. *)
+          if not t.policy_registered then begin
+            t.policy_registered <- true;
+            Path_policy.register policy
+          end;
           let pin_warm =
             match t.cache with
             | Some cache -> Pin_cache.is_resident cache region
@@ -362,11 +374,15 @@ let deliver_chain t chain region ~dst_off k =
                   | Some (b, pos) ->
                       (* Contiguous storage: copy straight into the user
                          region, no staging buffer. *)
+                      Obs_ledger.touch Obs_ledger.Sock_rx_copy Obs_ledger.Copy
+                        seg;
                       Region.blit_from_bytes b ~src_off:pos dst ~dst_off:0
                         ~len:seg
                   | None ->
                       (* Descriptor chains stage through a pooled buffer;
-                         walk within this mbuf only. *)
+                         walk within this mbuf only (two host touches). *)
+                      Obs_ledger.touch Obs_ledger.Sock_rx_copy Obs_ledger.Copy
+                        (2 * seg);
                       let tmp = Bufpool.get Bufpool.shared seg in
                       Mbuf.copy_into mb ~off:0 ~len:seg tmp ~dst_off:0;
                       Region.blit_from_bytes tmp ~src_off:0 dst ~dst_off:0
@@ -429,6 +445,7 @@ and read_attempt t region k =
     | Some chain ->
         let got = Mbuf.chain_len chain in
         t.s <- { t.s with bytes_read = t.s.bytes_read + got };
+        Obs_trace.emit Obs_trace.Sock_read ~a:got ~b:avail;
         deliver_chain t chain region ~dst_off:0 (fun () ->
             Mbuf.free chain;
             k got)

@@ -273,6 +273,8 @@ let checksum_plan pcb ~iface ~hdr_len ~(payload : Mbuf.t option) ~seg_len =
       Csum_offload.make_tx ~csum_offset:Tcp_header.csum_field_offset
         ~skip_bytes:0 ~seed:pseudo
     in
+    Obs_trace.emit Obs_trace.Seed_compute ~a:seg_len
+      ~b:(Inet_csum.fold pseudo land 0xffff);
     `Offload (Inet_csum.fold pseudo, record)
   end
   else if payload_has_wcab then
@@ -286,6 +288,7 @@ let checksum_plan pcb ~iface ~hdr_len ~(payload : Mbuf.t option) ~seg_len =
       | None -> (Inet_csum.zero, 0)
       | Some p ->
           let n = Mbuf.chain_len p in
+          Obs_ledger.touch Obs_ledger.Tcp_tx_csum Obs_ledger.Sum n;
           (Mbuf.checksum p ~off:0 ~len:n, n)
     in
     let cost =
@@ -578,6 +581,7 @@ and transmit_plan pcb plan =
   | `Data (off, len) ->
       let payload = Tcp_sendq.range pcb.sendq ~off ~len in
       let seq = pcb.snd_nxt in
+      Obs_trace.emit Obs_trace.Packetize ~a:(seq : Tcp_seq.t :> int) ~b:len;
       let retransmit = Tcp_seq.lt seq pcb.snd_max in
       if retransmit then begin
         pcb.stats <-
@@ -658,6 +662,7 @@ and transmit_plan pcb plan =
 
 and rescue_outboard pcb ~off ~len =
   let chain = Tcp_sendq.range pcb.sendq ~off ~len in
+  Obs_ledger.touch Obs_ledger.Tcp_flatten Obs_ledger.Copy len;
   let buf = Bytes.create len in
   Mbuf.copy_into_raw chain ~off:0 ~len buf ~dst_off:0;
   Mbuf.free chain;
@@ -740,8 +745,13 @@ let verify_checksum pcb seg =
       let skipped_len = max 0 rx.Csum_offload.rx_start in
       let skipped =
         if skipped_len = 0 then Inet_csum.zero
-        else Mbuf.checksum seg ~off:0 ~len:(min skipped_len seg_len)
+        else begin
+          Obs_ledger.touch Obs_ledger.Tcp_rx_csum Obs_ledger.Sum
+            (min skipped_len seg_len);
+          Mbuf.checksum seg ~off:0 ~len:(min skipped_len seg_len)
+        end
       in
+      Obs_trace.emit Obs_trace.Rx_adjust ~a:seg_len ~b:skipped_len;
       let ok = Csum_offload.rx_verify rx ~skipped ~pseudo in
       pcb.stats <-
         (if ok then
@@ -756,6 +766,7 @@ let verify_checksum pcb seg =
            });
       (ok, 0)
   | Some _ | None ->
+      Obs_ledger.touch Obs_ledger.Tcp_rx_csum Obs_ledger.Sum seg_len;
       let sum = Mbuf.checksum seg ~off:0 ~len:seg_len in
       let ok = Inet_csum.is_valid (Inet_csum.add pseudo sum) in
       let cost =
@@ -1222,13 +1233,19 @@ let sosend_append pcb ~proc chain =
          for the checksum pass. *)
       pcb.ws_hint_tx <- 2 * Mbuf.chain_len chain;
       let merge = pcb.tcp.cfg.coalesce_descriptors in
-      if merge && Tcp_sendq.append_merges_descriptor pcb.sendq chain then
+      let appended = Mbuf.chain_len chain in
+      if merge && Tcp_sendq.append_merges_descriptor pcb.sendq chain then begin
         pcb.stats <-
           {
             pcb.stats with
             descriptor_merges = pcb.stats.descriptor_merges + 1;
           };
+        Obs_trace.emit Obs_trace.Sendq_merge ~a:appended
+          ~b:(Tcp_sendq.length pcb.sendq)
+      end;
       Tcp_sendq.append ~merge_descriptors:merge pcb.sendq chain;
+      Obs_trace.emit Obs_trace.Sendq_append ~a:appended
+        ~b:(Tcp_sendq.length pcb.sendq);
       pump pcb ~proc;
       Ok ()
   | st ->

@@ -1,3 +1,9 @@
+(* Process-wide aggregates across every pin-cache instance, published in
+   the central registry (per-instance counters stay on [t]). *)
+let agg_hits = Obs.counter ~section:"pin_cache" ~name:"hits"
+let agg_misses = Obs.counter ~section:"pin_cache" ~name:"misses"
+let agg_evictions = Obs.counter ~section:"pin_cache" ~name:"evictions"
+
 type entry = {
   region : Region.t;
   pages : int;
@@ -48,6 +54,7 @@ let evict_lru t =
       Hashtbl.remove t.table (key e.region);
       t.resident <- t.resident - e.pages;
       t.evictions <- t.evictions + 1;
+      Obs.Counter.incr agg_evictions;
       Addr_space.unpin t.space e.region
 
 let acquire t region =
@@ -55,9 +62,11 @@ let acquire t region =
   | Some e ->
       e.last_used <- tick t;
       t.hits <- t.hits + 1;
+      Obs.Counter.incr agg_hits;
       Simtime.zero
   | None ->
       t.misses <- t.misses + 1;
+      Obs.Counter.incr agg_misses;
       let pages =
         Region.pages
           ~page_size:(Addr_space.profile t.space).Host_profile.page_size
