@@ -211,7 +211,14 @@ type macro_row = {
   row_frame : float;
   row_routing : Path_policy.stats option;
   row_touch : string;  (** data-touch ledger report (JSON object) *)
+  row_fault : string option;
+      (** recovery-plane report (JSON object), fault-injection rows only *)
 }
+
+(* Side channel from a fault-injection workload to [measure]: the run
+   closure deposits its recovery report here and [measure] attaches it to
+   the row (the shared closure signature stays (mbit, routing, bytes)). *)
+let fault_json : string option ref = ref None
 
 let macro_tcp_config ~adaptive c =
   if adaptive then { c with Tcp.coalesce_descriptors = true } else c
@@ -278,10 +285,41 @@ let macro_rpc ~mode ~size ~rounds () =
       let mbit = bits /. Simtime.to_s elapsed /. 1e6 in
       (mbit, Option.map Path_policy.stats policy, rounds * size * 2)
 
+(* Degraded-mode ttcp: 2% wire corruption plus one outboard-memory
+   exhaustion episode, over a watchdog-enabled testbed.  The throughput
+   of this row is NOT perf-gated (recovery work varies); what the gate
+   holds hard is the recovery report: data verified byte-identical, zero
+   occupancy leaks after quiescence, and evidence that the fault plane
+   actually fired (checksum failures caught, retransmissions healed
+   them).  The fixed seed replays the identical storm every run. *)
+let macro_ttcp_faulty () =
+  let total = 1 lsl 20 in
+  let plans ~seed:_ =
+    Fault.plan ~site:"wire.corrupt" (Fault.Probability 0.02);
+    Fault.plan ~site:"netmem.exhaust" (Fault.Once_at 40)
+  in
+  let r = Exp_soak.run_seed ~wsize:65536 ~total ~plans 1995 in
+  fault_json :=
+    Some
+      (Printf.sprintf
+         "{ \"verified\": %b, \"completed\": %b, \"leaks\": %d, \
+          \"retransmits\": %d, \"csum_failures_rx\": %d, \
+          \"frames_corrupted\": %d, \"tx_recoveries\": %d, \
+          \"sdma_timeouts\": %d, \"adaptor_resets\": %d, \
+          \"netmem_failures\": %d, \"pin_fallbacks\": %d }"
+         r.Exp_soak.verified r.Exp_soak.completed
+         (List.length r.Exp_soak.leaks)
+         r.Exp_soak.retransmits r.Exp_soak.csum_failures
+         r.Exp_soak.frames_corrupted r.Exp_soak.tx_recoveries
+         r.Exp_soak.sdma_timeouts r.Exp_soak.adaptor_resets
+         r.Exp_soak.netmem_failures r.Exp_soak.pin_fallbacks);
+  (r.Exp_soak.throughput_mbit, r.Exp_soak.policy, total)
+
 let macro ?(json = false) () =
   let measure ?(traced = false) ~name ~iters run =
     (* Warm-up: fault in the pools, then measure with clean counters and
        a fresh data-touch ledger window. *)
+    fault_json := None;
     ignore (run ());
     Mbuf.Pool.reset ();
     Bufpool.reset_stats Bufpool.shared;
@@ -313,6 +351,7 @@ let macro ?(json = false) () =
       row_frame = Bufpool.hit_rate Bufpool.shared;
       row_routing = routing;
       row_touch = Obs_ledger.report_json d ~payload:(payload * iters);
+      row_fault = !fault_json;
     }
   in
   let modes = [ Stack_mode.Single_copy; Stack_mode.Unmodified ] in
@@ -348,6 +387,9 @@ let macro ?(json = false) () =
            overhead (gated at <= 5% + noise margin). *)
         measure ~traced:true ~name:"ttcp-1M-single-copy-traced" ~iters:12
           (macro_ttcp ~mode:Stack_mode.Single_copy ~total:(1 lsl 20));
+        (* Degraded-mode row: throughput informational, recovery report
+           hard-gated (see scripts/bench_gate.py). *)
+        measure ~name:"ttcp-1M-faulty" ~iters:8 macro_ttcp_faulty;
       ]
   in
   Tabulate.print_header
@@ -403,12 +445,17 @@ let macro ?(json = false) () =
                 s.Path_policy.cold_pin s.Path_policy.above_cutover
                 s.Path_policy.explored s.Path_policy.cutover_bytes
         in
+        let fault =
+          match r.row_fault with
+          | None -> ""
+          | Some f -> Printf.sprintf ", \"fault\": %s" f
+        in
         Printf.fprintf oc
           "  %S: { \"ns_per_run\": %.1f, \"sim_throughput_mbit\": %.1f, \
            \"mbuf_pool_hit_rate\": %.4f, \"frame_pool_hit_rate\": %.4f%s, \
-           \"touch\": %s }%s\n"
+           \"touch\": %s%s }%s\n"
           r.row_name r.row_ns r.row_mbit r.row_mbuf r.row_frame routing
-          r.row_touch
+          r.row_touch fault
           (if i = List.length rows - 1 then "" else ","))
       rows;
     output_string oc "}\n";
@@ -475,6 +522,23 @@ let run_target = function
   | "window" -> Exp_window.print (Exp_window.run ())
   | "micro" -> micro ~json:!json_mode ()
   | "macro" -> macro ~json:!json_mode ()
+  | "soak" ->
+      (* Fault-storm soak over fixed seeds: each must finish verified
+         with zero occupancy leaks.  On failure the full metrics
+         registry is dumped for the CI artifact and the process exits
+         nonzero. *)
+      let reports = Exp_soak.run_storm () in
+      Exp_soak.print reports;
+      if not (Exp_soak.all_ok reports) then begin
+        let file = out_path "BENCH_soak_obs.json" in
+        let oc = open_out file in
+        output_string oc (Obs.to_json ());
+        output_string oc "\n";
+        close_out oc;
+        Printf.printf "\n  soak FAILED; wrote registry dump to %s\n" file;
+        exit 1
+      end
+      else Printf.printf "\n  soak ok (%d seeds)\n" (List.length reports)
   | t ->
       Printf.eprintf "unknown target %S\n" t;
       exit 2
@@ -485,7 +549,7 @@ let all_targets =
   paper_targets
   @ [ "alignment"; "pincache"; "autodma"; "smallwrite"; "interop"; "incast";
       "allpairs"; "scaling"; "netmem"; "serverapi"; "rpc"; "window";
-      "micro"; "macro" ]
+      "micro"; "macro"; "soak" ]
 
 let () =
   Tracelog.init_from_env ();

@@ -26,6 +26,9 @@ type stats = {
   rx_dropped : int;
   interrupts : int;
   intr_events : int;
+  sdma_stalled : int;
+  intr_lost : int;
+  tx_recoveries : int;
 }
 
 type pending_mdma = { dst : int; channel : int; keep : bool }
@@ -47,6 +50,10 @@ type t = {
   mutable intr_budget : int;
   mutable autodma_words : int;
   mdma_waiting : (int, pending_mdma) Hashtbl.t;
+  stalled : (int, int) Hashtbl.t;
+      (* packet id -> injected-stall count: posts that were accepted but
+         will never commit; the driver's watchdog reads this "status
+         register" to distinguish stuck from slow *)
   (* statistics *)
   mutable sdma_transfers : int;
   mutable sdma_bytes : int;
@@ -58,6 +65,9 @@ type t = {
   mutable rx_dropped : int;
   mutable interrupts : int;
   mutable intr_events : int;
+  mutable sdma_stalled : int;
+  mutable intr_lost : int;
+  mutable tx_recoveries : int;
 }
 
 (* Publish this adaptor's counters under ["cab.<name>"]; gauges read the
@@ -75,7 +85,15 @@ let register_obs t =
   g "rx_bytes" (fun () -> t.rx_bytes);
   g "rx_dropped" (fun () -> t.rx_dropped);
   g "interrupts" (fun () -> t.interrupts);
-  g "intr_events" (fun () -> t.intr_events)
+  g "intr_events" (fun () -> t.intr_events);
+  g "sdma_stalled" (fun () -> t.sdma_stalled);
+  g "intr_lost" (fun () -> t.intr_lost);
+  g "tx_recoveries" (fun () -> t.tx_recoveries);
+  (* Outboard-memory occupancy: the soak harness's leak checks diff these
+     against their pre-run baseline through the registry. *)
+  g "netmem_in_use" (fun () -> Netmem.in_use t.mem);
+  g "netmem_free_pages" (fun () -> Netmem.free_pages t.mem);
+  g "netmem_failures" (fun () -> Netmem.failures t.mem)
 
 let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
   let t = {
@@ -96,6 +114,7 @@ let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
        first 176 words of the packet (data size of the mbuf)" — §4.3. *)
     autodma_words = 176;
     mdma_waiting = Hashtbl.create 16;
+    stalled = Hashtbl.create 8;
     sdma_transfers = 0;
     sdma_bytes = 0;
     sdma_chains = 0;
@@ -106,6 +125,9 @@ let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
     rx_dropped = 0;
     interrupts = 0;
     intr_events = 0;
+    sdma_stalled = 0;
+    intr_lost = 0;
+    tx_recoveries = 0;
   }
   in
   register_obs t;
@@ -164,9 +186,27 @@ let rec deliver_intrs t =
 let raise_intr t i =
   Event_queue.push t.pending_intrs ~time:(Sim.now t.sim) i;
   if not t.intr_scheduled then begin
+    if Fault.fire "cab.lost_intr" then
+      (* The interrupt line glitched: the event stays queued but nothing
+         schedules its delivery.  The next raise (later traffic) or a
+         watchdog [poll] drains it — [pop_ready] picks up everything that
+         became ready at or before that instant. *)
+      t.intr_lost <- t.intr_lost + 1
+    else begin
+      t.intr_scheduled <- true;
+      ignore (Sim.after t.sim Simtime.zero (fun () -> deliver_intrs t))
+    end
+  end
+
+let pending_events t = Event_queue.length t.pending_intrs
+
+let poll t =
+  let n = pending_events t in
+  if n > 0 && not t.intr_scheduled then begin
     t.intr_scheduled <- true;
     ignore (Sim.after t.sim Simtime.zero (fun () -> deliver_intrs t))
-  end
+  end;
+  n
 
 let require_word_aligned what v =
   if v land 3 <> 0 then
@@ -214,20 +254,50 @@ let sdma_finished t (pkt : Netmem.packet) =
         Hashtbl.remove t.mdma_waiting pkt.Netmem.id;
         do_mdma t pkt req
 
+(* Injected stuck descriptor: the post was accepted (it holds its
+   [sdma_pending] share, so a queued MDMA keeps waiting) but it will
+   never occupy the bus, commit, or complete. *)
+let note_stall t (pkt : Netmem.packet) =
+  t.sdma_stalled <- t.sdma_stalled + 1;
+  Hashtbl.replace t.stalled pkt.Netmem.id
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.stalled pkt.Netmem.id))
+
+let stalled_posts t (pkt : Netmem.packet) =
+  Option.value ~default:0 (Hashtbl.find_opt t.stalled pkt.Netmem.id)
+
+(* Reclaim ONE stalled post without committing: release its pending share
+   but do NOT run [sdma_finished] — the recovering driver reposts
+   immediately, and the queued MDMA request must fire on the *reposted*
+   transfer's completion, not here.  One-at-a-time so concurrent watchdogs
+   on the same packet each pair exactly one reclaim with one repost. *)
+let clear_stall t (pkt : Netmem.packet) =
+  match Hashtbl.find_opt t.stalled pkt.Netmem.id with
+  | None -> ()
+  | Some n ->
+      if n <= 1 then Hashtbl.remove t.stalled pkt.Netmem.id
+      else Hashtbl.replace t.stalled pkt.Netmem.id (n - 1);
+      pkt.sdma_pending <- pkt.sdma_pending - 1;
+      t.tx_recoveries <- t.tx_recoveries + 1
+
 (* Common SDMA machinery: occupy the TurboChannel, then apply [commit]
-   (blit + checksum-engine update), then completion notifications. *)
-let sdma t (pkt : Netmem.packet) ~bytes ~cookie ~interrupt ~on_complete commit
-    =
+   (blit + checksum-engine update), then completion notifications.
+   [stallable] marks the posts covered by the "cab.sdma_stall" fault site
+   — the ones whose callers run a completion-timeout watchdog. *)
+let sdma ?(stallable = false) t (pkt : Netmem.packet) ~bytes ~cookie
+    ~interrupt ~on_complete commit =
   pkt.sdma_pending <- pkt.sdma_pending + 1;
-  Obs_trace.emit Obs_trace.Sdma_post ~a:bytes ~b:1;
-  let duration = Memcost.bus_transfer t.profile bytes in
-  Resource.acquire t.bus duration (fun () ->
-      t.sdma_transfers <- t.sdma_transfers + 1;
-      t.sdma_bytes <- t.sdma_bytes + bytes;
-      commit ();
-      (match on_complete with Some f -> f () | None -> ());
-      if interrupt then raise_intr t (Sdma_done cookie);
-      sdma_finished t pkt)
+  if stallable && Fault.fire "cab.sdma_stall" then note_stall t pkt
+  else begin
+    Obs_trace.emit Obs_trace.Sdma_post ~a:bytes ~b:1;
+    let duration = Memcost.bus_transfer t.profile bytes in
+    Resource.acquire t.bus duration (fun () ->
+        t.sdma_transfers <- t.sdma_transfers + 1;
+        t.sdma_bytes <- t.sdma_bytes + bytes;
+        commit ();
+        (match on_complete with Some f -> f () | None -> ());
+        if interrupt then raise_intr t (Sdma_done cookie);
+        sdma_finished t pkt)
+  end
 
 (* Validation happens at post time (the caller's bug surfaces where it was
    made); the commit closures run when the bus transfer completes. *)
@@ -352,6 +422,8 @@ let sdma_chain t (pkt : Netmem.packet) ~segs ?(cookie = 0)
         segs;
       pkt.sdma_pending <- pkt.sdma_pending + 1;
       t.sdma_chains <- t.sdma_chains + 1;
+      if Fault.fire "cab.sdma_stall" then note_stall t pkt
+      else begin
       Obs_trace.emit Obs_trace.Sdma_post ~a:!total ~b:(List.length segs);
       Resource.acquire t.bus !duration (fun () ->
           t.sdma_transfers <- t.sdma_transfers + List.length segs;
@@ -368,6 +440,7 @@ let sdma_chain t (pkt : Netmem.packet) ~segs ?(cookie = 0)
           (match on_complete with Some f -> f () | None -> ());
           if interrupt then raise_intr t (Sdma_done cookie);
           sdma_finished t pkt)
+      end
 
 let tx_rewrite_header t (pkt : Netmem.packet) ~header ~csum ?(cookie = 0)
     ?(interrupt = false) ?on_complete () =
@@ -477,7 +550,8 @@ let sdma_copy_out t (pkt : Netmem.packet) ~off ~len ~dst ?(cookie = 0)
   | Netif.To_kernel (b, k_off) ->
       if k_off + len > Bytes.length b then
         invalid_arg "Cab.sdma_copy_out: kernel destination too small");
-  sdma t pkt ~bytes:len ~cookie ~interrupt ~on_complete (fun () ->
+  sdma ~stallable:true t pkt ~bytes:len ~cookie ~interrupt ~on_complete
+    (fun () ->
       Obs_ledger.touch Obs_ledger.Copyout Obs_ledger.Copy len;
       match dst with
       | Netif.To_user (_, region) ->
@@ -500,6 +574,9 @@ let stats t =
     rx_dropped = t.rx_dropped;
     interrupts = t.interrupts;
     intr_events = t.intr_events;
+    sdma_stalled = t.sdma_stalled;
+    intr_lost = t.intr_lost;
+    tx_recoveries = t.tx_recoveries;
   }
 
 let bus_busy_time t = Resource.busy_time t.bus
@@ -508,6 +585,8 @@ let bus_busy_time t = Resource.busy_time t.bus
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
     "sdma %d xfers / %d B (%d chains); mdma %d pkts / %d B; rx %d pkts / %d \
-     B (%d dropped); %d interrupt bursts / %d events"
+     B (%d dropped); %d interrupt bursts / %d events; faults: %d stalls, %d \
+     lost intrs, %d recoveries"
     s.sdma_transfers s.sdma_bytes s.sdma_chains s.mdma_packets s.mdma_bytes
     s.rx_packets s.rx_bytes s.rx_dropped s.interrupts s.intr_events
+    s.sdma_stalled s.intr_lost s.tx_recoveries

@@ -202,6 +202,41 @@ val sdma_copy_out :
 
 val rx_free : t -> Netmem.packet -> unit
 
+(** {1 Fault injection and recovery}
+
+    Two fault sites live on the adaptor:
+
+    - ["cab.sdma_stall"], consulted by {!sdma_chain} and
+      {!sdma_copy_out}: the post is accepted (the descriptor counts
+      against [sdma_pending]) but never occupies the bus, never commits
+      and never completes — a stuck descriptor.  The driver detects it
+      with {!stalled_posts} from a completion-timeout watchdog, reclaims
+      it with {!clear_stall} and reposts.
+    - ["cab.lost_intr"], consulted when an interrupt would be scheduled:
+      the event stays queued but no delivery is scheduled.  Any later
+      interrupt — or an explicit {!poll} — drains stranded events. *)
+
+val stalled_posts : t -> Netmem.packet -> int
+(** Outstanding posts for [packet] that the (injected) hardware lost —
+    the status-register read a timeout handler does before deciding the
+    descriptor is stuck rather than merely slow. *)
+
+val clear_stall : t -> Netmem.packet -> unit
+(** Reclaim {e one} stalled post of [packet]: its [sdma_pending] share is
+    released without committing anything, so the caller can repost.  A
+    queued {!mdma_send} request stays queued (it executes when the
+    reposted transfer completes).  One post per call, so concurrent
+    watchdogs on the same packet each pair one reclaim with one repost.
+    No-op if nothing is stalled. *)
+
+val pending_events : t -> int
+(** Notifications queued on the adaptor but not yet delivered. *)
+
+val poll : t -> int
+(** Lost-interrupt watchdog entry: schedule a delivery burst if events
+    are pending and none is scheduled.  Returns the number of pending
+    events found (0 = nothing stranded). *)
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -215,6 +250,9 @@ type stats = {
   rx_dropped : int;  (** network memory exhausted *)
   interrupts : int;  (** delivery bursts (handler invocations) *)
   intr_events : int;  (** individual notifications across all bursts *)
+  sdma_stalled : int;  (** injected stuck descriptors *)
+  intr_lost : int;  (** injected lost interrupts *)
+  tx_recoveries : int;  (** {!clear_stall} reclaims *)
 }
 
 val stats : t -> stats

@@ -13,6 +13,15 @@ type packet = {
   pages : int;
 }
 
+exception Double_free of int
+
+(* Process-wide aggregates: netmem instances are per-adaptor, but the
+   soak harness checks these via one registry lookup. *)
+let agg_double_frees = Obs.counter ~section:"netmem" ~name:"double_frees"
+
+let agg_injected_exhaustions =
+  Obs.counter ~section:"netmem" ~name:"injected_exhaustions"
+
 type t = {
   capacity : int;
   mutable used : int;
@@ -38,7 +47,14 @@ let alloc t ~len ~state =
   let pages =
     max 1 ((len + Page.cab_page_size - 1) / Page.cab_page_size)
   in
-  if t.used + pages > t.capacity then begin
+  if Fault.fire "netmem.exhaust" then begin
+    (* Injected exhaustion episode: same observable outcome as a real
+       out-of-pages condition, so callers' degradation paths run. *)
+    t.failures <- t.failures + 1;
+    Obs.Counter.incr agg_injected_exhaustions;
+    None
+  end
+  else if t.used + pages > t.capacity then begin
     t.failures <- t.failures + 1;
     None
   end
@@ -67,9 +83,10 @@ let alloc t ~len ~state =
   end
 
 let free t pkt =
-  if not (Hashtbl.mem t.live_ids pkt.id) then
-    invalid_arg
-      (Printf.sprintf "Netmem.free: packet %d not live (double free?)" pkt.id);
+  if not (Hashtbl.mem t.live_ids pkt.id) then begin
+    Obs.Counter.incr agg_double_frees;
+    raise (Double_free pkt.id)
+  end;
   Hashtbl.remove t.live_ids pkt.id;
   t.used <- t.used - pkt.pages;
   Bufpool.put Bufpool.shared pkt.buf

@@ -33,13 +33,21 @@ type packet = {
 
 type t
 
+exception Double_free of int
+(** Raised by {!free} for a packet that is not live — the second free of a
+    region would corrupt the free list on real hardware, so it is a typed,
+    counted error here (Obs counter [netmem.double_frees]). *)
+
 val create : pages:int -> t
 (** Capacity in CAB pages ({!Page.cab_page_size} bytes each). *)
 
 val alloc : t -> len:int -> state:state -> packet option
-(** Page-aligned allocation; [None] when memory is exhausted. *)
+(** Page-aligned allocation; [None] when memory is exhausted.  The fault
+    site ["netmem.exhaust"] can force an exhaustion (counted both in
+    {!failures} and the Obs counter [netmem.injected_exhaustions]). *)
 
 val free : t -> packet -> unit
+(** @raise Double_free if [packet] is not live. *)
 
 val capacity_pages : t -> int
 val free_pages : t -> int

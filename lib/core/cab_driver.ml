@@ -15,6 +15,10 @@ type driver_stats = {
   tx_gather_bytes : int;
   tx_staged_segments : int;   (* unaligned pieces bounced via kernel *)
   tx_staged_bytes : int;
+  sdma_timeouts : int;        (* stuck posts reclaimed and reposted *)
+  adaptor_resets : int;       (* last-resort resets after max retries *)
+  watchdog_polls : int;       (* lost-interrupt poll-timer firings *)
+  tx_exhausted : int;         (* drops because netmem alloc failed *)
 }
 
 type t = {
@@ -24,6 +28,15 @@ type t = {
   mutable ifc : Netif.t option;
   (* WCAB id -> live netmem packet, for retransmit rewrite and copy-out. *)
   live_outboard : (int, Netmem.packet) Hashtbl.t;
+  (* Recovery plane (all inert when [watchdog = None]). *)
+  watchdog : Simtime.t option;  (* lost-interrupt poll interval *)
+  sdma_timeout : Simtime.t;  (* base completion timeout, doubled per retry *)
+  max_sdma_retries : int;
+  mutable inflight : int;  (* watched posts not yet completed *)
+  mutable poll_armed : bool;
+  mutable watch_key : int;
+  (* watch key -> reset-recovery thunk for every in-flight watched post *)
+  tx_watch : (int, unit -> unit) Hashtbl.t;
   mutable s : driver_stats;
 }
 
@@ -45,11 +58,114 @@ let zero_stats =
     tx_gather_bytes = 0;
     tx_staged_segments = 0;
     tx_staged_bytes = 0;
+    sdma_timeouts = 0;
+    adaptor_resets = 0;
+    watchdog_polls = 0;
+    tx_exhausted = 0;
   }
 
 let iface t = Option.get t.ifc
 let cab t = t.cab
 let stats t = t.s
+
+(* ---------- SDMA completion watchdog / recovery plane ----------
+
+   Entirely opt-in: with [watchdog = None] (the default) none of this
+   machinery runs and the clean path is byte-for-byte the old driver.
+
+   Each "watched" SDMA program (the tx descriptor chain, copy-outs) gets
+   a completion timer.  On expiry the driver reads the adaptor's stall
+   status register ({!Cab.stalled_posts}): a stuck post is reclaimed
+   ({!Cab.clear_stall}) and reposted with exponential backoff; a post
+   that is merely slow (bus queueing) keeps waiting with no backoff
+   growth.  After [max_sdma_retries] reposts the driver resets the
+   adaptor, which re-runs every outstanding watched post from scratch.
+
+   A separate periodic poll timer covers lost completion interrupts: it
+   calls {!Cab.poll}, which schedules a delivery burst for any stranded
+   notifications, and stays armed while watched posts are in flight or
+   events are pending. *)
+
+let backoff t attempt =
+  Simtime.us
+    (Simtime.to_us t.sdma_timeout *. float_of_int (1 lsl min attempt 6))
+
+let driver_reset t =
+  t.s <- { t.s with adaptor_resets = t.s.adaptor_resets + 1 };
+  (* A reset is a transmit-side fault the policy layer should see: while
+     the adaptor is being bounced the outboard path is the wrong bet. *)
+  (match t.ifc with
+  | Some ifc -> ifc.Netif.tx_faults <- ifc.Netif.tx_faults + 1
+  | None -> ());
+  (* Snapshot first: recovery thunks repost, which mutates [tx_watch]. *)
+  let thunks = Hashtbl.fold (fun _ f acc -> f :: acc) t.tx_watch [] in
+  List.iter (fun f -> f ()) thunks
+
+let rec arm_poll t interval =
+  if not t.poll_armed then begin
+    t.poll_armed <- true;
+    ignore
+      (Sim.after (Cab.sim t.cab) interval (fun () ->
+           t.poll_armed <- false;
+           t.s <- { t.s with watchdog_polls = t.s.watchdog_polls + 1 };
+           ignore (Cab.poll t.cab);
+           if t.inflight > 0 || Cab.pending_events t.cab > 0 then
+             arm_poll t interval))
+  end
+
+let kick_watchdog t =
+  match t.watchdog with None -> () | Some interval -> arm_poll t interval
+
+(* Run [post] (which must accept a completion callback and be safe to
+   re-run after a [clear_stall]) under the watchdog.  [on_done] fires
+   exactly once, on the first completion. *)
+let watched_post t netpkt ~post ~on_done =
+  match t.watchdog with
+  | None -> post ~on_complete:on_done
+  | Some _ ->
+      let key = t.watch_key in
+      t.watch_key <- key + 1;
+      t.inflight <- t.inflight + 1;
+      let completed = ref false in
+      (* Generation stamp: reposting invalidates any timer armed for an
+         earlier attempt, so at most one recovery path is live. *)
+      let gen = ref 0 in
+      let finish () =
+        if not !completed then begin
+          completed := true;
+          t.inflight <- t.inflight - 1;
+          Hashtbl.remove t.tx_watch key;
+          on_done ()
+        end
+      in
+      let rec post_attempt attempt =
+        incr gen;
+        post ~on_complete:finish;
+        arm_watch !gen attempt
+      and arm_watch g attempt =
+        ignore
+          (Sim.after (Cab.sim t.cab) (backoff t attempt) (fun () ->
+               if (not !completed) && !gen = g then
+                 if Cab.stalled_posts t.cab netpkt > 0 then
+                   if attempt >= t.max_sdma_retries then driver_reset t
+                   else begin
+                     t.s <- { t.s with sdma_timeouts = t.s.sdma_timeouts + 1 };
+                     Cab.clear_stall t.cab netpkt;
+                     post_attempt (attempt + 1)
+                   end
+                 else
+                   (* Not stuck, just slow (bus queueing): keep waiting
+                      at the same timeout — no backoff growth. *)
+                   arm_watch g attempt))
+      in
+      Hashtbl.replace t.tx_watch key (fun () ->
+          if (not !completed) && Cab.stalled_posts t.cab netpkt > 0 then begin
+            t.s <- { t.s with sdma_timeouts = t.s.sdma_timeouts + 1 };
+            Cab.clear_stall t.cab netpkt;
+            post_attempt 0
+          end);
+      post_attempt 0;
+      kick_watchdog t
 
 let hippi_hdr = Hippi_framing.size (* 40 *)
 let net_hdrs = Hippi_framing.size + Ipv4_header.size (* 60 *)
@@ -180,8 +296,16 @@ let output t ifc pkt ~next_hop =
           match Cab.tx_alloc t.cab ~len:(word_pad pkt_len) with
           | None ->
               (* Network memory exhausted: drop; TCP retransmission
-                 recovers. *)
-              t.s <- { t.s with tx_drops = t.s.tx_drops + 1 };
+                 recovers.  Count it on the interface too so the socket
+                 layer's policy can penalize the outboard path while the
+                 adaptor is starved. *)
+              t.s <-
+                {
+                  t.s with
+                  tx_drops = t.s.tx_drops + 1;
+                  tx_exhausted = t.s.tx_exhausted + 1;
+                };
+              ifc.Netif.tx_faults <- ifc.Netif.tx_faults + 1;
               Mbuf.free pkt
           | Some netpkt ->
               netpkt.Netmem.len <- pkt_len;
@@ -387,7 +511,15 @@ let output t ifc pkt ~next_hop =
                   post_cost + (List.length segs * post_cost / 4)
                 in
                 Host.in_intr t.host doorbell (fun () ->
-                    Cab.sdma_chain t.cab netpkt ~segs ~interrupt:want_intr ();
+                    (* The chain is the watched unit: a stalled chain is
+                       reclaimed and reposted whole.  [mdma_send] is
+                       queued once, here — it waits on [sdma_pending]
+                       and fires when the (re)posted chain commits. *)
+                    watched_post t netpkt
+                      ~post:(fun ~on_complete ->
+                        Cab.sdma_chain t.cab netpkt ~segs
+                          ~interrupt:want_intr ~on_complete ())
+                      ~on_done:(fun () -> ());
                     if payload_reqs = [] then maybe_convert ();
                     Cab.mdma_send t.cab netpkt ~dst
                       ~channel:(channel_for dst) ~keep)
@@ -420,8 +552,11 @@ let copy_out t (mb : Mbuf.t) ~off ~len ~dst ~on_done =
       in
       if direct_ok then
         Host.in_intr t.host post (fun () ->
-            Cab.sdma_copy_out t.cab pkt ~off:abs_off ~len ~dst ~interrupt:true
-              ~on_complete:on_done ())
+            watched_post t pkt
+              ~post:(fun ~on_complete ->
+                Cab.sdma_copy_out t.cab pkt ~off:abs_off ~len ~dst
+                  ~interrupt:true ~on_complete ())
+              ~on_done)
       else begin
         (* §4.5: unaligned destinations go the slow way — DMA an aligned
            superset into kernel staging, then memory-copy. *)
@@ -431,10 +566,13 @@ let copy_out t (mb : Mbuf.t) ~off ~len ~dst ~on_done =
         let stage_len = min stage_len (pkt.Netmem.len - (abs_off - lead)) in
         let stage = Bytes.create stage_len in
         Host.in_intr t.host post (fun () ->
-            Cab.sdma_copy_out t.cab pkt ~off:(abs_off - lead) ~len:stage_len
-              ~dst:(Netif.To_kernel (stage, 0))
-              ~interrupt:true
-              ~on_complete:(fun () ->
+            watched_post t pkt
+              ~post:(fun ~on_complete ->
+                Cab.sdma_copy_out t.cab pkt ~off:(abs_off - lead)
+                  ~len:stage_len
+                  ~dst:(Netif.To_kernel (stage, 0))
+                  ~interrupt:true ~on_complete ())
+              ~on_done:(fun () ->
                 let copy_cost =
                   Memcost.copy t.host.Host.profile ~locality:Memcost.Cold len
                 in
@@ -447,8 +585,7 @@ let copy_out t (mb : Mbuf.t) ~off ~len ~dst ~on_done =
                           ~dst_off:0 ~len
                     | Netif.To_kernel (b, k_off) ->
                         Bytes.blit stage lead b k_off len);
-                    on_done ()))
-              ())
+                    on_done ())))
       end
 
 (* ---------- receive ---------- *)
@@ -523,10 +660,12 @@ let handle_rx t (info : Cab.rx_info) =
           let pkt = info.Cab.rx_pkt in
           let post = Memcost.dma_post t.host.Host.profile in
           Host.in_intr t.host post (fun () ->
-              Cab.sdma_copy_out t.cab pkt ~off:head_len ~len:tail_len
-                ~dst:(Netif.To_kernel (tail, 0))
-                ~interrupt:true
-                ~on_complete:(fun () ->
+              watched_post t pkt
+                ~post:(fun ~on_complete ->
+                  Cab.sdma_copy_out t.cab pkt ~off:head_len ~len:tail_len
+                    ~dst:(Netif.To_kernel (tail, 0))
+                    ~interrupt:true ~on_complete ())
+                ~on_done:(fun () ->
                   Cab.rx_free t.cab pkt;
                   (* The copy-out DMA already landed the tail in [tail];
                      wrap it zero-copy instead of re-copying into pooled
@@ -534,8 +673,7 @@ let handle_rx t (info : Cab.rx_info) =
                   Mbuf.append head (Mbuf.wrap_bytes tail);
                   t.s <-
                     { t.s with rx_copied_kernel = t.s.rx_copied_kernel + 1 };
-                  deliver_chain t head)
-                ())
+                  deliver_chain t head))
     end
   end
 
@@ -552,11 +690,15 @@ let interrupt_batch t evs =
         (function
           | Cab.Sdma_done _ -> ()
           | Cab.Rx_packet info -> handle_rx t info)
-        evs)
+        evs);
+  (* Keep the poll timer armed while anything could strand: a lost
+     interrupt after this burst would otherwise leave events queued. *)
+  if Cab.pending_events t.cab > 0 || t.inflight > 0 then kick_watchdog t
 
 (* ---------- attach ---------- *)
 
-let attach ~host ~ip ~cab ~addr ?(mtu = 32 * 1024) ~mode () =
+let attach ~host ~ip ~cab ~addr ?(mtu = 32 * 1024) ~mode ?watchdog
+    ?(sdma_timeout = Simtime.us 1000.) ?(max_sdma_retries = 3) () =
   let t =
     {
       host;
@@ -564,6 +706,13 @@ let attach ~host ~ip ~cab ~addr ?(mtu = 32 * 1024) ~mode () =
       mode;
       ifc = None;
       live_outboard = Hashtbl.create 64;
+      watchdog;
+      sdma_timeout;
+      max_sdma_retries;
+      inflight = 0;
+      poll_armed = false;
+      watch_key = 0;
+      tx_watch = Hashtbl.create 16;
       s = zero_stats;
     }
   in
@@ -594,7 +743,11 @@ let attach ~host ~ip ~cab ~addr ?(mtu = 32 * 1024) ~mode () =
    g "tx_gather_fallbacks" (fun () -> t.s.tx_gather_fallbacks);
    g "tx_gather_bytes" (fun () -> t.s.tx_gather_bytes);
    g "tx_staged_segments" (fun () -> t.s.tx_staged_segments);
-   g "tx_staged_bytes" (fun () -> t.s.tx_staged_bytes));
+   g "tx_staged_bytes" (fun () -> t.s.tx_staged_bytes);
+   g "sdma_timeouts" (fun () -> t.s.sdma_timeouts);
+   g "adaptor_resets" (fun () -> t.s.adaptor_resets);
+   g "watchdog_polls" (fun () -> t.s.watchdog_polls);
+   g "tx_exhausted" (fun () -> t.s.tx_exhausted));
   Cab.set_batch_interrupt_handler cab (fun evs -> interrupt_batch t evs);
   Netif.attach_input ifc (fun m -> Ipv4.input ip ifc m);
   Host.add_iface host ifc;
@@ -608,8 +761,10 @@ let pp_stats fmt (s : driver_stats) =
     "tx %d pkts (%d uio segs, %d kernel segs, %d rewrites, %d adaptor \
      copies, %d drops, %d gather fallbacks / %d B, %d staged segs / %d B); \
      rx %d pkts (%d with outboard tails, %d copied to kernel); %d copy-outs \
-     (%d staged)"
+     (%d staged); recovery: %d sdma timeouts, %d resets, %d polls, %d \
+     exhausted"
     s.tx_packets s.tx_uio_segments s.tx_kernel_segments s.tx_rewrites
     s.tx_adaptor_copies s.tx_drops s.tx_gather_fallbacks s.tx_gather_bytes
     s.tx_staged_segments s.tx_staged_bytes s.rx_packets s.rx_wcab_delivered
-    s.rx_copied_kernel s.copyouts s.unaligned_staged
+    s.rx_copied_kernel s.copyouts s.unaligned_staged s.sdma_timeouts
+    s.adaptor_resets s.watchdog_polls s.tx_exhausted

@@ -39,6 +39,12 @@ type driver_stats = {
   tx_staged_segments : int;
       (** scatter pieces bounced through a kernel staging buffer *)
   tx_staged_bytes : int;
+  sdma_timeouts : int;
+      (** watchdog timeouts that reclaimed a stuck post and reposted it *)
+  adaptor_resets : int;
+      (** last-resort adaptor resets after [max_sdma_retries] reposts *)
+  watchdog_polls : int;  (** lost-interrupt poll-timer firings *)
+  tx_exhausted : int;  (** transmit drops because netmem allocation failed *)
 }
 
 val attach :
@@ -48,11 +54,23 @@ val attach :
   addr:Inaddr.t ->
   ?mtu:int ->
   mode:Stack_mode.t ->
+  ?watchdog:Simtime.t ->
+  ?sdma_timeout:Simtime.t ->
+  ?max_sdma_retries:int ->
   unit ->
   t
 (** Creates the interface (MTU defaults to 32 KByte as in §7.1), hooks the
     adaptor's interrupt handler, and registers the interface + an on-link
-    host route with IP. *)
+    host route with IP.
+
+    [watchdog] (default off) arms the recovery plane: a lost-interrupt
+    poll timer at the given interval, plus per-post completion timeouts.
+    A watched SDMA post that has not completed after [sdma_timeout]
+    (default 1 ms, doubled per retry) and shows up in the adaptor's stall
+    status register is reclaimed and reposted; after [max_sdma_retries]
+    (default 3) the driver resets the adaptor and requeues every
+    in-flight watched post.  With [watchdog] unset none of this machinery
+    runs and the datapath is unchanged. *)
 
 val iface : t -> Netif.t
 val cab : t -> Cab.t

@@ -19,8 +19,11 @@ let subnet_of addr =
   (* /24 containing the address. *)
   Int32.logand addr 0xffffff00l
 
-let attach_cab t ~cab ~addr ?mtu () =
-  let drv = Cab_driver.attach ~host:t.host ~ip:t.ip ~cab ~addr ?mtu ~mode:t.mode () in
+let attach_cab t ~cab ~addr ?mtu ?watchdog ?sdma_timeout () =
+  let drv =
+    Cab_driver.attach ~host:t.host ~ip:t.ip ~cab ~addr ?mtu ~mode:t.mode
+      ?watchdog ?sdma_timeout ()
+  in
   Routing.add_route (Ipv4.routing t.ip) ~prefix:(subnet_of addr) ~len:24
     (Cab_driver.iface drv);
   drv

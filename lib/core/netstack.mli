@@ -25,8 +25,17 @@ val create :
 (** [tcp_config] tweaks the mode-derived default TCP configuration. *)
 
 val attach_cab :
-  t -> cab:Cab.t -> addr:Inaddr.t -> ?mtu:int -> unit -> Cab_driver.t
-(** Attaches the CAB and routes [addr]/24 over it. *)
+  t ->
+  cab:Cab.t ->
+  addr:Inaddr.t ->
+  ?mtu:int ->
+  ?watchdog:Simtime.t ->
+  ?sdma_timeout:Simtime.t ->
+  unit ->
+  Cab_driver.t
+(** Attaches the CAB and routes [addr]/24 over it.  [watchdog] /
+    [sdma_timeout] arm the driver's recovery plane (see
+    {!Cab_driver.attach}). *)
 
 val attach_ether :
   t -> dev:Etherdev.t -> addr:Inaddr.t -> ?mtu:int -> unit -> Ether_driver.t

@@ -17,7 +17,7 @@ let addr_b = Inaddr.v 10 0 0 2
 let create ?(profile = Host_profile.alpha400)
     ?(mode = Stack_mode.Single_copy) ?(mtu = 32 * 1024)
     ?(netmem_pages = 4096) ?tcp_config ?(drop_a_frames = [])
-    ?(drop_b_frames = []) () =
+    ?(drop_b_frames = []) ?watchdog ?sdma_timeout () =
   let sim = Sim.create () in
   (* Packet-trace timestamps come from this testbed's simulator; a new
      testbed retargets the (process-global) tracer clock. *)
@@ -41,10 +41,16 @@ let create ?(profile = Host_profile.alpha400)
           let i = !counter in
           incr counter;
           if not (List.mem i drops) then
-            Hippi_link.send link ~from:side frame)
+            Hippi_link.send link ~from:side frame
+          else
+            (* The dropped frame never reaches the link: recycle its
+               buffer so the shared pool's get/put balance stays exact. *)
+            Bufpool.put Bufpool.shared frame)
         ()
     in
-    let driver = Netstack.attach_cab stack ~cab ~addr ~mtu () in
+    let driver =
+      Netstack.attach_cab stack ~cab ~addr ~mtu ?watchdog ?sdma_timeout ()
+    in
     { stack; cab; driver }
   in
   let a = mk_node ~name:"hostA" ~side:Hippi_link.A ~hippi_addr:1 ~addr:addr_a in

@@ -29,13 +29,16 @@ val create :
   ?tcp_config:(Tcp.config -> Tcp.config) ->
   ?drop_a_frames:int list ->
   ?drop_b_frames:int list ->
+  ?watchdog:Simtime.t ->
+  ?sdma_timeout:Simtime.t ->
   unit ->
   t
 (** Defaults: alpha400 profile, single-copy mode, 32 KByte MTU, 4096
     network-memory pages per CAB (16 MByte).  [drop_a_frames] /
     [drop_b_frames] inject loss: the i-th frames sent by that host
     (0-based) are silently discarded — the fault-injection hooks for
-    retransmission experiments. *)
+    retransmission experiments.  [watchdog] / [sdma_timeout] arm both
+    drivers' recovery plane (see {!Cab_driver.attach}); off by default. *)
 
 val establish_stream :
   t ->

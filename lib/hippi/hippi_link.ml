@@ -11,6 +11,8 @@ type t = {
   mutable rx_a : Bytes.t -> unit;
   mutable rx_b : Bytes.t -> unit;
   mutable carried : int;
+  mutable corrupted : int;
+  mutable dropped : int;
 }
 
 let create ~sim ?(rate = line_rate) ?(latency = Simtime.us 1.) () =
@@ -23,16 +25,37 @@ let create ~sim ?(rate = line_rate) ?(latency = Simtime.us 1.) () =
     rx_a = (fun _ -> invalid_arg "Hippi_link: no rx on side A");
     rx_b = (fun _ -> invalid_arg "Hippi_link: no rx on side B");
     carried = 0;
+    corrupted = 0;
+    dropped = 0;
   }
 
 let set_rx t side f =
   match side with A -> t.rx_a <- f | B -> t.rx_b <- f
 
 let send t ~from frame =
-  let dir, deliver =
-    match from with
-    | A -> (t.a2b, fun () -> t.rx_b frame)
-    | B -> (t.b2a, fun () -> t.rx_a frame)
+  let dir, rx =
+    match from with A -> (t.a2b, fun f -> t.rx_b f) | B -> (t.b2a, fun f -> t.rx_a f)
+  in
+  let deliver () =
+    (* Wire faults happen after serialization, at the instant the frame
+       reaches the far end.  A corrupted frame has one byte XORed — the
+       receiving engine's checksum (or the host-verified header prefix)
+       catches it and TCP retransmission heals it.  A dropped frame never
+       arrives; its buffer is recycled so the soak leak check stays honest
+       about what the wire ate. *)
+    if Fault.fire "wire.drop" then begin
+      t.dropped <- t.dropped + 1;
+      Bufpool.put Bufpool.shared frame
+    end
+    else begin
+      (match Fault.fire_at "wire.corrupt" ~bound:(Bytes.length frame) with
+      | Some i ->
+          t.corrupted <- t.corrupted + 1;
+          Bytes.set frame i
+            (Char.chr (Char.code (Bytes.get frame i) lxor 0x40))
+      | None -> ());
+      rx frame
+    end
   in
   let ser =
     Simtime.of_bytes_at_rate ~bytes_per_s:t.rate (Bytes.length frame)
@@ -42,6 +65,8 @@ let send t ~from frame =
       ignore (Sim.after t.sim t.latency deliver))
 
 let bytes_carried t = t.carried
+let frames_corrupted t = t.corrupted
+let frames_dropped t = t.dropped
 
 let busy_time t side =
   match side with A -> Resource.busy_time t.a2b | B -> Resource.busy_time t.b2a

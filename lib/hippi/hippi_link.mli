@@ -22,3 +22,17 @@ val send : t -> from:side -> Bytes.t -> unit
 val bytes_carried : t -> int
 val busy_time : t -> side -> Simtime.t
 (** Serialization time consumed in the direction *out of* the given side. *)
+
+(** {1 Fault injection}
+
+    Two wire fault sites are consulted as each frame reaches the far end:
+
+    - ["wire.corrupt"] (via {!Fault.fire_at} over the frame length): one
+      byte of the frame is XORed with [0x40].  The receive checksum
+      engine — or the host-verified header prefix — detects the damage;
+      the packet is dropped and TCP retransmission heals the stream.
+    - ["wire.drop"]: the frame silently never arrives (its buffer is
+      recycled through {!Bufpool.shared}). *)
+
+val frames_corrupted : t -> int
+val frames_dropped : t -> int

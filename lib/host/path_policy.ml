@@ -6,6 +6,7 @@ type reason =
   | Cold_pin
   | Above_cutover
   | Explore
+  | Penalized
 
 type stats = {
   uio_routed : int;
@@ -15,6 +16,7 @@ type stats = {
   cold_pin : int;
   above_cutover : int;
   explored : int;
+  penalized : int;
   uio_observed : int;
   copy_observed : int;
   cutover_bytes : int;
@@ -43,8 +45,13 @@ type t = {
   max_cutover : int;
   cold_shift : int;
   explore_period : int;
+  penalty_decay : float;
   mutable cutover : int;
   mutable decisions : int;
+  (* Fault-driven cost multiplier on the Uio threshold: >= 1.0, raised by
+     [penalize] when the device reports trouble, decayed multiplicatively
+     toward 1.0 on every decision so the spike ages out. *)
+  mutable penalty : float;
   (* counters *)
   mutable uio_routed : int;
   mutable copy_routed : int;
@@ -53,13 +60,17 @@ type t = {
   mutable n_cold : int;
   mutable n_above : int;
   mutable n_explored : int;
+  mutable n_penalized : int;
   mutable uio_observed : int;
   mutable copy_observed : int;
 }
 
 let create ?(cutover = 16384) ?(min_cutover = 1024)
-    ?(max_cutover = 1 lsl 20) ?(cold_shift = 1) ?(explore_period = 16) () =
+    ?(max_cutover = 1 lsl 20) ?(cold_shift = 1) ?(explore_period = 16)
+    ?(penalty_decay = 0.9) () =
   if cutover <= 0 then invalid_arg "Path_policy.create: cutover <= 0";
+  if penalty_decay <= 0. || penalty_decay >= 1. then
+    invalid_arg "Path_policy.create: penalty_decay must be in (0, 1)";
   {
     uio = make_table ();
     copy = make_table ();
@@ -67,8 +78,10 @@ let create ?(cutover = 16384) ?(min_cutover = 1024)
     max_cutover;
     cold_shift;
     explore_period;
+    penalty_decay;
     cutover = Stdlib.max min_cutover (Stdlib.min max_cutover cutover);
     decisions = 0;
+    penalty = 1.0;
     uio_routed = 0;
     copy_routed = 0;
     n_unaligned = 0;
@@ -76,6 +89,7 @@ let create ?(cutover = 16384) ?(min_cutover = 1024)
     n_cold = 0;
     n_above = 0;
     n_explored = 0;
+    n_penalized = 0;
     uio_observed = 0;
     copy_observed = 0;
   }
@@ -111,17 +125,37 @@ let count_reason t = function
   | Cold_pin -> t.n_cold <- t.n_cold + 1
   | Above_cutover -> t.n_above <- t.n_above + 1
   | Explore -> t.n_explored <- t.n_explored + 1
+  | Penalized -> t.n_penalized <- t.n_penalized + 1
+
+let max_penalty = 64.
+
+let penalize ?(factor = 8.) t =
+  if factor < 1. then invalid_arg "Path_policy.penalize: factor < 1";
+  t.penalty <- Stdlib.min max_penalty (t.penalty *. factor)
+
+let penalty t = t.penalty
 
 let decide t ~len ~aligned ~pin_warm =
   t.decisions <- t.decisions + 1;
+  if t.penalty > 1.0 then
+    t.penalty <- Stdlib.max 1.0 (t.penalty *. t.penalty_decay);
   let route, reason =
     if not aligned then (Copy, Unaligned)
     else begin
       let threshold =
         if pin_warm then t.cutover else t.cutover lsl t.cold_shift
       in
+      (* A sick adaptor (exhaustion, resets, pin failures) inflates the
+         effective threshold, shifting traffic to the copy path until the
+         penalty decays away. *)
+      let eff_threshold =
+        if t.penalty > 1.0 then
+          int_of_float (float_of_int threshold *. t.penalty)
+        else threshold
+      in
       let base =
-        if len >= threshold then (Uio, Above_cutover)
+        if len >= eff_threshold then (Uio, Above_cutover)
+        else if len >= threshold then (Copy, Penalized)
         else if len >= t.cutover then (Copy, Cold_pin)
         else (Copy, Below_cutover)
       in
@@ -165,6 +199,7 @@ let stats t =
     cold_pin = t.n_cold;
     above_cutover = t.n_above;
     explored = t.n_explored;
+    penalized = t.n_penalized;
     uio_observed = t.uio_observed;
     copy_observed = t.copy_observed;
     cutover_bytes = t.cutover;
@@ -173,9 +208,9 @@ let stats t =
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
     "routed uio=%d copy=%d (unaligned=%d below=%d cold=%d above=%d \
-     explore=%d) observed uio=%d copy=%d cutover=%dB"
+     explore=%d penalized=%d) observed uio=%d copy=%d cutover=%dB"
     s.uio_routed s.copy_routed s.unaligned s.below_cutover s.cold_pin
-    s.above_cutover s.explored s.uio_observed s.copy_observed
+    s.above_cutover s.explored s.penalized s.uio_observed s.copy_observed
     s.cutover_bytes
 
 (* Registry export: decision counters as gauges over the live instance,
@@ -215,4 +250,6 @@ let register ?(section = "path_policy") t =
   g "copy_observed" (fun () -> t.copy_observed);
   g "cutover_bytes" (fun () -> t.cutover);
   g "decisions" (fun () -> t.decisions);
+  g "penalized" (fun () -> t.n_penalized);
+  Obs.gauge ~section ~name:"penalty" (fun () -> t.penalty);
   Obs.table ~section ~name:"ewma_tables" (fun () -> tables_json t)

@@ -33,6 +33,9 @@ type reason =
                   does not clear the cold-start handicap *)
   | Above_cutover  (** big enough for the outboard path to win *)
   | Explore  (** periodic probe down the currently-losing path *)
+  | Penalized
+      (** would clear the cutover, but a fault-driven penalty has inflated
+          the effective threshold — the adaptor is sick, stay on copy *)
 
 type stats = {
   uio_routed : int;
@@ -42,6 +45,7 @@ type stats = {
   cold_pin : int;
   above_cutover : int;
   explored : int;
+  penalized : int;
   uio_observed : int;  (** completed sends reported for the Uio path *)
   copy_observed : int;
   cutover_bytes : int;  (** current online estimate *)
@@ -55,6 +59,7 @@ val create :
   ?max_cutover:int ->
   ?cold_shift:int ->
   ?explore_period:int ->
+  ?penalty_decay:float ->
   unit ->
   t
 (** [cutover] seeds the estimate (default 16384 — the static
@@ -63,7 +68,9 @@ val create :
     (default 1, i.e. 2x: a cold send must amortize pin+map on this one
     transfer).  Every [explore_period]-th eligible decision (default 16;
     [0] disables) is sent down the opposite path so the cost tables see
-    both sides. *)
+    both sides.  [penalty_decay] (default 0.9, must be in (0, 1)) is the
+    per-decision multiplicative decay of the fault penalty (see
+    {!penalize}). *)
 
 val decide : t -> len:int -> aligned:bool -> pin_warm:bool -> route * reason
 (** Route one send.  Unaligned buffers always take [Copy] — exploration
@@ -75,6 +82,18 @@ val observe : t -> route:route -> len:int -> cost:Simtime.t -> unit
 
 val cutover : t -> int
 (** The current cutover estimate in bytes. *)
+
+val penalize : ?factor:float -> t -> unit
+(** Device-fault feedback: multiply the penalty by [factor] (default 8,
+    capped at 64).  While the penalty is above 1 the effective Uio
+    threshold is scaled by it, steering traffic onto the copy path; the
+    penalty decays multiplicatively (by [penalty_decay]) on every
+    subsequent decision, so the cost spike ages out once the adaptor
+    behaves again.  Decisions deflected this way are counted under
+    {!stats}[.penalized] and carry reason {!Penalized}. *)
+
+val penalty : t -> float
+(** Current fault penalty (1.0 = healthy). *)
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit

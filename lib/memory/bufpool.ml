@@ -6,6 +6,7 @@ type t = {
   hits : Stats.Counter.t;
   misses : Stats.Counter.t;
   mutable free_total : int;
+  mutable outstanding : int;  (* gets minus puts: buffers in flight *)
 }
 
 let create ?(max_per_class = 64) () =
@@ -15,9 +16,11 @@ let create ?(max_per_class = 64) () =
     hits = Stats.Counter.create ();
     misses = Stats.Counter.create ();
     free_total = 0;
+    outstanding = 0;
   }
 
 let get t n =
+  t.outstanding <- t.outstanding + 1;
   match Hashtbl.find_opt t.classes n with
   | Some ({ bufs = b :: tl; _ } as k) ->
       k.bufs <- tl;
@@ -30,6 +33,9 @@ let get t n =
       Bytes.create n
 
 let put t b =
+  (* Counted even when the class is full and the buffer is dropped to the
+     GC: [outstanding] measures caller get/put balance, not pool depth. *)
+  t.outstanding <- t.outstanding - 1;
   let n = Bytes.length b in
   let k =
     match Hashtbl.find_opt t.classes n with
@@ -59,6 +65,7 @@ let hit_rate t =
   if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
 
 let free_bytes t = t.free_total
+let outstanding t = t.outstanding
 
 let reset_stats t =
   Stats.Counter.reset t.hits;
@@ -74,4 +81,6 @@ let () =
       float_of_int (miss_count shared));
   Obs.gauge ~section:s ~name:"hit_rate" (fun () -> hit_rate shared);
   Obs.gauge ~section:s ~name:"free_bytes" (fun () ->
-      float_of_int (free_bytes shared))
+      float_of_int (free_bytes shared));
+  Obs.gauge ~section:s ~name:"outstanding" (fun () ->
+      float_of_int (outstanding shared))

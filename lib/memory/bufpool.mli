@@ -38,6 +38,12 @@ val hit_rate : t -> float
 val free_bytes : t -> int
 (** Total bytes currently parked on free lists. *)
 
+val outstanding : t -> int
+(** [get]s minus [put]s — buffers currently in flight.  Counted even when
+    a [put] drops the buffer (full class), so a steady-state datapath
+    should return exactly to its baseline; the soak harness diffs this to
+    detect leaks. *)
+
 val reset_stats : t -> unit
 (** Zero the counters; keeps the free lists. *)
 

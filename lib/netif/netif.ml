@@ -15,6 +15,7 @@ type t = {
     option;
   mutable input : Mbuf.t -> unit;
   mutable neighbors : (Inaddr.t * int) list;
+  mutable tx_faults : int;
 }
 
 let make ~name ~addr ~mtu ?(single_copy = false) ?(hw_csum_rx = false)
@@ -31,6 +32,7 @@ let make ~name ~addr ~mtu ?(single_copy = false) ?(hw_csum_rx = false)
       (fun _ ->
         invalid_arg (Printf.sprintf "Netif %s: no input attached" name));
     neighbors = [];
+    tx_faults = 0;
   }
 
 let attach_input t f = t.input <- f

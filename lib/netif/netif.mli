@@ -37,6 +37,10 @@ type t = {
       (** upcall into the protocol stack; set via [attach_input] *)
   mutable neighbors : (Inaddr.t * int) list;
       (** static ARP-like table: IP next hop -> link address *)
+  mutable tx_faults : int;
+      (** transmit-side device faults (outboard memory exhausted, adaptor
+          reset): monotonic; bumped by the driver, watched by the socket
+          layer to penalize the outboard path while the adaptor is sick *)
 }
 
 val make :

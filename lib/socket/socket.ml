@@ -30,6 +30,7 @@ type stats = {
   bytes_read : int;
   write_blocks : int;
   read_blocks : int;
+  pin_fallbacks : int;
 }
 
 let zero_stats =
@@ -46,6 +47,7 @@ let zero_stats =
     bytes_read = 0;
     write_blocks = 0;
     read_blocks = 0;
+    pin_fallbacks = 0;
   }
 
 type t = {
@@ -62,6 +64,9 @@ type t = {
   mutable pending_notify : Mbuf.notify option;
       (* the in-flight write's UIO counter, force-drained if the
          connection dies so the writer cannot hang *)
+  mutable last_tx_faults : int;
+      (* interface fault count at the last adaptive decision; a rise
+         feeds a penalty into the policy *)
   mutable closed : bool;
   mutable s : stats;
 }
@@ -95,6 +100,7 @@ let create ~host ~space ~proc ?(paths = default_paths) pcb =
       writer_waiting = None;
       reader_waiting = None;
       pending_notify = None;
+      last_tx_faults = 0;
       closed = false;
       s = zero_stats;
     }
@@ -148,25 +154,41 @@ let block_reader t k =
 
 let profile t = t.host.Host.profile
 
+(* Pin + map a region for DMA, fallibly: [Ok cost] when wired, [Error
+   wasted] when the kernel refused the pin ("vm.pin_fail" fault site) —
+   [wasted] is work already charged-for (cache evictions) before the
+   refusal. *)
+let try_wire t region =
+  match t.cache with
+  | Some cache -> (
+      match Pin_cache.try_acquire cache region with
+      | Ok c -> Ok c
+      | Error (`Pin_exhausted wasted) -> Error wasted)
+  | None -> (
+      match Addr_space.try_pin t.space region with
+      | Ok c -> Ok (Simtime.add c (Addr_space.map_into_kernel t.space region))
+      | Error `Pin_exhausted -> Error Simtime.zero)
+
 (* Single-copy transmit path (§4.4): map + pin, enqueue an M_UIO
    descriptor, and let the UIO byte counter resynchronize us with the
-   driver's DMA completions. *)
-let write_uio t region k =
+   driver's DMA completions.  When the pin fails the buffer never becomes
+   DMA-able: [on_pin_fail] runs (after charging any wasted eviction work)
+   and the caller degrades to the copying path. *)
+let write_uio t region ~on_pin_fail k =
   let total = Region.length region in
+  (* Map into kernel space and pin — charged to the writing process, one
+     socket-buffer chunk at a time would be more faithful, but the cost is
+     linear in pages either way.  Wiring comes first: no descriptor state
+     exists yet if it fails. *)
+  match try_wire t region with
+  | Error wasted ->
+      t.s <- { t.s with pin_fallbacks = t.s.pin_fallbacks + 1 };
+      charge t wasted on_pin_fail
+  | Ok vm_cost ->
   Obs_trace.emit Obs_trace.Sock_write ~a:total ~b:1;
   let notify = Mbuf.make_notify () in
   Mbuf.notify_add notify total;
   t.pending_notify <- Some notify;
-  (* Map into kernel space and pin — charged to the writing process, one
-     socket-buffer chunk at a time would be more faithful, but the cost is
-     linear in pages either way. *)
-  let vm_cost =
-    match t.cache with
-    | Some cache -> Pin_cache.acquire cache region
-    | None ->
-        Simtime.add (Addr_space.pin t.space region)
-          (Addr_space.map_into_kernel t.space region)
-  in
   charge t vm_cost (fun () ->
       let finish () =
         t.pending_notify <- None;
@@ -276,6 +298,14 @@ let write t region k =
             t.policy_registered <- true;
             Path_policy.register policy
           end;
+          (* Device-fault feedback: a rise in the interface's fault count
+             (netmem exhaustion, adaptor reset) since our last decision
+             penalizes the outboard path until the spike decays. *)
+          (match Tcp.remote_iface t.pcb with
+          | Some ifc when ifc.Netif.tx_faults > t.last_tx_faults ->
+              t.last_tx_faults <- ifc.Netif.tx_faults;
+              Path_policy.penalize policy
+          | Some _ | None -> ());
           let pin_warm =
             match t.cache with
             | Some cache -> Pin_cache.is_resident cache region
@@ -293,7 +323,14 @@ let write t region k =
           (match route with
           | Path_policy.Uio ->
               t.s <- { t.s with uio_writes = t.s.uio_writes + 1 };
-              write_uio t region (finish Path_policy.Uio)
+              write_uio t region
+                ~on_pin_fail:(fun () ->
+                  (* The kernel would not wire the buffer: penalize the
+                     outboard path and finish the write by copying. *)
+                  Path_policy.penalize policy;
+                  t.s <- { t.s with copy_writes = t.s.copy_writes + 1 };
+                  write_copy t region (finish Path_policy.Copy))
+                (finish Path_policy.Uio)
           | Path_policy.Copy ->
               if not aligned then
                 t.s <-
@@ -310,7 +347,11 @@ let write t region k =
       in
       if want_uio && aligned then begin
         t.s <- { t.s with uio_writes = t.s.uio_writes + 1 };
-        write_uio t region k
+        write_uio t region
+          ~on_pin_fail:(fun () ->
+            t.s <- { t.s with copy_writes = t.s.copy_writes + 1 };
+            write_copy t region k)
+          k
       end
       else if want_uio && t.paths.align_fixup && len > 64 then begin
         (* §4.5 fix-up: copy the sub-word head, DMA the aligned bulk. *)
@@ -323,8 +364,9 @@ let write t region k =
             copy_writes = t.s.copy_writes + 1;
           };
         write_copy t (Region.sub region ~off:0 ~len:head_len) (fun () ->
-            write_uio t
-              (Region.sub region ~off:head_len ~len:(len - head_len))
+            let bulk = Region.sub region ~off:head_len ~len:(len - head_len) in
+            write_uio t bulk
+              ~on_pin_fail:(fun () -> write_copy t bulk k)
               k)
       end
       else begin
@@ -396,25 +438,40 @@ let deliver_chain t chain region ~dst_off k =
                   t.s <- { t.s with wcab_copyouts = t.s.wcab_copyouts + 1 };
                   incr pending;
                   (* Pin + map the destination for DMA (charged), then let
-                     the driver move the data. *)
-                  let vm_cost =
-                    match t.cache with
-                    | Some cache -> Pin_cache.acquire cache dst
-                    | None ->
-                        Simtime.add
-                          (Addr_space.pin t.space dst)
-                          (Addr_space.map_into_kernel t.space dst)
-                  in
-                  charge t vm_cost (fun () ->
-                      copy_out mb ~off:0 ~len:seg
-                        ~dst:(Netif.To_user (t.space, dst))
-                        ~on_done:(fun () ->
-                          let unpin_cost =
-                            match t.cache with
-                            | Some cache -> Pin_cache.release cache dst
-                            | None -> Addr_space.unpin t.space dst
-                          in
-                          charge t unpin_cost release))
+                     the driver move the data.  If the pin fails, degrade:
+                     DMA into kernel staging (no user pages need wiring
+                     for that) and finish with a host copy. *)
+                  (match try_wire t dst with
+                  | Ok vm_cost ->
+                      charge t vm_cost (fun () ->
+                          copy_out mb ~off:0 ~len:seg
+                            ~dst:(Netif.To_user (t.space, dst))
+                            ~on_done:(fun () ->
+                              let unpin_cost =
+                                match t.cache with
+                                | Some cache -> Pin_cache.release cache dst
+                                | None -> Addr_space.unpin t.space dst
+                              in
+                              charge t unpin_cost release))
+                  | Error wasted ->
+                      t.s <-
+                        { t.s with pin_fallbacks = t.s.pin_fallbacks + 1 };
+                      let stage = Bufpool.get Bufpool.shared seg in
+                      charge t wasted (fun () ->
+                          copy_out mb ~off:0 ~len:seg
+                            ~dst:(Netif.To_kernel (stage, 0))
+                            ~on_done:(fun () ->
+                              let cost =
+                                Memcost.copy (profile t)
+                                  ~locality:Memcost.Cold seg
+                              in
+                              charge t cost (fun () ->
+                                  Obs_ledger.touch Obs_ledger.Sock_rx_copy
+                                    Obs_ledger.Copy seg;
+                                  Region.blit_from_bytes stage ~src_off:0 dst
+                                    ~dst_off:0 ~len:seg;
+                                  Bufpool.put Bufpool.shared stage;
+                                  release ()))))
               | Some _ | None ->
                   (* No device able to move it: drop the bytes (cannot
                      happen with a correctly assembled stack). *)
@@ -475,9 +532,9 @@ let listen ~stack_tcp ~host ~proc ?paths ~make_space ~port on_conn =
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
-    "writes %d (%d uio / %d copy; %d unaligned-fallback, %d fixups), %d B \
-     out; reads %d (%d dma copy-outs, %d kernel copies), %d B in; blocked \
-     %d/%d w/r"
+    "writes %d (%d uio / %d copy; %d unaligned-fallback, %d fixups, %d \
+     pin-fallbacks), %d B out; reads %d (%d dma copy-outs, %d kernel \
+     copies), %d B in; blocked %d/%d w/r"
     s.writes s.uio_writes s.copy_writes s.unaligned_fallbacks s.align_fixups
-    s.bytes_written s.reads s.wcab_copyouts s.kernel_copy_reads s.bytes_read
-    s.write_blocks s.read_blocks
+    s.pin_fallbacks s.bytes_written s.reads s.wcab_copyouts
+    s.kernel_copy_reads s.bytes_read s.write_blocks s.read_blocks

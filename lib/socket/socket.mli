@@ -57,6 +57,10 @@ type stats = {
   bytes_read : int;
   write_blocks : int;  (** times a writer slept on buffer space *)
   read_blocks : int;
+  pin_fallbacks : int;
+      (** UIO writes / DMA copy-outs that degraded to the copying path
+          because the kernel refused to wire the buffer (fault site
+          ["vm.pin_fail"]) *)
 }
 
 type t

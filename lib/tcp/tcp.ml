@@ -80,6 +80,17 @@ type pcb_stats = {
   descriptor_merges : int;
 }
 
+(* Process-wide recovery aggregates: pcbs come and go, but the soak
+   harness and the fault benchmarks read the healing evidence (every
+   corrupted segment dropped, every drop retransmitted) through one
+   registry lookup under section "tcp". *)
+let agg_retransmits = Obs.counter ~section:"tcp" ~name:"retransmits"
+let agg_rto_fires = Obs.counter ~section:"tcp" ~name:"rto_fires"
+let agg_fast_retransmits = Obs.counter ~section:"tcp" ~name:"fast_retransmits"
+
+let agg_csum_failures_rx =
+  Obs.counter ~section:"tcp" ~name:"csum_failures_rx"
+
 let zero_stats =
   {
     segs_sent = 0;
@@ -483,6 +494,8 @@ and rto_fire pcb =
           rto_fires = pcb.stats.rto_fires + 1;
           retransmits = pcb.stats.retransmits + 1;
         };
+      Obs.Counter.incr agg_rto_fires;
+      Obs.Counter.incr agg_retransmits;
       (* Back off, rewind, and resend (go-back-N; Karn: discard timing). *)
       pcb.rto <- min pcb.tcp.cfg.rto_max (2 * pcb.rto);
       pcb.rtt_timing <- None;
@@ -586,6 +599,7 @@ and transmit_plan pcb plan =
       if retransmit then begin
         pcb.stats <-
           { pcb.stats with retransmits = pcb.stats.retransmits + 1 };
+        Obs.Counter.incr agg_retransmits;
         if List.mem Mbuf.K_wcab (Mbuf.chain_kinds payload) then
           pcb.stats <-
             {
@@ -764,6 +778,7 @@ let verify_checksum pcb seg =
              pcb.stats with
              csum_failures_rx = pcb.stats.csum_failures_rx + 1;
            });
+      if not ok then Obs.Counter.incr agg_csum_failures_rx;
       (ok, 0)
   | Some _ | None ->
       Obs_ledger.touch Obs_ledger.Tcp_rx_csum Obs_ledger.Sum seg_len;
@@ -785,6 +800,7 @@ let verify_checksum pcb seg =
              pcb.stats with
              csum_failures_rx = pcb.stats.csum_failures_rx + 1;
            });
+      if not ok then Obs.Counter.incr agg_csum_failures_rx;
       (ok, cost)
 
 (* ---------- ack policy on data receipt ---------- *)
@@ -845,6 +861,7 @@ let process_ack pcb (hdr : Tcp_header.t) =
             pcb.stats with
             fast_retransmits = pcb.stats.fast_retransmits + 1;
           };
+        Obs.Counter.incr agg_fast_retransmits;
         pcb.recover <- pcb.snd_max;
         pcb.rtt_timing <- None;
         let old_nxt = pcb.snd_nxt in

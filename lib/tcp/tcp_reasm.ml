@@ -54,10 +54,23 @@ let insert t ~rcv_nxt ~seq chain =
               let gap = Tcp_seq.diff s.seq seq in
               if len <= gap then { seq; len; chain } :: s :: rest
               else begin
-                (* tail overlaps s: keep only the part before s *)
-                let keep = gap in
-                Mbuf.adj_tail chain (len - keep);
-                { seq; len = keep; chain } :: s :: rest
+                let new_end = Tcp_seq.add seq len in
+                let s_end = Tcp_seq.add s.seq s.len in
+                if Tcp_seq.le new_end s_end then begin
+                  (* tail overlaps s: keep only the part before s *)
+                  Mbuf.adj_tail chain (len - gap);
+                  { seq; len = gap; chain } :: s :: rest
+                end
+                else begin
+                  (* spans s entirely (a retransmission bridging it):
+                     keep the head before s, and re-place the part past
+                     s's end against the rest of the queue *)
+                  let head, tail = Mbuf.split chain gap in
+                  Mbuf.adj_head tail s.len;
+                  { seq; len = gap; chain = head }
+                  :: s
+                  :: place rest s_end (Tcp_seq.diff new_end s_end) tail
+                end
               end
             end
       in

@@ -1,3 +1,14 @@
+(* Process-wide wired-page tally across every address space: the soak
+   harness diffs this gauge against its baseline to prove pin/unpin
+   balance after a fault storm. *)
+let total_pinned = ref 0
+
+let () =
+  Obs.gauge ~section:"addr_space" ~name:"pinned_pages" (fun () ->
+      float_of_int !total_pinned)
+
+let agg_pin_failures = Obs.counter ~section:"addr_space" ~name:"pin_failures"
+
 type t = {
   profile : Host_profile.t;
   name : string;
@@ -50,10 +61,18 @@ let pin t region =
   List.iter
     (fun p ->
       let c = Option.value ~default:0 (Hashtbl.find_opt t.pins p) in
+      if c = 0 then incr total_pinned;
       Hashtbl.replace t.pins p (c + 1))
     pages;
   t.pin_ops <- t.pin_ops + 1;
   Memcost.pin t.profile ~pages:(List.length pages)
+
+let try_pin t region =
+  if Fault.fire "vm.pin_fail" then begin
+    Obs.Counter.incr agg_pin_failures;
+    Error `Pin_exhausted
+  end
+  else Ok (pin t region)
 
 let unpin t region =
   let pages = pages_of t region in
@@ -63,7 +82,9 @@ let unpin t region =
       | None | Some 0 ->
           invalid_arg
             (Printf.sprintf "Addr_space.unpin(%s): page %d not pinned" t.name p)
-      | Some 1 -> Hashtbl.remove t.pins p
+      | Some 1 ->
+          decr total_pinned;
+          Hashtbl.remove t.pins p
       | Some c -> Hashtbl.replace t.pins p (c - 1))
     pages;
   Memcost.unpin t.profile ~pages:(List.length pages)

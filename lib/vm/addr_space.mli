@@ -29,6 +29,13 @@ val pin : t -> Region.t -> Simtime.t
 (** Pins every page the region touches; returns the CPU cost
     (35 + 29 n us on the alpha400). *)
 
+val try_pin : t -> Region.t -> (Simtime.t, [ `Pin_exhausted ]) result
+(** Fallible pin for datapath callers: the fault site ["vm.pin_fail"]
+    models the kernel refusing to wire more pages (resident-set limit,
+    fragmentation).  On [Error] nothing is pinned and nothing is charged;
+    the caller degrades to the copying path.  Failures are counted in the
+    Obs counter [addr_space.pin_failures]. *)
+
 val unpin : t -> Region.t -> Simtime.t
 val map_into_kernel : t -> Region.t -> Simtime.t
 

@@ -3,6 +3,7 @@
 let agg_hits = Obs.counter ~section:"pin_cache" ~name:"hits"
 let agg_misses = Obs.counter ~section:"pin_cache" ~name:"misses"
 let agg_evictions = Obs.counter ~section:"pin_cache" ~name:"evictions"
+let agg_pin_failures = Obs.counter ~section:"pin_cache" ~name:"pin_failures"
 
 type entry = {
   region : Region.t;
@@ -19,6 +20,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable pin_failures : int;
 }
 
 let create ~space ~max_pages =
@@ -31,6 +33,7 @@ let create ~space ~max_pages =
     hits = 0;
     misses = 0;
     evictions = 0;
+    pin_failures = 0;
   }
 
 let key region = (Region.vaddr region, Region.length region)
@@ -84,6 +87,42 @@ let acquire t region =
       t.resident <- t.resident + pages;
       Simtime.add !evict_cost (Simtime.add pin_cost map_cost)
 
+let try_acquire t region =
+  match Hashtbl.find_opt t.table (key region) with
+  | Some e ->
+      (* A resident buffer is already wired: hits never consult the fault
+         site, the injected failure models the *pin* syscall refusing. *)
+      e.last_used <- tick t;
+      t.hits <- t.hits + 1;
+      Obs.Counter.incr agg_hits;
+      Ok Simtime.zero
+  | None -> (
+      t.misses <- t.misses + 1;
+      Obs.Counter.incr agg_misses;
+      let pages =
+        Region.pages
+          ~page_size:(Addr_space.profile t.space).Host_profile.page_size
+          region
+      in
+      let evict_cost = ref Simtime.zero in
+      while t.resident > 0 && t.resident + pages > t.max_pages do
+        evict_cost := Simtime.add !evict_cost (evict_lru t)
+      done;
+      match Addr_space.try_pin t.space region with
+      | Error `Pin_exhausted ->
+          t.pin_failures <- t.pin_failures + 1;
+          Obs.Counter.incr agg_pin_failures;
+          (* Eviction work already done stays done (and charged): the
+             kernel freed pages before discovering it could not wire the
+             new buffer. *)
+          Error (`Pin_exhausted !evict_cost)
+      | Ok pin_cost ->
+          let map_cost = Addr_space.map_into_kernel t.space region in
+          let e = { region; pages; last_used = tick t } in
+          Hashtbl.replace t.table (key region) e;
+          t.resident <- t.resident + pages;
+          Ok (Simtime.add !evict_cost (Simtime.add pin_cost map_cost)))
+
 let release _t _region = Simtime.zero
 
 let is_resident t region = Hashtbl.mem t.table (key region)
@@ -101,4 +140,5 @@ let flush t =
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
+let pin_failures t = t.pin_failures
 let resident_pages t = t.resident

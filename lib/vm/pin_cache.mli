@@ -19,6 +19,16 @@ val create : space:Addr_space.t -> max_pages:int -> t
 val acquire : t -> Region.t -> Simtime.t
 (** Cost of ensuring the region is pinned and mapped. *)
 
+val try_acquire :
+  t -> Region.t -> (Simtime.t, [ `Pin_exhausted of Simtime.t ]) result
+(** Fallible [acquire] for datapath callers.  Hits never fail (the buffer
+    is already wired).  On a miss the pin may fail at the
+    ["vm.pin_fail"] fault site; the [Error] carries the eviction cost
+    already incurred (the kernel freed pages before refusing to wire the
+    new buffer), the entry is {e not} inserted, and the caller is expected
+    to degrade to the copying path.  Failures are counted per-instance
+    ({!pin_failures}) and in the Obs counter [pin_cache.pin_failures]. *)
+
 val release : t -> Region.t -> Simtime.t
 (** Lazy: returns zero cost and leaves the buffer pinned. *)
 
@@ -33,4 +43,8 @@ val flush : t -> Simtime.t
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
+
+val pin_failures : t -> int
+(** Number of {!try_acquire} misses that failed at the pin stage. *)
+
 val resident_pages : t -> int

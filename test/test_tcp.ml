@@ -218,6 +218,82 @@ let test_reasm_old_data_dropped () =
   Alcotest.(check (list string)) "tail delivered" [ "56789" ]
     (take_all r ~rcv_nxt:100)
 
+let test_reasm_overlap_spans_queued () =
+  (* A retransmission can bridge a gap while overlapping the queued
+     segment on BOTH sides; the overlap is trimmed and the stream stays
+     byte-identical. *)
+  let data = "ABCDEFGHIJKLMNO" in
+  let sub pos len = seg (String.sub data pos len) in
+  let r = Tcp_reasm.create () in
+  Tcp_reasm.insert r ~rcv_nxt:0 ~seq:0 (sub 0 5);
+  Tcp_reasm.insert r ~rcv_nxt:0 ~seq:10 (sub 10 5);
+  (* [3,12): overlaps [0,5) by two bytes and [10,15) by two bytes *)
+  Tcp_reasm.insert r ~rcv_nxt:0 ~seq:3 (sub 3 9);
+  Alcotest.(check string) "stream byte-identical" data
+    (String.concat "" (take_all r ~rcv_nxt:0));
+  check_bool "nothing left queued" true (Tcp_reasm.is_empty r)
+
+let test_reasm_out_of_order_with_duplicates () =
+  let data = "0123456789abcdefghij" in
+  let sub pos len = seg (String.sub data pos len) in
+  let r = Tcp_reasm.create () in
+  (* arrival order: tail, dup tail, middle, head, dup middle *)
+  Tcp_reasm.insert r ~rcv_nxt:0 ~seq:14 (sub 14 6);
+  Tcp_reasm.insert r ~rcv_nxt:0 ~seq:14 (sub 14 6);
+  Tcp_reasm.insert r ~rcv_nxt:0 ~seq:6 (sub 6 8);
+  Tcp_reasm.insert r ~rcv_nxt:0 ~seq:0 (sub 0 6);
+  Tcp_reasm.insert r ~rcv_nxt:0 ~seq:6 (sub 6 8);
+  Alcotest.(check string) "stream byte-identical" data
+    (String.concat "" (take_all r ~rcv_nxt:0));
+  check_bool "duplicates freed, nothing queued" true (Tcp_reasm.is_empty r)
+
+let prop_reasm_overlapping_oracle =
+  (* Beyond [prop_reasm_reconstructs]' exact duplicates: inject random
+     OVERLAPPING spans of the stream (as overlapping retransmissions do)
+     on top of a covering segmentation, in random order.  The drained
+     stream must still be byte-identical to the original. *)
+  QCheck.Test.make ~name:"overlapping retransmissions never corrupt the stream"
+    ~count:300
+    QCheck.(pair (string_of_size Gen.(1 -- 120)) small_nat)
+    (fun (data, seed) ->
+      let n = String.length data in
+      let rng = Rng.create ~seed in
+      let rec cuts acc pos =
+        if pos >= n then List.rev acc
+        else
+          let len = min (1 + Rng.int rng 20) (n - pos) in
+          cuts ((pos, len) :: acc) (pos + len)
+      in
+      let extras =
+        List.init
+          (1 + Rng.int rng 10)
+          (fun _ ->
+            let pos = Rng.int rng n in
+            (pos, 1 + Rng.int rng (n - pos)))
+      in
+      let arr = Array.of_list (cuts [] 0 @ extras) in
+      for i = Array.length arr - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let t = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- t
+      done;
+      let r = Tcp_reasm.create () in
+      let rcv_nxt = ref 0 in
+      let out = Buffer.create n in
+      Array.iter
+        (fun (pos, len) ->
+          Tcp_reasm.insert r ~rcv_nxt:!rcv_nxt ~seq:pos
+            (seg (String.sub data pos len));
+          List.iter
+            (fun (c, l) ->
+              Buffer.add_string out (Mbuf.to_string c);
+              Mbuf.free c;
+              rcv_nxt := !rcv_nxt + l)
+            (Tcp_reasm.take r ~rcv_nxt:!rcv_nxt))
+        arr;
+      Buffer.contents out = data && Tcp_reasm.is_empty r)
+
 let prop_reasm_reconstructs =
   (* Insert random segmentations of a string in random order (with
      duplicates); the contiguous take must reproduce the string. *)
@@ -464,7 +540,12 @@ let () =
           Alcotest.test_case "gap fill" `Quick test_reasm_gap_fill;
           Alcotest.test_case "duplicate trim" `Quick test_reasm_duplicate_trim;
           Alcotest.test_case "old data" `Quick test_reasm_old_data_dropped;
+          Alcotest.test_case "overlap spans queued segments" `Quick
+            test_reasm_overlap_spans_queued;
+          Alcotest.test_case "out-of-order with duplicates" `Quick
+            test_reasm_out_of_order_with_duplicates;
           QCheck_alcotest.to_alcotest prop_reasm_reconstructs;
+          QCheck_alcotest.to_alcotest prop_reasm_overlapping_oracle;
         ] );
       ( "protocol",
         [
