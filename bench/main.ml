@@ -213,12 +213,29 @@ type macro_row = {
   row_touch : string;  (** data-touch ledger report (JSON object) *)
   row_fault : string option;
       (** recovery-plane report (JSON object), fault-injection rows only *)
+  row_rx_pipe : string option;
+      (** receiver CAB rx-pipeline counters (JSON object), ttcp rows *)
 }
 
 (* Side channel from a fault-injection workload to [measure]: the run
    closure deposits its recovery report here and [measure] attaches it to
    the row (the shared closure signature stays (mbit, routing, bytes)). *)
 let fault_json : string option ref = ref None
+
+(* Same side-channel pattern for the receiver adaptor's rx-pipeline
+   counters: every ttcp run deposits them so the gate can prove the
+   copy-out/auto-DMA overlap actually happened on the bulk rows. *)
+let rx_pipe_json : string option ref = ref None
+
+let deposit_rx_pipe cab =
+  let p = Cab.rx_pipe_stats cab in
+  rx_pipe_json :=
+    Some
+      (Printf.sprintf
+         "{ \"depth\": %d, \"posts\": %d, \"hwm\": %d, \"overlap\": %d, \
+          \"stalls\": %d }"
+         p.Cab.rx_pipe_depth p.Cab.rx_pipe_posts p.Cab.rx_pipe_hwm
+         p.Cab.rx_pipe_overlap p.Cab.rx_pipe_stalls)
 
 let macro_tcp_config ~adaptive c =
   if adaptive then { c with Tcp.coalesce_descriptors = true } else c
@@ -232,6 +249,7 @@ let macro_ttcp ?(force_uio = false) ~mode ~total () =
   let adaptive = (not force_uio) && mode = Stack_mode.Single_copy in
   let tb = Testbed.create ~mode ~tcp_config:(macro_tcp_config ~adaptive) () in
   let r = Ttcp.run ~tb ~wsize ~total ~force_uio ~adaptive ~verify:false () in
+  deposit_rx_pipe tb.Testbed.b.Testbed.cab;
   (r.Ttcp.receiver.Measurement.throughput_mbit, r.Ttcp.sender_policy, total)
 
 (* [rounds] request-response exchanges of [size]-byte messages with one
@@ -320,6 +338,7 @@ let macro ?(json = false) () =
     (* Warm-up: fault in the pools, then measure with clean counters and
        a fresh data-touch ledger window. *)
     fault_json := None;
+    rx_pipe_json := None;
     ignore (run ());
     Mbuf.Pool.reset ();
     Bufpool.reset_stats Bufpool.shared;
@@ -352,6 +371,7 @@ let macro ?(json = false) () =
       row_routing = routing;
       row_touch = Obs_ledger.report_json d ~payload:(payload * iters);
       row_fault = !fault_json;
+      row_rx_pipe = !rx_pipe_json;
     }
   in
   let modes = [ Stack_mode.Single_copy; Stack_mode.Unmodified ] in
@@ -450,12 +470,17 @@ let macro ?(json = false) () =
           | None -> ""
           | Some f -> Printf.sprintf ", \"fault\": %s" f
         in
+        let rx_pipe =
+          match r.row_rx_pipe with
+          | None -> ""
+          | Some p -> Printf.sprintf ", \"rx_pipe\": %s" p
+        in
         Printf.fprintf oc
           "  %S: { \"ns_per_run\": %.1f, \"sim_throughput_mbit\": %.1f, \
            \"mbuf_pool_hit_rate\": %.4f, \"frame_pool_hit_rate\": %.4f%s, \
-           \"touch\": %s%s }%s\n"
+           \"touch\": %s%s%s }%s\n"
           r.row_name r.row_ns r.row_mbit r.row_mbuf r.row_frame routing
-          r.row_touch fault
+          r.row_touch fault rx_pipe
           (if i = List.length rows - 1 then "" else ","))
       rows;
     output_string oc "}\n";

@@ -9,12 +9,16 @@
     on receive while data flows *off the media* (so it is available as soon
     as the packet is).
 
-    Timing: SDMA transfers serialize on the TurboChannel (a {!Resource}),
+    Timing: SDMA transfers serialize per channel (each a {!Resource}),
     costing the per-transfer engine overhead plus bytes at the calibrated
-    effective bus bandwidth — none of which is host CPU time.  The host
-    pays only the request-posting cost, which the *driver* charges.  Media
-    transfers serialize on whatever the [transmit] hook connects to (link
-    or switch).
+    effective bus bandwidth — none of which is host CPU time.  The model
+    gives the receive side its own two channels: the auto-DMA/verify
+    engine that lands arriving head prefixes, and the copy-out engine
+    that moves queued tails to the host — so rx copy-outs pipeline with
+    arrivals instead of serializing behind transmit SDMA on one channel.
+    The host pays only the request-posting cost, which the *driver*
+    charges.  Media transfers serialize on whatever the [transmit] hook
+    connects to (link or switch).
 
     The receive side auto-DMAs the first [autodma_words] words of every
     arriving packet into preallocated host buffers and interrupts the host
@@ -81,6 +85,14 @@ val set_autodma_words : t -> int -> unit
     paper's mbuf-sized prefix). *)
 
 val autodma_words : t -> int
+
+val set_rx_pipe_depth : t -> int -> unit
+(** Descriptor slots on the copy-out engine (default 4): at most this
+    many copy-out posts are outstanding on the engine at once; excess
+    posts park FIFO (counted as pipeline stalls) and start as
+    completions free slots. *)
+
+val rx_pipe_depth : t -> int
 
 (** {1 Transmit} *)
 
@@ -198,7 +210,13 @@ val sdma_copy_out :
   unit
 (** Copy received outboard data to the host ([off] is relative to the
     start of the packet).  Word alignment of [off] and of the user
-    destination address is required — the §4.5 restriction. *)
+    destination address is required — the §4.5 restriction.
+
+    Copy-outs ride a dedicated engine, independent of the auto-DMA /
+    checksum-verify channel that lands arriving heads: the copy-out of
+    packet [n] overlaps the DMA+verify of packet [n+1].  At most
+    {!rx_pipe_depth} posts are outstanding on the engine; excess posts
+    park FIFO and are started by completions. *)
 
 val rx_free : t -> Netmem.packet -> unit
 
@@ -257,4 +275,27 @@ type stats = {
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
 val bus_busy_time : t -> Simtime.t
+(** Cumulative tenancy of the tx SDMA channel. *)
+
+val rx_dma_busy_time : t -> Simtime.t
+(** Cumulative tenancy of the rx auto-DMA/verify engine. *)
+
+val copyout_busy_time : t -> Simtime.t
+(** Cumulative tenancy of the copy-out engine. *)
+
+(** Receive-pipeline counters: copy-out engine occupancy and its overlap
+    with the auto-DMA/verify engine. *)
+type rx_pipe_stats = {
+  rx_pipe_depth : int;  (** configured descriptor-slot bound *)
+  rx_pipe_posts : int;  (** copy-out posts accepted by the engine *)
+  rx_pipe_hwm : int;  (** outstanding-post high-water mark *)
+  rx_pipe_overlap : int;
+      (** copy-out completions at an instant when the auto-DMA/verify
+          engine was mid-transfer on another packet — the pipeline's
+          concurrency witness *)
+  rx_pipe_stalls : int;  (** posts parked because all slots were busy *)
+}
+
+val rx_pipe_stats : t -> rx_pipe_stats

@@ -698,7 +698,11 @@ let interrupt_batch t evs =
 (* ---------- attach ---------- *)
 
 let attach ~host ~ip ~cab ~addr ?(mtu = 32 * 1024) ~mode ?watchdog
-    ?(sdma_timeout = Simtime.us 1000.) ?(max_sdma_retries = 3) () =
+    ?(sdma_timeout = Simtime.us 1000.) ?(max_sdma_retries = 3)
+    ?rx_pipe_depth () =
+  (match rx_pipe_depth with
+  | Some d -> Cab.set_rx_pipe_depth cab d
+  | None -> ());
   let t =
     {
       host;

@@ -57,6 +57,7 @@ val attach :
   ?watchdog:Simtime.t ->
   ?sdma_timeout:Simtime.t ->
   ?max_sdma_retries:int ->
+  ?rx_pipe_depth:int ->
   unit ->
   t
 (** Creates the interface (MTU defaults to 32 KByte as in §7.1), hooks the
@@ -70,7 +71,10 @@ val attach :
     status register is reclaimed and reposted; after [max_sdma_retries]
     (default 3) the driver resets the adaptor and requeues every
     in-flight watched post.  With [watchdog] unset none of this machinery
-    runs and the datapath is unchanged. *)
+    runs and the datapath is unchanged.
+
+    [rx_pipe_depth] configures the adaptor's copy-out engine bound (see
+    {!Cab.set_rx_pipe_depth}); unset leaves the adaptor default. *)
 
 val iface : t -> Netif.t
 val cab : t -> Cab.t

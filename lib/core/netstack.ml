@@ -19,10 +19,10 @@ let subnet_of addr =
   (* /24 containing the address. *)
   Int32.logand addr 0xffffff00l
 
-let attach_cab t ~cab ~addr ?mtu ?watchdog ?sdma_timeout () =
+let attach_cab t ~cab ~addr ?mtu ?watchdog ?sdma_timeout ?rx_pipe_depth () =
   let drv =
     Cab_driver.attach ~host:t.host ~ip:t.ip ~cab ~addr ?mtu ~mode:t.mode
-      ?watchdog ?sdma_timeout ()
+      ?watchdog ?sdma_timeout ?rx_pipe_depth ()
   in
   Routing.add_route (Ipv4.routing t.ip) ~prefix:(subnet_of addr) ~len:24
     (Cab_driver.iface drv);

@@ -7,6 +7,7 @@ type reason =
   | Above_cutover
   | Explore
   | Penalized
+  | Trivial
 
 type stats = {
   uio_routed : int;
@@ -17,8 +18,12 @@ type stats = {
   above_cutover : int;
   explored : int;
   penalized : int;
+  trivial : int;
   uio_observed : int;
   copy_observed : int;
+  rx_uio_observed : int;
+  rx_copy_observed : int;
+  rx_feeds : int;
   cutover_bytes : int;
 }
 
@@ -41,6 +46,13 @@ let bucket_of len =
 type t = {
   uio : table;
   copy : table;
+  (* Receive-side cost tables (the bidirectional half): what delivering a
+     chain of this size costs the peer on the copy-out path (rx_uio) vs
+     the 2-copy path (rx_copy).  Filled locally by the receiving socket
+     via [observe_rx], or remotely via [feed_remote_rx] when the peer
+     piggybacks its measurements back to the sender. *)
+  rx_uio : table;
+  rx_copy : table;
   min_cutover : int;
   max_cutover : int;
   cold_shift : int;
@@ -61,8 +73,12 @@ type t = {
   mutable n_above : int;
   mutable n_explored : int;
   mutable n_penalized : int;
+  mutable n_trivial : int;
   mutable uio_observed : int;
   mutable copy_observed : int;
+  mutable rx_uio_observed : int;
+  mutable rx_copy_observed : int;
+  mutable rx_feeds : int;
 }
 
 let create ?(cutover = 16384) ?(min_cutover = 1024)
@@ -74,6 +90,8 @@ let create ?(cutover = 16384) ?(min_cutover = 1024)
   {
     uio = make_table ();
     copy = make_table ();
+    rx_uio = make_table ();
+    rx_copy = make_table ();
     min_cutover;
     max_cutover;
     cold_shift;
@@ -90,8 +108,12 @@ let create ?(cutover = 16384) ?(min_cutover = 1024)
     n_above = 0;
     n_explored = 0;
     n_penalized = 0;
+    n_trivial = 0;
     uio_observed = 0;
     copy_observed = 0;
+    rx_uio_observed = 0;
+    rx_copy_observed = 0;
+    rx_feeds = 0;
   }
 
 let table t = function Uio -> t.uio | Copy -> t.copy
@@ -106,13 +128,28 @@ let refresh_cutover t =
   let candidate = ref None in
   for i = 0 to buckets - 1 do
     if t.uio.samples.(i) >= min_samples && t.copy.samples.(i) >= min_samples
-    then
-      if t.uio.ewma_us.(i) <= t.copy.ewma_us.(i) then begin
+    then begin
+      (* Bidirectional cost: once the receive side has evidence for both
+         paths in this bucket, the cutover compares end-to-end cost
+         (sender + receiver) rather than sender cost alone.  Buckets with
+         one-sided rx evidence fall back to tx-only so a half-populated
+         table cannot skew the comparison. *)
+      let rx_known =
+        t.rx_uio.samples.(i) > 0 && t.rx_copy.samples.(i) > 0
+      in
+      let uio_cost =
+        t.uio.ewma_us.(i) +. (if rx_known then t.rx_uio.ewma_us.(i) else 0.)
+      and copy_cost =
+        t.copy.ewma_us.(i)
+        +. (if rx_known then t.rx_copy.ewma_us.(i) else 0.)
+      in
+      if uio_cost <= copy_cost then begin
         match !candidate with
         | None -> candidate := Some (1 lsl i)
         | Some _ -> ()
       end
       else candidate := Some (1 lsl (i + 1))
+    end
   done;
   match !candidate with
   | None -> ()
@@ -126,6 +163,7 @@ let count_reason t = function
   | Above_cutover -> t.n_above <- t.n_above + 1
   | Explore -> t.n_explored <- t.n_explored + 1
   | Penalized -> t.n_penalized <- t.n_penalized + 1
+  | Trivial -> t.n_trivial <- t.n_trivial + 1
 
 let max_penalty = 64.
 
@@ -135,7 +173,22 @@ let penalize ?(factor = 8.) t =
 
 let penalty t = t.penalty
 
+(* Sends far below the cutover (under a quarter of it) can never route
+   Uio (the cold-pin shift only raises the threshold), so skip the full
+   decision machinery: no explore flips, no table bookkeeping downstream —
+   the caller is expected to skip [observe] for [Trivial] results.  This
+   keeps small-RPC rounds off the EWMA/refresh path entirely.  Disabled
+   while a penalty is active so the decay still runs on every real
+   decision. *)
+let trivial_shift = 2
+
 let decide t ~len ~aligned ~pin_warm =
+  if t.penalty <= 1.0 && len < t.cutover lsr trivial_shift then begin
+    t.copy_routed <- t.copy_routed + 1;
+    t.n_trivial <- t.n_trivial + 1;
+    (Copy, Trivial)
+  end
+  else begin
   t.decisions <- t.decisions + 1;
   if t.penalty > 1.0 then
     t.penalty <- Stdlib.max 1.0 (t.penalty *. t.penalty_decay);
@@ -174,6 +227,7 @@ let decide t ~len ~aligned ~pin_warm =
   | Copy -> t.copy_routed <- t.copy_routed + 1);
   count_reason t reason;
   (route, reason)
+  end
 
 let observe t ~route ~len ~cost =
   let tab = table t route in
@@ -188,6 +242,53 @@ let observe t ~route ~len ~cost =
   | Copy -> t.copy_observed <- t.copy_observed + 1);
   refresh_cutover t
 
+let rx_table t = function Uio -> t.rx_uio | Copy -> t.rx_copy
+
+let observe_rx t ~route ~len ~cost =
+  let tab = rx_table t route in
+  let i = bucket_of len in
+  let us = Simtime.to_us cost in
+  let n = tab.samples.(i) in
+  tab.ewma_us.(i) <-
+    (if n = 0 then us else (0.75 *. tab.ewma_us.(i)) +. (0.25 *. us));
+  tab.samples.(i) <- n + 1;
+  (match route with
+  | Uio -> t.rx_uio_observed <- t.rx_uio_observed + 1
+  | Copy -> t.rx_copy_observed <- t.rx_copy_observed + 1);
+  refresh_cutover t
+
+(* A piggybacked receiver sample: the peer's smoothed per-bucket delivery
+   cost in microseconds, zero meaning "no sample for that path yet".
+   Merged with the same EWMA gain as local observations so a stream of
+   hints converges on the peer's estimate without trusting any single
+   report. *)
+let feed_remote_rx t ~bucket ~uio_us ~copy_us =
+  if bucket < 0 || bucket >= buckets then
+    invalid_arg "Path_policy.feed_remote_rx: bucket out of range";
+  let merge tab us =
+    if us > 0. then begin
+      let n = tab.samples.(bucket) in
+      tab.ewma_us.(bucket) <-
+        (if n = 0 then us
+         else (0.75 *. tab.ewma_us.(bucket)) +. (0.25 *. us));
+      tab.samples.(bucket) <- n + 1
+    end
+  in
+  merge t.rx_uio uio_us;
+  merge t.rx_copy copy_us;
+  t.rx_feeds <- t.rx_feeds + 1;
+  refresh_cutover t
+
+(* The receiver's outgoing hint for the bucket containing [len]: rounded
+   EWMA microseconds per path, zero when that path has no samples.  This
+   is exactly the wire format of the TCP Rx_cost option. *)
+let rx_hint t ~len =
+  let i = bucket_of len in
+  let us tab = if tab.samples.(i) = 0 then 0 else
+    int_of_float (tab.ewma_us.(i) +. 0.5)
+  in
+  (i, us t.rx_uio, us t.rx_copy)
+
 let cutover t = t.cutover
 
 let stats t =
@@ -200,17 +301,23 @@ let stats t =
     above_cutover = t.n_above;
     explored = t.n_explored;
     penalized = t.n_penalized;
+    trivial = t.n_trivial;
     uio_observed = t.uio_observed;
     copy_observed = t.copy_observed;
+    rx_uio_observed = t.rx_uio_observed;
+    rx_copy_observed = t.rx_copy_observed;
+    rx_feeds = t.rx_feeds;
     cutover_bytes = t.cutover;
   }
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
     "routed uio=%d copy=%d (unaligned=%d below=%d cold=%d above=%d \
-     explore=%d penalized=%d) observed uio=%d copy=%d cutover=%dB"
+     explore=%d penalized=%d trivial=%d) observed uio=%d copy=%d \
+     rx_uio=%d rx_copy=%d rx_feeds=%d cutover=%dB"
     s.uio_routed s.copy_routed s.unaligned s.below_cutover s.cold_pin
-    s.above_cutover s.explored s.penalized s.uio_observed s.copy_observed
+    s.above_cutover s.explored s.penalized s.trivial s.uio_observed
+    s.copy_observed s.rx_uio_observed s.rx_copy_observed s.rx_feeds
     s.cutover_bytes
 
 (* Registry export: decision counters as gauges over the live instance,
@@ -229,9 +336,12 @@ let tables_json t =
       Buffer.add_string buf
         (Printf.sprintf
            "{\"bucket_lo\": %d, \"uio_us\": %.3f, \"uio_samples\": %d, \
-            \"copy_us\": %.3f, \"copy_samples\": %d}"
+            \"copy_us\": %.3f, \"copy_samples\": %d, \"rx_uio_us\": %.3f, \
+            \"rx_uio_samples\": %d, \"rx_copy_us\": %.3f, \
+            \"rx_copy_samples\": %d}"
            (1 lsl i) t.uio.ewma_us.(i) t.uio.samples.(i) t.copy.ewma_us.(i)
-           t.copy.samples.(i))
+           t.copy.samples.(i) t.rx_uio.ewma_us.(i) t.rx_uio.samples.(i)
+           t.rx_copy.ewma_us.(i) t.rx_copy.samples.(i))
     end
   done;
   Buffer.add_string buf "]";
@@ -251,5 +361,9 @@ let register ?(section = "path_policy") t =
   g "cutover_bytes" (fun () -> t.cutover);
   g "decisions" (fun () -> t.decisions);
   g "penalized" (fun () -> t.n_penalized);
+  g "trivial" (fun () -> t.n_trivial);
+  g "rx_uio_observed" (fun () -> t.rx_uio_observed);
+  g "rx_copy_observed" (fun () -> t.rx_copy_observed);
+  g "rx_feeds" (fun () -> t.rx_feeds);
   Obs.gauge ~section ~name:"penalty" (fun () -> t.penalty);
   Obs.table ~section ~name:"ewma_tables" (fun () -> tables_json t)

@@ -17,6 +17,13 @@
     probe sends an occasional message down the road not taken so both
     tables stay populated.
 
+    The policy is {e bidirectional}: the receiver's per-bucket delivery
+    cost (outboard copy-out vs. the 2-copy path) is tracked in a second
+    pair of tables, fed either locally ({!observe_rx}) or from hints the
+    peer piggybacks on its ACKs ({!feed_remote_rx}).  Once a bucket has
+    receive-side evidence for both paths, the cutover compares the
+    end-to-end (tx + rx) cost instead of sender cost alone.
+
     Every decision is counted; {!stats} exposes the full routing
     breakdown for benchmarks and tests. *)
 
@@ -36,6 +43,10 @@ type reason =
   | Penalized
       (** would clear the cutover, but a fault-driven penalty has inflated
           the effective threshold — the adaptor is sick, stay on copy *)
+  | Trivial
+      (** far below the cutover (under a quarter of it): routed [Copy] by
+          the early exit, skipping exploration and decision bookkeeping.
+          Callers should not {!observe} these sends. *)
 
 type stats = {
   uio_routed : int;
@@ -46,8 +57,12 @@ type stats = {
   above_cutover : int;
   explored : int;
   penalized : int;
+  trivial : int;  (** decisions taken by the small-send early exit *)
   uio_observed : int;  (** completed sends reported for the Uio path *)
   copy_observed : int;
+  rx_uio_observed : int;  (** local receive-side copy-out cost samples *)
+  rx_copy_observed : int;
+  rx_feeds : int;  (** remote hints merged via {!feed_remote_rx} *)
   cutover_bytes : int;  (** current online estimate *)
 }
 
@@ -79,6 +94,24 @@ val decide : t -> len:int -> aligned:bool -> pin_warm:bool -> route * reason
 val observe : t -> route:route -> len:int -> cost:Simtime.t -> unit
 (** Report the observed end-to-end cost of a completed send; feeds the
     EWMA table for [route]'s size bucket and re-derives the cutover. *)
+
+val observe_rx : t -> route:route -> len:int -> cost:Simtime.t -> unit
+(** Report the observed cost of delivering a received chain of [len]
+    bytes: [Uio] means the chain arrived outboard and was copied out of
+    the CAB, [Copy] means it took the ordinary 2-copy path.  Feeds the
+    receive-side EWMA tables and re-derives the cutover. *)
+
+val feed_remote_rx : t -> bucket:int -> uio_us:float -> copy_us:float -> unit
+(** Merge a receive-cost hint piggybacked by the peer: its smoothed
+    per-bucket delivery cost in microseconds for each path, zero meaning
+    "no sample yet" (skipped).  [bucket] is the log2 size-bucket index;
+    out-of-range raises [Invalid_argument]. *)
+
+val rx_hint : t -> len:int -> int * int * int
+(** [(bucket, uio_us, copy_us)] — this host's outgoing receive-cost hint
+    for the bucket containing [len]: rounded EWMA microseconds per path,
+    zero when that path has no local samples.  Matches the wire format of
+    the TCP [Rx_cost] option. *)
 
 val cutover : t -> int
 (** The current cutover estimate in bytes. *)

@@ -9,6 +9,8 @@ type event =
   | Intr
   | Rx_adjust
   | Sock_read
+  | Rx_autodma
+  | Rx_copyout
 
 let event_name = function
   | Sock_write -> "sock_write"
@@ -21,6 +23,8 @@ let event_name = function
   | Intr -> "intr"
   | Rx_adjust -> "rx_adjust"
   | Sock_read -> "sock_read"
+  | Rx_autodma -> "rx_autodma"
+  | Rx_copyout -> "rx_copyout"
 
 let ev_code = function
   | Sock_write -> 0
@@ -33,6 +37,8 @@ let ev_code = function
   | Intr -> 7
   | Rx_adjust -> 8
   | Sock_read -> 9
+  | Rx_autodma -> 10
+  | Rx_copyout -> 11
 
 let ev_of_code = function
   | 0 -> Sock_write
@@ -44,7 +50,9 @@ let ev_of_code = function
   | 6 -> Doorbell
   | 7 -> Intr
   | 8 -> Rx_adjust
-  | _ -> Sock_read
+  | 9 -> Sock_read
+  | 10 -> Rx_autodma
+  | _ -> Rx_copyout
 
 type slot = { mutable ts : int; mutable ev : int; mutable a : int; mutable b : int }
 

@@ -22,6 +22,12 @@ type event =
   | Intr            (** a = notifications delivered in this batch *)
   | Rx_adjust       (** a = sequence number, b = adjusted checksum *)
   | Sock_read       (** a = bytes delivered to the application *)
+  | Rx_autodma
+      (** rx auto-DMA/verify engine completed a head prefix:
+          a = prefix bytes, b = netmem packet id *)
+  | Rx_copyout
+      (** copy-out engine accepted a post: a = bytes, b = posts in
+          flight on the engine (after this one) *)
 
 val event_name : event -> string
 

@@ -1,6 +1,13 @@
 type flag = FIN | SYN | RST | PSH | ACK | URG
 
-type option_ = Mss of int | Window_scale of int
+type option_ =
+  | Mss of int
+  | Window_scale of int
+  | Rx_cost of { bucket : int; uio_us : int; copy_us : int }
+      (* experimental kind 14, length 12: log2 size-bucket (u8), pad,
+         receiver's smoothed per-path delivery cost in us (2 x u32,
+         0 = no sample).  Piggybacked on pure ACKs so the sender's path
+         policy can account for receive-side cost. *)
 
 type t = {
   src_port : int;
@@ -32,7 +39,10 @@ let flag_bits flags =
 let options_size options =
   let raw =
     List.fold_left
-      (fun acc -> function Mss _ -> acc + 4 | Window_scale _ -> acc + 3)
+      (fun acc -> function
+        | Mss _ -> acc + 4
+        | Window_scale _ -> acc + 3
+        | Rx_cost _ -> acc + 12)
       0 options
   in
   (raw + 3) / 4 * 4
@@ -71,7 +81,17 @@ let encode t ~csum buf ~off =
           Bytes.set_uint8 buf !pos 3;
           Bytes.set_uint8 buf (!pos + 1) 3;
           Bytes.set_uint8 buf (!pos + 2) s;
-          pos := !pos + 3)
+          pos := !pos + 3
+      | Rx_cost { bucket; uio_us; copy_us } ->
+          Bytes.set_uint8 buf !pos 14;
+          Bytes.set_uint8 buf (!pos + 1) 12;
+          Bytes.set_uint8 buf (!pos + 2) (bucket land 0xff);
+          Bytes.set_uint8 buf (!pos + 3) 0;
+          Bytes.set_int32_be buf (!pos + 4)
+            (Int32.of_int (uio_us land 0xffffffff));
+          Bytes.set_int32_be buf (!pos + 8)
+            (Int32.of_int (copy_us land 0xffffffff));
+          pos := !pos + 12)
     t.options;
   while !pos < off + hdr_size do
     Bytes.set_uint8 buf !pos 1 (* NOP *);
@@ -89,6 +109,16 @@ let decode_options buf ~off ~limit =
           go (pos + 4) (Mss (Bytes.get_uint16_be buf (pos + 2)) :: acc)
       | 3 when pos + 3 <= limit && Bytes.get_uint8 buf (pos + 1) = 3 ->
           go (pos + 3) (Window_scale (Bytes.get_uint8 buf (pos + 2)) :: acc)
+      | 14 when pos + 12 <= limit && Bytes.get_uint8 buf (pos + 1) = 12 ->
+          let u32 p = Int32.to_int (Bytes.get_int32_be buf p) land 0xffffffff in
+          go (pos + 12)
+            (Rx_cost
+               {
+                 bucket = Bytes.get_uint8 buf (pos + 2);
+                 uio_us = u32 (pos + 4);
+                 copy_us = u32 (pos + 8);
+               }
+            :: acc)
       | _ -> Error "tcp: malformed option"
   in
   go off []

@@ -7,7 +7,15 @@
 
 type flag = FIN | SYN | RST | PSH | ACK | URG
 
-type option_ = Mss of int | Window_scale of int
+type option_ =
+  | Mss of int
+  | Window_scale of int
+  | Rx_cost of { bucket : int; uio_us : int; copy_us : int }
+      (** experimental kind 14, length 12: the receiver's smoothed
+          delivery cost (microseconds, 0 = no sample) for the log2 size
+          [bucket], one value per path (outboard copy-out vs. 2-copy).
+          Piggybacked on pure ACKs to make the sender's path policy
+          bidirectional; unknown to real stacks, ignored if unparsed. *)
 
 type t = {
   src_port : int;

@@ -1,0 +1,129 @@
+(* Shared receive-side delivery: move one received chain into a user
+   region.  Both the stream socket and the datagram socket funnel their
+   reads through here so the data-touch accounting (Obs_ledger), the
+   staging rules, and the pin-failure degradation stay identical. *)
+
+type ctx = {
+  host : Host.t;
+  space : Addr_space.t;
+  proc : string;
+  cache : Pin_cache.t option;
+  on_kernel_copy : int -> unit;
+  on_copyout : int -> unit;
+  on_pin_fallback : int -> unit;
+}
+
+let charge ctx cost k = Host.in_proc ctx.host ~proc:ctx.proc cost k
+let profile ctx = ctx.host.Host.profile
+
+(* Pin + map a region for DMA, fallibly: [Ok cost] when wired, [Error
+   wasted] when the kernel refused the pin ("vm.pin_fail" fault site) —
+   [wasted] is work already charged-for (cache evictions) before the
+   refusal. *)
+let try_wire ctx region =
+  match ctx.cache with
+  | Some cache -> (
+      match Pin_cache.try_acquire cache region with
+      | Ok c -> Ok c
+      | Error (`Pin_exhausted wasted) -> Error wasted)
+  | None -> (
+      match Addr_space.try_pin ctx.space region with
+      | Ok c -> Ok (Simtime.add c (Addr_space.map_into_kernel ctx.space region))
+      | Error `Pin_exhausted -> Error Simtime.zero)
+
+let unwire ctx region =
+  match ctx.cache with
+  | Some cache -> Pin_cache.release cache region
+  | None -> Addr_space.unpin ctx.space region
+
+(* Host copy of one mbuf's bytes into [dst]: straight blit when the
+   storage is contiguous, staged through a pooled buffer (two touches)
+   when it is a descriptor chain. *)
+let host_copy_seg ctx mb ~seg ~dst ~release =
+  ctx.on_kernel_copy seg;
+  let cost = Memcost.copy (profile ctx) ~locality:Memcost.Cold seg in
+  charge ctx cost (fun () ->
+      (match Mbuf.view mb ~off:0 ~len:seg with
+      | Some (b, pos) ->
+          Obs_ledger.touch Obs_ledger.Sock_rx_copy Obs_ledger.Copy seg;
+          Region.blit_from_bytes b ~src_off:pos dst ~dst_off:0 ~len:seg
+      | None ->
+          Obs_ledger.touch Obs_ledger.Sock_rx_copy Obs_ledger.Copy (2 * seg);
+          let tmp = Bufpool.get Bufpool.shared seg in
+          Mbuf.copy_into mb ~off:0 ~len:seg tmp ~dst_off:0;
+          Region.blit_from_bytes tmp ~src_off:0 dst ~dst_off:0 ~len:seg;
+          Bufpool.put Bufpool.shared tmp);
+      release ())
+
+(* Outboard segment: pin + map the destination (charged), then let the
+   driver's copy-out engine move the data.  If the pin fails, degrade:
+   DMA into kernel staging (no user pages need wiring for that) and
+   finish with a host copy. *)
+let copyout_seg ctx ~copy_out mb ~seg ~dst ~release =
+  ctx.on_copyout seg;
+  match try_wire ctx dst with
+  | Ok vm_cost ->
+      (* Warm pin: no kernel VM work to charge, so hand the descriptor
+         to the engine immediately rather than queueing a zero-length
+         CPU step behind whatever the host is copying — the post must
+         not serialize behind the chain's header-prefix copy or the
+         engine idles for exactly that long between back-to-back
+         copy-outs. *)
+      let post () =
+        copy_out mb ~off:0 ~len:seg
+          ~dst:(Netif.To_user (ctx.space, dst))
+          ~on_done:(fun () -> charge ctx (unwire ctx dst) release)
+      in
+      if vm_cost = Simtime.zero then post ()
+      else charge ctx vm_cost post
+  | Error wasted ->
+      ctx.on_pin_fallback seg;
+      let stage = Bufpool.get Bufpool.shared seg in
+      charge ctx wasted (fun () ->
+          copy_out mb ~off:0 ~len:seg
+            ~dst:(Netif.To_kernel (stage, 0))
+            ~on_done:(fun () ->
+              let cost = Memcost.copy (profile ctx) ~locality:Memcost.Cold seg in
+              charge ctx cost (fun () ->
+                  Obs_ledger.touch Obs_ledger.Sock_rx_copy Obs_ledger.Copy seg;
+                  Region.blit_from_bytes stage ~src_off:0 dst ~dst_off:0
+                    ~len:seg;
+                  Bufpool.put Bufpool.shared stage;
+                  release ())))
+
+let deliver_chain ctx ~iface chain region ~dst_off ~limit k =
+  let pending = ref 1 (* barrier: released after the walk *) in
+  let release () =
+    decr pending;
+    if !pending = 0 then k ()
+  in
+  let rec walk (m : Mbuf.t option) off =
+    match m with
+    | None -> release () (* the barrier *)
+    | Some mb ->
+        if mb.Mbuf.len = 0 then walk mb.Mbuf.next off
+        else begin
+          let seg = min mb.Mbuf.len (limit - (off - dst_off)) in
+          if seg <= 0 then release () (* truncated: stop the walk *)
+          else begin
+            let dst = Region.sub region ~off ~len:seg in
+            (match Mbuf.kind mb with
+            | Mbuf.K_internal | Mbuf.K_cluster | Mbuf.K_uio ->
+                incr pending;
+                host_copy_seg ctx mb ~seg ~dst ~release
+            | Mbuf.K_wcab -> (
+                match iface with
+                | Some ifc when ifc.Netif.copy_out <> None ->
+                    incr pending;
+                    copyout_seg ctx
+                      ~copy_out:(Option.get ifc.Netif.copy_out)
+                      mb ~seg ~dst ~release
+                | Some _ | None ->
+                    (* No device able to move it: drop the bytes (cannot
+                       happen with a correctly assembled stack). *)
+                    ()));
+            walk mb.Mbuf.next (off + seg)
+          end
+        end
+  in
+  walk (Some chain) dst_off

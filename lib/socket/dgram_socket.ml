@@ -4,6 +4,9 @@ type dgram_stats = {
   sent_copy : int;
   send_errors : int;
   received : int;
+  rx_copyouts : int;
+  rx_kernel_copies : int;
+  pin_fallbacks : int;
   truncated : int;
   queue_drops : int;
 }
@@ -50,6 +53,9 @@ let create ~host ~space ~proc ?(paths = Socket.default_paths)
           sent_copy = 0;
           send_errors = 0;
           received = 0;
+          rx_copyouts = 0;
+          rx_kernel_copies = 0;
+          pin_fallbacks = 0;
           truncated = 0;
           queue_drops = 0;
         };
@@ -136,8 +142,10 @@ let sendto t region ~dst k =
                   t.s <- { t.s with send_errors = t.s.send_errors + 1 });
               k ()))
 
-(* Deliver one datagram chain into the user region (same mechanics as the
-   stream socket's receive). *)
+(* Deliver one datagram chain into the user region, truncating like a
+   real datagram socket.  Shares the stream socket's delivery mechanics —
+   Obs_ledger data-touch accounting, pooled staging buffers, and try-pin
+   degradation for copy-out destinations — through {!Copyout_path}. *)
 let deliver t chain region k =
   let dlen = Mbuf.chain_len chain in
   let want = min dlen (Region.length region) in
@@ -146,52 +154,25 @@ let deliver t chain region k =
   let iface =
     Option.bind (Mbuf.rcvif chain) (fun name -> Host.find_iface t.host name)
   in
-  let pending = ref 1 in
-  let release () =
-    decr pending;
-    if !pending = 0 then begin
+  let ctx =
+    {
+      Copyout_path.host = t.host;
+      space = t.space;
+      proc = t.proc;
+      cache = None;
+      on_kernel_copy =
+        (fun _ ->
+          t.s <- { t.s with rx_kernel_copies = t.s.rx_kernel_copies + 1 });
+      on_copyout =
+        (fun _ -> t.s <- { t.s with rx_copyouts = t.s.rx_copyouts + 1 });
+      on_pin_fallback =
+        (fun _ -> t.s <- { t.s with pin_fallbacks = t.s.pin_fallbacks + 1 });
+    }
+  in
+  Copyout_path.deliver_chain ctx ~iface chain region ~dst_off:0 ~limit:want
+    (fun () ->
       Mbuf.free chain;
-      k want
-    end
-  in
-  let rec walk (m : Mbuf.t option) off =
-    match m with
-    | None -> release ()
-    | Some mb ->
-        let seg = min mb.Mbuf.len (want - off) in
-        if seg <= 0 then release ()
-        else begin
-          let dst = Region.sub region ~off ~len:seg in
-          (match Mbuf.kind mb with
-          | Mbuf.K_internal | Mbuf.K_cluster | Mbuf.K_uio ->
-              incr pending;
-              charge t (Memcost.copy (profile t) ~locality:Memcost.Cold seg)
-                (fun () ->
-                  let tmp = Bytes.create seg in
-                  Mbuf.copy_into mb ~off:0 ~len:seg tmp ~dst_off:0;
-                  Region.blit_from_bytes tmp ~src_off:0 dst ~dst_off:0
-                    ~len:seg;
-                  release ())
-          | Mbuf.K_wcab -> (
-              match iface with
-              | Some ifc when ifc.Netif.copy_out <> None ->
-                  let copy_out = Option.get ifc.Netif.copy_out in
-                  incr pending;
-                  let vm =
-                    Simtime.add
-                      (Addr_space.pin t.space dst)
-                      (Addr_space.map_into_kernel t.space dst)
-                  in
-                  charge t vm (fun () ->
-                      copy_out mb ~off:0 ~len:seg
-                        ~dst:(Netif.To_user (t.space, dst))
-                        ~on_done:(fun () ->
-                          charge t (Addr_space.unpin t.space dst) release))
-              | Some _ | None -> ()));
-          walk mb.Mbuf.next (off + seg)
-        end
-  in
-  walk (Some chain) 0
+      k want)
 
 let rec recvfrom t region k =
   charge t (Memcost.syscall (profile t)) (fun () ->

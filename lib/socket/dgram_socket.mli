@@ -20,6 +20,11 @@ type dgram_stats = {
   sent_copy : int;
   send_errors : int;
   received : int;
+  rx_copyouts : int;  (** outboard segments moved by the engine *)
+  rx_kernel_copies : int;  (** segments host-copied to the app *)
+  pin_fallbacks : int;
+      (** copy-outs degraded to kernel staging because the destination
+          would not pin *)
   truncated : int;  (** datagrams longer than the receive buffer *)
   queue_drops : int;  (** receive-queue overflow *)
 }

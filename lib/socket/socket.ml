@@ -59,17 +59,32 @@ type t = {
   cache : Pin_cache.t option;
   policy : Path_policy.t option;
   mutable policy_registered : bool;
-  mutable writer_waiting : (unit -> unit) option;
+  writers_waiting : (unit -> unit) Queue.t;
+      (* writers parked on socket-buffer space; several can be in flight
+         at once when the application pipelines its writes *)
+  mutable appending : bool;
+  append_queue : (unit -> unit) Queue.t;
+      (* stream-order lock: one write appends to the send queue at a
+         time, so pipelined writers cannot interleave their chunks when
+         one of them blocks on buffer space mid-write.  A UIO write
+         releases the lock once fully appended (its drain wait happens
+         off-lock — that is what lets the next write overlap with this
+         one's DMA); a copying write holds it to completion. *)
   mutable reader_waiting : (unit -> unit) option;
-  mutable pending_notify : Mbuf.notify option;
-      (* the in-flight write's UIO counter, force-drained if the
-         connection dies so the writer cannot hang *)
+  mutable pending_notifies : Mbuf.notify list;
+      (* in-flight writes' UIO counters, force-drained if the
+         connection dies so no writer can hang *)
   mutable last_tx_faults : int;
       (* interface fault count at the last adaptive decision; a rise
          feeds a penalty into the policy *)
+  mutable rx_observations : int;
+      (* delivered chains whose cost fed the policy's rx tables *)
   mutable closed : bool;
   mutable s : stats;
 }
+
+(* Every this-many rx cost observations, stage a hint for the peer. *)
+let rx_hint_period = 8
 
 let pcb t = t.pcb
 let stats t = t.s
@@ -97,14 +112,27 @@ let create ~host ~space ~proc ?(paths = default_paths) pcb =
       cache;
       policy;
       policy_registered = false;
-      writer_waiting = None;
+      writers_waiting = Queue.create ();
+      appending = false;
+      append_queue = Queue.create ();
       reader_waiting = None;
-      pending_notify = None;
+      pending_notifies = [];
       last_tx_faults = 0;
+      rx_observations = 0;
       closed = false;
       s = zero_stats;
     }
   in
+  (* Bidirectional policy: hints the peer piggybacks on its ACKs land in
+     our policy's receive-side tables, so the cutover accounts for what
+     our sends cost the receiver. *)
+  (match policy with
+  | Some p ->
+      Tcp.set_rx_cost_handler pcb (fun ~bucket ~uio_us ~copy_us ->
+          Path_policy.feed_remote_rx p ~bucket
+            ~uio_us:(float_of_int uio_us)
+            ~copy_us:(float_of_int copy_us))
+  | None -> ());
   Tcp.set_callbacks pcb
     ~on_readable:(fun () ->
       match t.reader_waiting with
@@ -113,37 +141,47 @@ let create ~host ~space ~proc ?(paths = default_paths) pcb =
           k ()
       | None -> ())
     ~on_sendable:(fun () ->
-      match t.writer_waiting with
-      | Some k ->
-          t.writer_waiting <- None;
-          k ()
-      | None -> ())
+      (* Wake every parked writer: each re-checks the space it needs, so
+         a spurious wake only costs a recheck. *)
+      let woken = Queue.create () in
+      Queue.transfer t.writers_waiting woken;
+      Queue.iter (fun k -> k ()) woken)
     ~on_closed:(fun () ->
       (* Wake anyone blocked so the simulation cannot wedge. *)
-      (match t.pending_notify with
-      | Some n when n.Mbuf.dma_pending > 0 ->
-          t.pending_notify <- None;
-          Mbuf.notify_complete_n n n.Mbuf.dma_pending
-      | Some _ | None -> ());
+      let notifies = t.pending_notifies in
+      t.pending_notifies <- [];
+      List.iter
+        (fun n ->
+          if n.Mbuf.dma_pending > 0 then
+            Mbuf.notify_complete_n n n.Mbuf.dma_pending)
+        notifies;
       (match t.reader_waiting with
       | Some k ->
           t.reader_waiting <- None;
           k ()
       | None -> ());
-      match t.writer_waiting with
-      | Some k ->
-          t.writer_waiting <- None;
-          k ()
-      | None -> ())
+      let woken = Queue.create () in
+      Queue.transfer t.writers_waiting woken;
+      Queue.iter (fun k -> k ()) woken)
     ();
   t
 
 let charge t cost k = Host.in_proc t.host ~proc:t.proc cost k
 
 let block_writer t k =
-  assert (t.writer_waiting = None);
   t.s <- { t.s with write_blocks = t.s.write_blocks + 1 };
-  t.writer_waiting <- Some k
+  Queue.push k t.writers_waiting
+
+let acquire_append t f =
+  if t.appending then Queue.push f t.append_queue
+  else begin
+    t.appending <- true;
+    f ()
+  end
+
+let release_append t =
+  if Queue.is_empty t.append_queue then t.appending <- false
+  else (Queue.pop t.append_queue) () (* lock passes to the next writer *)
 
 let block_reader t k =
   assert (t.reader_waiting = None);
@@ -174,7 +212,7 @@ let try_wire t region =
    driver's DMA completions.  When the pin fails the buffer never becomes
    DMA-able: [on_pin_fail] runs (after charging any wasted eviction work)
    and the caller degrades to the copying path. *)
-let write_uio t region ~on_pin_fail k =
+let write_uio t region ~on_appended ~on_pin_fail k =
   let total = Region.length region in
   (* Map into kernel space and pin — charged to the writing process, one
      socket-buffer chunk at a time would be more faithful, but the cost is
@@ -188,10 +226,11 @@ let write_uio t region ~on_pin_fail k =
   Obs_trace.emit Obs_trace.Sock_write ~a:total ~b:1;
   let notify = Mbuf.make_notify () in
   Mbuf.notify_add notify total;
-  t.pending_notify <- Some notify;
+  t.pending_notifies <- notify :: t.pending_notifies;
   charge t vm_cost (fun () ->
       let finish () =
-        t.pending_notify <- None;
+        t.pending_notifies <-
+          List.filter (fun n -> n != notify) t.pending_notifies;
         let unpin_cost =
           match t.cache with
           | Some cache -> Pin_cache.release cache region
@@ -201,7 +240,11 @@ let write_uio t region ~on_pin_fail k =
       in
       let rec push off =
         if off >= total then begin
-          (* All data enqueued; wait for the DMAs (copy semantics). *)
+          (* All data enqueued: hand the append lock to the next writer,
+             then wait for the DMAs (copy semantics).  The next write
+             appends while this one's bytes drain — that overlap is the
+             double-buffered send pipeline. *)
+          on_appended ();
           if notify.Mbuf.dma_pending = 0 then finish ()
           else notify.Mbuf.on_drained <- finish
         end
@@ -283,6 +326,7 @@ let write t region k =
       bytes_written = t.s.bytes_written + Region.length region;
     };
   charge t (Memcost.syscall (profile t)) (fun () ->
+      acquire_append t (fun () ->
       let len = Region.length region in
       let aligned = Region.is_word_aligned region in
       match t.policy with
@@ -311,25 +355,35 @@ let write t region k =
             | Some cache -> Pin_cache.is_resident cache region
             | None -> false
           in
-          let route, _reason =
+          let route, reason =
             Path_policy.decide policy ~len ~aligned ~pin_warm
           in
           let t0 = Host.now t.host in
           let finish route () =
-            Path_policy.observe policy ~route ~len
-              ~cost:(Simtime.sub (Host.now t.host) t0);
+            (* Trivial decisions skip the cost tables entirely — the
+               whole point of the early exit is to keep small sends off
+               the EWMA/refresh bookkeeping. *)
+            (match reason with
+            | Path_policy.Trivial -> ()
+            | _ ->
+                Path_policy.observe policy ~route ~len
+                  ~cost:(Simtime.sub (Host.now t.host) t0));
             k ()
           in
           (match route with
           | Path_policy.Uio ->
               t.s <- { t.s with uio_writes = t.s.uio_writes + 1 };
               write_uio t region
+                ~on_appended:(fun () -> release_append t)
                 ~on_pin_fail:(fun () ->
                   (* The kernel would not wire the buffer: penalize the
-                     outboard path and finish the write by copying. *)
+                     outboard path and finish the write by copying (still
+                     holding the append lock). *)
                   Path_policy.penalize policy;
                   t.s <- { t.s with copy_writes = t.s.copy_writes + 1 };
-                  write_copy t region (finish Path_policy.Copy))
+                  write_copy t region (fun () ->
+                      release_append t;
+                      finish Path_policy.Copy ()))
                 (finish Path_policy.Uio)
           | Path_policy.Copy ->
               if not aligned then
@@ -339,7 +393,9 @@ let write t region k =
                     unaligned_fallbacks = t.s.unaligned_fallbacks + 1;
                   };
               t.s <- { t.s with copy_writes = t.s.copy_writes + 1 };
-              write_copy t region (finish Path_policy.Copy))
+              write_copy t region (fun () ->
+                  release_append t;
+                  finish Path_policy.Copy ()))
       | Some _ | None ->
       let want_uio =
         single_copy_route t
@@ -348,13 +404,18 @@ let write t region k =
       if want_uio && aligned then begin
         t.s <- { t.s with uio_writes = t.s.uio_writes + 1 };
         write_uio t region
+          ~on_appended:(fun () -> release_append t)
           ~on_pin_fail:(fun () ->
             t.s <- { t.s with copy_writes = t.s.copy_writes + 1 };
-            write_copy t region k)
+            write_copy t region (fun () ->
+                release_append t;
+                k ()))
           k
       end
       else if want_uio && t.paths.align_fixup && len > 64 then begin
-        (* §4.5 fix-up: copy the sub-word head, DMA the aligned bulk. *)
+        (* §4.5 fix-up: copy the sub-word head, DMA the aligned bulk.
+           The append lock spans head and bulk so no sibling write can
+           slip between them. *)
         let head_len = 4 - (Region.vaddr region land 3) in
         t.s <-
           {
@@ -366,7 +427,11 @@ let write t region k =
         write_copy t (Region.sub region ~off:0 ~len:head_len) (fun () ->
             let bulk = Region.sub region ~off:head_len ~len:(len - head_len) in
             write_uio t bulk
-              ~on_pin_fail:(fun () -> write_copy t bulk k)
+              ~on_appended:(fun () -> release_append t)
+              ~on_pin_fail:(fun () ->
+                write_copy t bulk (fun () ->
+                    release_append t;
+                    k ()))
               k)
       end
       else begin
@@ -374,8 +439,10 @@ let write t region k =
           t.s <-
             { t.s with unaligned_fallbacks = t.s.unaligned_fallbacks + 1 };
         t.s <- { t.s with copy_writes = t.s.copy_writes + 1 };
-        write_copy t region k
-      end)
+        write_copy t region (fun () ->
+            release_append t;
+            k ())
+      end))
 
 (* ---------------- read ---------------- *)
 
@@ -392,100 +459,64 @@ let eof_state t =
    Continuation gets called once every piece (sync copies and async DMA
    copy-outs) has landed. *)
 let deliver_chain t chain region ~dst_off k =
-  let iface = Tcp.remote_iface t.pcb in
-  let pending = ref 1 (* barrier: released after the walk *) in
-  let release () =
-    decr pending;
-    if !pending = 0 then k ()
+  let ctx =
+    {
+      Copyout_path.host = t.host;
+      space = t.space;
+      proc = t.proc;
+      cache = t.cache;
+      on_kernel_copy =
+        (fun _ ->
+          t.s <- { t.s with kernel_copy_reads = t.s.kernel_copy_reads + 1 });
+      on_copyout =
+        (fun _ -> t.s <- { t.s with wcab_copyouts = t.s.wcab_copyouts + 1 });
+      on_pin_fallback =
+        (fun _ -> t.s <- { t.s with pin_fallbacks = t.s.pin_fallbacks + 1 });
+    }
   in
-  let rec walk (m : Mbuf.t option) off =
-    match m with
-    | None -> release () (* the barrier *)
-    | Some mb ->
-        let seg = mb.Mbuf.len in
-        if seg = 0 then walk mb.Mbuf.next off
-        else begin
-          let dst = Region.sub region ~off ~len:seg in
-          (match Mbuf.kind mb with
-          | Mbuf.K_internal | Mbuf.K_cluster | Mbuf.K_uio ->
-              t.s <- { t.s with kernel_copy_reads = t.s.kernel_copy_reads + 1 };
-              incr pending;
-              let cost = Memcost.copy (profile t) ~locality:Memcost.Cold seg in
-              charge t cost (fun () ->
-                  (match Mbuf.view mb ~off:0 ~len:seg with
-                  | Some (b, pos) ->
-                      (* Contiguous storage: copy straight into the user
-                         region, no staging buffer. *)
-                      Obs_ledger.touch Obs_ledger.Sock_rx_copy Obs_ledger.Copy
-                        seg;
-                      Region.blit_from_bytes b ~src_off:pos dst ~dst_off:0
-                        ~len:seg
-                  | None ->
-                      (* Descriptor chains stage through a pooled buffer;
-                         walk within this mbuf only (two host touches). *)
-                      Obs_ledger.touch Obs_ledger.Sock_rx_copy Obs_ledger.Copy
-                        (2 * seg);
-                      let tmp = Bufpool.get Bufpool.shared seg in
-                      Mbuf.copy_into mb ~off:0 ~len:seg tmp ~dst_off:0;
-                      Region.blit_from_bytes tmp ~src_off:0 dst ~dst_off:0
-                        ~len:seg;
-                      Bufpool.put Bufpool.shared tmp);
-                  release ())
-          | Mbuf.K_wcab -> (
-              match iface with
-              | Some ifc when ifc.Netif.copy_out <> None ->
-                  let copy_out = Option.get ifc.Netif.copy_out in
-                  t.s <- { t.s with wcab_copyouts = t.s.wcab_copyouts + 1 };
-                  incr pending;
-                  (* Pin + map the destination for DMA (charged), then let
-                     the driver move the data.  If the pin fails, degrade:
-                     DMA into kernel staging (no user pages need wiring
-                     for that) and finish with a host copy. *)
-                  (match try_wire t dst with
-                  | Ok vm_cost ->
-                      charge t vm_cost (fun () ->
-                          copy_out mb ~off:0 ~len:seg
-                            ~dst:(Netif.To_user (t.space, dst))
-                            ~on_done:(fun () ->
-                              let unpin_cost =
-                                match t.cache with
-                                | Some cache -> Pin_cache.release cache dst
-                                | None -> Addr_space.unpin t.space dst
-                              in
-                              charge t unpin_cost release))
-                  | Error wasted ->
-                      t.s <-
-                        { t.s with pin_fallbacks = t.s.pin_fallbacks + 1 };
-                      let stage = Bufpool.get Bufpool.shared seg in
-                      charge t wasted (fun () ->
-                          copy_out mb ~off:0 ~len:seg
-                            ~dst:(Netif.To_kernel (stage, 0))
-                            ~on_done:(fun () ->
-                              let cost =
-                                Memcost.copy (profile t)
-                                  ~locality:Memcost.Cold seg
-                              in
-                              charge t cost (fun () ->
-                                  Obs_ledger.touch Obs_ledger.Sock_rx_copy
-                                    Obs_ledger.Copy seg;
-                                  Region.blit_from_bytes stage ~src_off:0 dst
-                                    ~dst_off:0 ~len:seg;
-                                  Bufpool.put Bufpool.shared stage;
-                                  release ()))))
-              | Some _ | None ->
-                  (* No device able to move it: drop the bytes (cannot
-                     happen with a correctly assembled stack). *)
-                  incr pending;
-                  release ()));
-          walk mb.Mbuf.next (off + seg)
+  Copyout_path.deliver_chain ctx ~iface:(Tcp.remote_iface t.pcb) chain region
+    ~dst_off ~limit:(Mbuf.chain_len chain) k
+
+let rec chain_has_wcab (m : Mbuf.t option) =
+  match m with
+  | None -> false
+  | Some mb -> Mbuf.kind mb = Mbuf.K_wcab || chain_has_wcab mb.Mbuf.next
+
+(* Receiver half of the bidirectional path policy: the simulated time
+   from syscall entry to last byte landed is this host's delivery cost
+   for the chain — outboard chains (copy-out) vs. regular ones (2-copy).
+   Fed into the local rx tables and, every few samples, staged as a hint
+   the next outgoing ACK piggybacks back to the sender.  Chains in the
+   trivial band are skipped, mirroring the transmit-side early exit. *)
+let observe_rx_cost t ~had_wcab ~len ~t0 =
+  match t.policy with
+  | None -> ()
+  | Some policy ->
+      if len >= Path_policy.cutover policy lsr 2 then begin
+        let route = if had_wcab then Path_policy.Uio else Path_policy.Copy in
+        Path_policy.observe_rx policy ~route ~len
+          ~cost:(Simtime.sub (Host.now t.host) t0);
+        t.rx_observations <- t.rx_observations + 1;
+        if t.rx_observations mod rx_hint_period = 0 then begin
+          let bucket, uio_us, copy_us = Path_policy.rx_hint policy ~len in
+          if uio_us > 0 || copy_us > 0 then
+            Tcp.post_rx_cost t.pcb ~bucket ~uio_us ~copy_us
         end
-  in
-  walk (Some chain) dst_off
+      end
 
 let rec read t region k =
   t.s <- { t.s with reads = t.s.reads + 1 };
   charge t (Memcost.syscall (profile t)) (fun () -> read_attempt t region k)
 
+(* Pipelined receive: instead of draining one recv and waiting for all of
+   its copy-outs (a full barrier per syscall), post each chain's delivery
+   and immediately pull whatever has arrived in the meantime, claiming
+   sequential destination offsets so delivery stays in order.  While the
+   adaptor's copy-out engine works on chain n, the auto-DMA engine is
+   landing chain n+1, and the socket hands it over without waiting —
+   that overlap is what the two-channel CAB model (see {!Cab}) buys.
+   The read completes once nothing more is available and every posted
+   delivery has landed; it never blocks after the first byte. *)
 and read_attempt t region k =
   let avail = Tcp.recv_available t.pcb in
   if avail = 0 then begin
@@ -496,16 +527,88 @@ and read_attempt t region k =
               read_attempt t region k))
   end
   else begin
-    let want = min avail (Region.length region) in
-    match Tcp.recv t.pcb ~max:want with
-    | None -> k 0
-    | Some chain ->
-        let got = Mbuf.chain_len chain in
-        t.s <- { t.s with bytes_read = t.s.bytes_read + got };
-        Obs_trace.emit Obs_trace.Sock_read ~a:got ~b:avail;
-        deliver_chain t chain region ~dst_off:0 (fun () ->
-            Mbuf.free chain;
-            k got)
+    let cap = Region.length region in
+    let claimed = ref 0 (* bytes of [region] assigned to posted chains *) in
+    let outstanding = ref 0 (* posted chains not yet fully landed *) in
+    let finished = ref false in
+    let parked = ref false (* pump waiting on readability, in-flight *) in
+    let had_wcab = ref false in
+    let t0 = Host.now t.host in
+    let finish () =
+      finished := true;
+      if !parked then begin
+        t.reader_waiting <- None;
+        parked := false
+      end;
+      let got = !claimed in
+      t.s <- { t.s with bytes_read = t.s.bytes_read + got };
+      observe_rx_cost t ~had_wcab:!had_wcab ~len:got ~t0;
+      k got
+    in
+    let rec pump () =
+      if !finished then ()
+      else begin
+        let avail = Tcp.recv_available t.pcb in
+        let want = min avail (cap - !claimed) in
+        (* Claim whole chains: stopping a claim short of a chain boundary
+           would split the outboard segment into two copy-outs (a sliver
+           and a remainder), each paying full engine setup, and the
+           sliver's post would wedge between back-to-back full-segment
+           copy-outs.  Better to return a short read at the boundary —
+           the next read claims the rest aligned.  A chain longer than
+           the whole destination still splits (progress for reads smaller
+           than a segment). *)
+        let first = Tcp.recv_first_chain_len t.pcb in
+        let claim =
+          if want = 0 then 0
+          else if first <= want then first
+          else if !claimed = 0 then want
+          else 0
+        in
+        if claim = 0 then begin
+          if !outstanding = 0 then finish ()
+          else if
+            want = 0
+            && cap - !claimed > 0
+            && (not !parked)
+            && t.reader_waiting = None
+            && not (eof_state t || t.closed)
+          then begin
+            (* Posted deliveries still in flight and budget left: park on
+               readability so a chain arriving mid-pipeline is claimed
+               (and its copy-out posted) immediately, not at the next
+               completion — claiming early keeps the copy-out queue deep
+               and lets the rcv window reopen while the engine is still
+               busy. *)
+            parked := true;
+            t.reader_waiting <-
+              Some
+                (fun () ->
+                  parked := false;
+                  if not !finished then
+                    charge t (Memcost.sb_wait (profile t)) (fun () ->
+                        pump ()))
+          end
+        end
+        else
+          match Tcp.recv t.pcb ~max:claim with
+          | None -> if !outstanding = 0 then finish ()
+          | Some chain ->
+              let got = Mbuf.chain_len chain in
+              let dst_off = !claimed in
+              claimed := !claimed + got;
+              incr outstanding;
+              if (not !had_wcab) && chain_has_wcab (Some chain) then
+                had_wcab := true;
+              Obs_trace.emit Obs_trace.Sock_read ~a:got ~b:avail;
+              deliver_chain t chain region ~dst_off (fun () ->
+                  Mbuf.free chain;
+                  decr outstanding;
+                  pump ());
+              pump ()
+      end
+    in
+    pump ()
   end
 
 let read_exact t region k =

@@ -172,6 +172,12 @@ type pcb = {
   csum_base : Inet_csum.sum;
   (* pump guard *)
   mutable pumping : bool;
+  (* Receive-cost piggyback (bidirectional path policy): a pending hint
+     rides out on the next non-SYN control segment; incoming hints go to
+     the handler the socket layer installs.  Data segments are untouched
+     so the preencoded-template fast path stays hot. *)
+  mutable rx_cost_pending : Tcp_header.option_ option;
+  mutable on_rx_cost : (bucket:int -> uio_us:int -> copy_us:int -> unit) option;
   (* callbacks *)
   mutable on_readable : unit -> unit;
   mutable on_sendable : unit -> unit;
@@ -212,6 +218,12 @@ let set_callbacks pcb ?on_readable ?on_sendable ?on_closed () =
   (match on_readable with Some f -> pcb.on_readable <- f | None -> ());
   (match on_sendable with Some f -> pcb.on_sendable <- f | None -> ());
   match on_closed with Some f -> pcb.on_closed <- f | None -> ()
+
+let set_rx_cost_handler pcb f = pcb.on_rx_cost <- Some f
+
+let post_rx_cost pcb ~bucket ~uio_us ~copy_us =
+  pcb.rx_cost_pending <-
+    Some (Tcp_header.Rx_cost { bucket; uio_us; copy_us })
 
 let pp_pcb fmt pcb =
   Format.fprintf fmt "tcp[%a:%d->%a:%d %s una=%d nxt=%d q=%d wnd=%d]"
@@ -523,7 +535,15 @@ and send_control pcb ~flags () =
   let is_syn = List.mem Tcp_header.SYN flags in
   let is_fin = List.mem Tcp_header.FIN flags in
   let seq = pcb.snd_nxt in
-  let options = if is_syn then syn_options pcb else [] in
+  let options =
+    if is_syn then syn_options pcb
+    else
+      match pcb.rx_cost_pending with
+      | Some hint ->
+          pcb.rx_cost_pending <- None;
+          [ hint ]
+      | None -> []
+  in
   let flags =
     if is_syn || pcb.st = Listen || pcb.st = Syn_sent then flags
     else if List.mem Tcp_header.ACK flags then flags
@@ -558,7 +578,13 @@ and decide pcb =
     let len = min (min available usable_window) pcb.mss_val in
     if len > 0 then begin
       (* Single-copy path: do not span a descriptor-chain boundary, and
-         bypass Nagle for descriptor data. *)
+         bypass Nagle for descriptor data.  The bypass only applies when
+         descriptors are NOT coalesced: there a sub-MSS tail can never
+         merge with the next write's bytes (the extent is clamped at the
+         descriptor boundary), and holding it would block the writer's
+         copy-semantics notify on the peer's delayed ACK.  With
+         coalescing on, Nagle holding the tail is exactly what lets the
+         next write's append merge it into a full segment. *)
       let kind, extent = Tcp_sendq.homogeneous_extent pcb.sendq ~off in
       let descriptor =
         (not pcb.tcp.cfg.coalesce_descriptors)
@@ -920,8 +946,23 @@ let apply_syn_options pcb (hdr : Tcp_header.t) =
           if pcb.tcp.cfg.window_scaling then begin
             pcb.snd_wscale <- s;
             pcb.rcv_wscale <- wanted_wscale pcb.tcp.cfg
-          end)
+          end
+      | Tcp_header.Rx_cost _ -> ())
     hdr.Tcp_header.options
+
+let apply_rx_cost_options pcb (hdr : Tcp_header.t) =
+  match hdr.Tcp_header.options with
+  | [] -> ()
+  | opts ->
+      List.iter
+        (fun o ->
+          match o with
+          | Tcp_header.Rx_cost { bucket; uio_us; copy_us } -> (
+              match pcb.on_rx_cost with
+              | Some f -> f ~bucket ~uio_us ~copy_us
+              | None -> ())
+          | Tcp_header.Mss _ | Tcp_header.Window_scale _ -> ())
+        opts
 
 (* Handle an in-window data payload (chain trimmed to payload only). *)
 let rec process_data pcb ~seq chain =
@@ -968,6 +1009,7 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
     Tcp_header.pp hdr (Mbuf.chain_len chain) (state_to_string pcb.st)
     pcb.rcv_nxt;
   pcb.stats <- { pcb.stats with segs_rcvd = pcb.stats.segs_rcvd + 1 };
+  apply_rx_cost_options pcb hdr;
   let seq = hdr.Tcp_header.seq in
   let has f = Tcp_header.has f hdr in
   if has Tcp_header.RST then begin
@@ -1120,6 +1162,8 @@ let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
         Inet_csum.pseudo_header ~src:local_addr ~dst:raddr
           ~proto:Ipv4_header.proto_tcp ~len:0;
       pumping = false;
+      rx_cost_pending = None;
+      on_rx_cost = None;
       on_readable = (fun () -> ());
       on_sendable = (fun () -> ());
       on_established = (fun () -> ());
@@ -1271,6 +1315,13 @@ let sosend_append pcb ~proc chain =
         (Printf.sprintf "send in state %s" (state_to_string st))
 
 let recv_available pcb = pcb.rcvq_len
+
+(* Length of the first in-order chain waiting for the application, 0 when
+   none: the socket layer sizes its claims to whole chains so an outboard
+   segment is not split into two copy-out descriptors across a read
+   boundary. *)
+let recv_first_chain_len pcb =
+  match pcb.rcvq with [] -> 0 | c :: _ -> Mbuf.chain_len c
 
 (* Send a window update if consuming data opened the advertised window
    significantly (BSD policy: two segments or half the buffer). *)

@@ -126,6 +126,12 @@ val sosend_append : pcb -> proc:string -> Mbuf.t -> (unit, string) result
 val recv_available : pcb -> int
 (** Bytes queued for the application. *)
 
+val recv_first_chain_len : pcb -> int
+(** Length of the first in-order chain waiting for the application, 0
+    when none.  Lets the socket layer claim whole chains so an outboard
+    segment is not split into two copy-out descriptors (a sliver and a
+    remainder, each paying full engine setup) across a read boundary. *)
+
 val recv : pcb -> max:int -> Mbuf.t option
 (** Dequeue up to [max] bytes (chains may contain M_WCAB mbufs that the
     socket layer must copy out through the driver).  Opens the advertised
@@ -138,6 +144,17 @@ val set_callbacks :
   ?on_closed:(unit -> unit) ->
   unit ->
   unit
+
+val post_rx_cost : pcb -> bucket:int -> uio_us:int -> copy_us:int -> unit
+(** Stage a receive-cost hint (see {!Tcp_header.option_}) to piggyback on
+    the next non-SYN control segment (window updates, delayed ACKs…).
+    Overwrites any hint still pending; data segments never carry it, so
+    the preencoded-header transmit fast path is unaffected. *)
+
+val set_rx_cost_handler :
+  pcb -> (bucket:int -> uio_us:int -> copy_us:int -> unit) -> unit
+(** Install the sink for receive-cost hints arriving from the peer; the
+    socket layer forwards them into its {!Path_policy}. *)
 
 (** {1 Introspection} *)
 

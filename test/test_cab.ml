@@ -246,9 +246,13 @@ let test_retransmit_header_rewrite () =
 (* ---------- chained SDMA and batched notifications ---------- *)
 
 (* The same two-segment packet posted as one descriptor chain and as three
-   individual doorbells: the chain must move the same bytes, occupy the
-   bus for the same time, fire every per-segment hook, and verify at the
-   receiver — it merges control events, it does not shortcut the bus. *)
+   individual doorbells: the chain must move the same bytes, fire every
+   per-segment hook, and verify at the receiver.  On the bus the chain is
+   cheaper by exactly the saved engine starts — one doorbell arms the
+   engine once and it walks the prebuilt descriptor list, where three
+   individual posts each pay the engine start; the per-byte transfer time
+   is identical (chaining merges control events, it does not shortcut the
+   bus). *)
 let test_sdma_chain_equivalent () =
   let payload_len = 8192 in
   let half = payload_len / 2 in
@@ -325,7 +329,12 @@ let test_sdma_chain_equivalent () =
   let bytes_c, bus_c, chains_c = run ~chained:true in
   let bytes_i, bus_i, chains_i = run ~chained:false in
   check_int "chain moved the same bytes" bytes_i bytes_c;
-  check_int "chain occupied the bus equally" bus_i bus_c;
+  (* Three posts pay three engine starts; the chain pays one.  The byte
+     time is rounded per doorbell, so allow a nanosecond of slack per
+     merged descriptor. *)
+  let saved_starts = Simtime.us (2. *. profile.Host_profile.dma_engine_us) in
+  let gap = abs (Simtime.sub bus_i saved_starts - bus_c) in
+  check_bool "chain saved exactly two engine starts" true (gap <= 2);
   check_int "one chained doorbell" 1 chains_c;
   check_int "individual posts are not chains" 0 chains_i
 

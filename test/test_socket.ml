@@ -20,7 +20,13 @@ let test_write_blocks_counted () =
   let finished = ref false in
   let sa_ref = ref None in
   let tb =
-    with_stream ~a_paths:force_uio (fun tb sa sb ->
+    with_stream ~a_paths:force_uio
+      (* A small send buffer slices each write into several appends, so
+         the writer must park on buffer space between them — the
+         pipelined receive path drains whole reads too fast for a large
+         sendq to ever fill. *)
+      ~tcp_config:(fun c -> { c with Tcp.snd_buf = 65536 })
+      (fun tb sa sb ->
         sa_ref := Some sa;
         let a_sp = Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"s" in
         let b_sp = Netstack.make_space tb.Testbed.b.Testbed.stack ~name:"s" in
@@ -33,9 +39,11 @@ let test_write_blocks_counted () =
         let rec recv n =
           if n >= total then finished := true
           else
-            (* A deliberately slow reader: extra delay per read. *)
+            (* A deliberately slow reader: extra delay per read.  (20 ms
+               per 256 KByte ~ 100 Mbit/s, well under what the pipelined
+               receive path can absorb, so the sender must park.) *)
             ignore
-              (Sim.after tb.Testbed.sim (Simtime.ms 5.) (fun () ->
+              (Sim.after tb.Testbed.sim (Simtime.ms 20.) (fun () ->
                    Socket.read_exact sb dst (fun k ->
                        if k = 0 then finished := true else recv (n + k))))
         in
