@@ -72,6 +72,9 @@ type t = {
       (* notifications waiting for the next delivery burst; an
          Event_queue so bursts drain in raise order via [pop_ready] *)
   mutable intr_scheduled : bool;
+  intr_timer : Sim.handle;
+      (* one reusable zero-delay timer drives every delivery burst, so
+         raising an interrupt never allocates a closure *)
   mutable intr_budget : int;
   mutable autodma_words : int;
   mdma_waiting : (int, pending_mdma) Hashtbl.t;
@@ -128,6 +131,30 @@ let register_obs t =
   g "netmem_free_pages" (fun () -> Netmem.free_pages t.mem);
   g "netmem_failures" (fun () -> Netmem.failures t.mem)
 
+(* NAPI-style coalesced notification delivery: completions and rx events
+   queue up, and the host sees one delivery per burst — at most
+   [intr_budget] events each — instead of one interrupt per packet.
+   Delivery rides the adaptor's reusable zero-delay timer, so everything
+   that became ready at this instant (e.g. the per-segment completions
+   of a chained SDMA) lands in a single burst and scheduling the burst
+   allocates nothing. *)
+let deliver_intrs t =
+  match
+    Event_queue.pop_ready ~max:t.intr_budget t.pending_intrs
+      ~now:(Sim.now t.sim)
+  with
+  | [] -> t.intr_scheduled <- false
+  | evs ->
+      t.interrupts <- t.interrupts + 1;
+      let n_evs = List.length evs in
+      t.intr_events <- t.intr_events + n_evs;
+      Obs_trace.emit Obs_trace.Intr ~a:n_evs ~b:t.intr_budget;
+      (match t.batch_handler with
+      | Some f -> f evs
+      | None -> List.iter t.intr_handler evs);
+      if Event_queue.is_empty t.pending_intrs then t.intr_scheduled <- false
+      else Sim.rearm t.sim t.intr_timer Simtime.zero
+
 let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
   let t = {
     sim;
@@ -151,6 +178,7 @@ let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
     batch_handler = None;
     pending_intrs = Event_queue.create ();
     intr_scheduled = false;
+    intr_timer = Sim.timer sim ignore;
     intr_budget = 64;
     (* 176 words: "the checksum is passed up the stack together with the
        first 176 words of the packet (data size of the mbuf)" — §4.3. *)
@@ -172,6 +200,7 @@ let create ~sim ~profile ~name ~netmem_pages ~hippi_addr ~transmit () =
     tx_recoveries = 0;
   }
   in
+  Sim.set_fn t.intr_timer (fun () -> deliver_intrs t);
   register_obs t;
   t
 
@@ -208,29 +237,6 @@ let set_rx_pipe_depth t n =
 
 let rx_pipe_depth t = t.rx_pipe_depth
 
-(* NAPI-style coalesced notification delivery: completions and rx events
-   queue up, and the host sees one delivery per burst — at most
-   [intr_budget] events each — instead of one interrupt per packet.
-   Delivery is a zero-delay simulator event, so everything that became
-   ready at this instant (e.g. the per-segment completions of a chained
-   SDMA) lands in a single burst. *)
-let rec deliver_intrs t =
-  match
-    Event_queue.pop_ready ~max:t.intr_budget t.pending_intrs
-      ~now:(Sim.now t.sim)
-  with
-  | [] -> t.intr_scheduled <- false
-  | evs ->
-      t.interrupts <- t.interrupts + 1;
-      let n_evs = List.length evs in
-      t.intr_events <- t.intr_events + n_evs;
-      Obs_trace.emit Obs_trace.Intr ~a:n_evs ~b:t.intr_budget;
-      (match t.batch_handler with
-      | Some f -> f evs
-      | None -> List.iter t.intr_handler evs);
-      if Event_queue.is_empty t.pending_intrs then t.intr_scheduled <- false
-      else ignore (Sim.after t.sim Simtime.zero (fun () -> deliver_intrs t))
-
 let raise_intr t i =
   Event_queue.push t.pending_intrs ~time:(Sim.now t.sim) i;
   if not t.intr_scheduled then begin
@@ -242,7 +248,7 @@ let raise_intr t i =
       t.intr_lost <- t.intr_lost + 1
     else begin
       t.intr_scheduled <- true;
-      ignore (Sim.after t.sim Simtime.zero (fun () -> deliver_intrs t))
+      Sim.rearm t.sim t.intr_timer Simtime.zero
     end
   end
 
@@ -252,7 +258,7 @@ let poll t =
   let n = pending_events t in
   if n > 0 && not t.intr_scheduled then begin
     t.intr_scheduled <- true;
-    ignore (Sim.after t.sim Simtime.zero (fun () -> deliver_intrs t))
+    Sim.rearm t.sim t.intr_timer Simtime.zero
   end;
   n
 

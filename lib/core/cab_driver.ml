@@ -33,7 +33,7 @@ type t = {
   sdma_timeout : Simtime.t;  (* base completion timeout, doubled per retry *)
   max_sdma_retries : int;
   mutable inflight : int;  (* watched posts not yet completed *)
-  mutable poll_armed : bool;
+  poll_timer : Sim.handle;  (* reusable lost-interrupt poll timer *)
   mutable watch_key : int;
   (* watch key -> reset-recovery thunk for every in-flight watched post *)
   tx_watch : (int, unit -> unit) Hashtbl.t;
@@ -101,17 +101,19 @@ let driver_reset t =
   let thunks = Hashtbl.fold (fun _ f acc -> f :: acc) t.tx_watch [] in
   List.iter (fun f -> f ()) thunks
 
-let rec arm_poll t interval =
-  if not t.poll_armed then begin
-    t.poll_armed <- true;
-    ignore
-      (Sim.after (Cab.sim t.cab) interval (fun () ->
-           t.poll_armed <- false;
-           t.s <- { t.s with watchdog_polls = t.s.watchdog_polls + 1 };
-           ignore (Cab.poll t.cab);
-           if t.inflight > 0 || Cab.pending_events t.cab > 0 then
-             arm_poll t interval))
-  end
+let arm_poll t interval =
+  if not (Sim.armed t.poll_timer) then
+    Sim.rearm (Cab.sim t.cab) t.poll_timer interval
+
+(* Installed once on [poll_timer] at attach; re-arms in place (no
+   allocation) while watched posts or stranded events remain. *)
+let poll_fire t =
+  t.s <- { t.s with watchdog_polls = t.s.watchdog_polls + 1 };
+  ignore (Cab.poll t.cab);
+  match t.watchdog with
+  | Some interval when t.inflight > 0 || Cab.pending_events t.cab > 0 ->
+      arm_poll t interval
+  | _ -> ()
 
 let kick_watchdog t =
   match t.watchdog with None -> () | Some interval -> arm_poll t interval
@@ -130,11 +132,20 @@ let watched_post t netpkt ~post ~on_done =
       (* Generation stamp: reposting invalidates any timer armed for an
          earlier attempt, so at most one recovery path is live. *)
       let gen = ref 0 in
+      (* The live watch timer, cancelled the moment the post completes —
+         an O(1) wheel unlink instead of a tombstone that would sit in
+         the scheduler until its (seconds-scale backoff) deadline. *)
+      let watch : Sim.handle option ref = ref None in
       let finish () =
         if not !completed then begin
           completed := true;
           t.inflight <- t.inflight - 1;
           Hashtbl.remove t.tx_watch key;
+          (match !watch with
+          | Some h ->
+              Sim.cancel (Cab.sim t.cab) h;
+              watch := None
+          | None -> ());
           on_done ()
         end
       in
@@ -143,8 +154,9 @@ let watched_post t netpkt ~post ~on_done =
         post ~on_complete:finish;
         arm_watch !gen attempt
       and arm_watch g attempt =
-        ignore
-          (Sim.after (Cab.sim t.cab) (backoff t attempt) (fun () ->
+        watch :=
+          Some
+            (Sim.after (Cab.sim t.cab) (backoff t attempt) (fun () ->
                if (not !completed) && !gen = g then
                  if Cab.stalled_posts t.cab netpkt > 0 then
                    if attempt >= t.max_sdma_retries then driver_reset t
@@ -714,12 +726,13 @@ let attach ~host ~ip ~cab ~addr ?(mtu = 32 * 1024) ~mode ?watchdog
       sdma_timeout;
       max_sdma_retries;
       inflight = 0;
-      poll_armed = false;
+      poll_timer = Sim.timer (Cab.sim cab) ignore;
       watch_key = 0;
       tx_watch = Hashtbl.create 16;
       s = zero_stats;
     }
   in
+  Sim.set_fn t.poll_timer (fun () -> poll_fire t);
   let single_copy = Stack_mode.is_single_copy mode in
   let ifc =
     Netif.make ~name:(Cab.name cab) ~addr ~mtu ~single_copy

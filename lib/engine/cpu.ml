@@ -22,24 +22,13 @@ type t = {
   mutable last_mode : mode;
   mutable last_cell : int ref;
   mutable busy_total : Simtime.t;
+  (* One reusable completion timer: the CPU runs at most one item at a
+     time, so every slice re-arms the same record — no per-item closure
+     or handle allocation. *)
+  timer : Sim.handle;
 }
 
 let no_cell : int ref = ref 0
-
-let create ~sim ~name =
-  {
-    sim;
-    name;
-    idle_proc = "idle";
-    running = None;
-    intr_q = Queue.create ();
-    normal_q = Queue.create ();
-    buckets = Hashtbl.create 8;
-    last_proc = "";
-    last_mode = Sys;
-    last_cell = no_cell;
-    busy_total = 0;
-  }
 
 let name t = t.name
 let set_idle_proc t p = t.idle_proc <- p
@@ -80,11 +69,35 @@ let rec start_next t =
   | None -> t.running <- None
   | Some item ->
       t.running <- Some item;
-      ignore
-        (Sim.after t.sim item.duration (fun () ->
-             charge t item.proc item.mode item.duration;
-             item.k ();
-             start_next t))
+      Sim.rearm t.sim t.timer item.duration
+
+and complete t =
+  match t.running with
+  | None -> ()
+  | Some item ->
+      charge t item.proc item.mode item.duration;
+      item.k ();
+      start_next t
+
+let create ~sim ~name =
+  let t =
+    {
+      sim;
+      name;
+      idle_proc = "idle";
+      running = None;
+      intr_q = Queue.create ();
+      normal_q = Queue.create ();
+      buckets = Hashtbl.create 8;
+      last_proc = "";
+      last_mode = Sys;
+      last_cell = no_cell;
+      busy_total = 0;
+      timer = Sim.timer sim ignore;
+    }
+  in
+  Sim.set_fn t.timer (fun () -> complete t);
+  t
 
 let submit t queue item =
   Queue.push item queue;

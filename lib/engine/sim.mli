@@ -2,14 +2,38 @@
 
     Single-threaded, deterministic: events fire in (time, scheduling-order)
     order.  All simulated components (hosts, adaptors, links) share one
-    [Sim.t]. *)
+    [Sim.t].
+
+    Two event stores sit behind one sequence space:
+
+    - a {e hierarchical timing wheel} ({!Timer_wheel}) holds delay-class
+      timers — the RTOs, delayed acks, watchdogs, and poll timers that
+      are overwhelmingly re-armed or cancelled before they fire.
+      Schedule, cancel, and re-arm are O(1), and a cancelled timer is
+      unlinked immediately instead of tombstoned;
+    - the binary-heap {!Event_queue} keeps irregular events: zero-delay
+      wakeups, deadlines beyond the wheel horizon (≈ 8.6 s), and
+      deadlines that land inside the wheel's already-swept window.
+
+    [run] merges the two streams by exact (time, seq), so firing order is
+    byte-identical to a heap-only scheduler ([create ~wheel:false]) —
+    property-tested by the equivalence oracle in [test_timer.ml].
+
+    Alongside the classic [at]/[after] one-shot API, reusable timers
+    ({!timer}/{!rearm}/{!stop}) carry their callback across re-arms, so
+    the steady-state re-arm path allocates nothing. *)
 
 type t
 
-type handle
-(** A scheduled event that can be cancelled (e.g. a protocol timer). *)
+type handle = Timer_wheel.timer
+(** A scheduled event that can be cancelled (e.g. a protocol timer).
+    One-shot handles from {!at}/{!after} are GC-owned; reusable timers
+    from {!timer}/{!periodic} come from a free list and can be handed
+    back with {!release}. *)
 
-val create : unit -> t
+val create : ?wheel:bool -> unit -> t
+(** [wheel:false] keeps every event on the binary heap — the reference
+    scheduler the equivalence oracle compares against.  Default [true]. *)
 
 val now : t -> Simtime.t
 
@@ -19,14 +43,57 @@ val at : t -> Simtime.t -> (unit -> unit) -> handle
 val after : t -> Simtime.t -> (unit -> unit) -> handle
 (** Schedule a callback [delay] after [now]. *)
 
-val cancel : handle -> unit
-(** Cancelling a fired or already-cancelled event is a no-op. *)
+val cancel : t -> handle -> unit
+(** O(1): wheel-resident timers are unlinked on the spot; heap-resident
+    ones are invalidated and counted, and the heap compacts itself when
+    dead entries outnumber live ones.  Cancelling a fired or
+    already-cancelled event is a no-op. *)
 
 val cancelled : handle -> bool
 
+(** {2 Reusable timers}
+
+    One record + one callback, re-armed in place: nothing is allocated
+    when a retransmit timer pushes its deadline out or a watchdog
+    re-arms.  A reusable timer is single-shot per arm — firing disarms
+    it — and holds at most one pending deadline ({!rearm} on an armed
+    timer moves it). *)
+
+val timer : t -> (unit -> unit) -> handle
+(** An idle reusable timer with callback installed (free-listed). *)
+
+val set_fn : handle -> (unit -> unit) -> unit
+(** Replace the callback — for timers whose callback must reference the
+    record itself (build idle, then install). *)
+
+val rearm : t -> handle -> Simtime.t -> unit
+(** Arm (or move) the timer to fire [delay] from [now]. *)
+
+val rearm_at : t -> handle -> Simtime.t -> unit
+(** Arm (or move) the timer to fire at an absolute time (>= [now]). *)
+
+val stop : t -> handle -> unit
+(** Disarm without marking {!cancelled} — the timer can be re-armed. *)
+
+val armed : handle -> bool
+(** True while a deadline is pending (armed and not yet fired). *)
+
+val periodic : t -> every:Simtime.t -> (unit -> unit) -> handle
+(** A self-re-arming timer: fires every [every], starting one period
+    from now.  {!stop} pauses it; {!rearm} restarts it.  The re-arm
+    happens after the callback runs, and allocates nothing. *)
+
+val release : t -> handle -> unit
+(** Disarm and return a reusable timer to the free list.  The caller
+    must drop its reference — the record will be reused. *)
+
 val pending : t -> int
-(** Number of events still queued (including cancelled ones not yet
-    discarded). *)
+(** Number of events still queued (including cancelled heap entries not
+    yet discarded; cancelled wheel timers leave immediately). *)
+
+val events_fired : t -> int
+(** Callbacks actually invoked since [create] (skipped tombstones
+    excluded) — the denominator for events/sec soak budgets. *)
 
 exception Stuck of string
 (** Raised by [run] when [max_events] is exhausted — a guard against

@@ -1,0 +1,288 @@
+(* Hierarchical timing wheel.  See the .mli for the design overview.
+   Layout: [levels] arrays of [2^slot_bits] sentinel-headed intrusive
+   dlists; level l spans ticks of width 2^(l*slot_bits) relative to the
+   cursor [now_tick] (a tick is 2^tick_bits ns).  The cursor only moves
+   forward; slots strictly below it are empty.  Expiry sorts the slot
+   under the cursor into [ready] — exact (deadline, seq) order — and
+   the ready head doubles as the next-deadline cache. *)
+
+type timer = {
+  mutable fn : unit -> unit;
+  mutable deadline : Simtime.t;
+  mutable seq : int;
+  mutable where : int;
+  mutable cancelled : bool;
+  mutable pooled : bool;
+  mutable prev : timer;
+  mutable next : timer;
+}
+
+let w_none = -1
+let w_heap = -2
+let w_ready = 255
+
+let no_fn () = ()
+
+let make ~fn =
+  let rec tm =
+    { fn; deadline = 0; seq = 0; where = w_none; cancelled = false;
+      pooled = false; prev = tm; next = tm }
+  in
+  tm
+
+let sentinel () = make ~fn:no_fn
+
+type t = {
+  tick_bits : int;
+  slot_bits : int;
+  nlevels : int;
+  mask : int;                       (* 2^slot_bits - 1 *)
+  horizon_ticks : int;              (* 2^(nlevels * slot_bits) *)
+  slots : timer array array;        (* nlevels x 2^slot_bits sentinels *)
+  counts : int array;               (* live timers per level *)
+  ready : timer;                    (* sorted expired list, sentinel *)
+  mutable n_ready : int;
+  mutable n_pending : int;          (* slots + ready *)
+  mutable now_tick : int;           (* cursor; slots < now_tick empty *)
+  nil : timer;                      (* free-list terminator *)
+  mutable free : timer;             (* free list, chained via [next] *)
+  mutable n_free : int;
+  mutable n_scheduled : int;
+  mutable n_fired : int;
+  mutable n_cancels : int;
+  mutable n_cascades : int;
+  mutable n_near : int;
+  mutable n_far : int;
+}
+
+let create ?(tick_bits = 9) ?(slot_bits = 8) ?(levels = 3) ?(prealloc = 64)
+    () =
+  if levels < 1 || levels > 4 then invalid_arg "Timer_wheel.create: levels";
+  if tick_bits + levels * slot_bits > 61 then
+    invalid_arg "Timer_wheel.create: horizon exceeds int range";
+  let nslots = 1 lsl slot_bits in
+  let nil = sentinel () in
+  let t =
+    { tick_bits; slot_bits; nlevels = levels; mask = nslots - 1;
+      horizon_ticks = 1 lsl (levels * slot_bits);
+      slots = Array.init levels (fun _ -> Array.init nslots (fun _ -> sentinel ()));
+      counts = Array.make levels 0;
+      ready = sentinel (); n_ready = 0; n_pending = 0; now_tick = 0;
+      nil; free = nil; n_free = 0;
+      n_scheduled = 0; n_fired = 0; n_cancels = 0; n_cascades = 0;
+      n_near = 0; n_far = 0 }
+  in
+  for _ = 1 to prealloc do
+    let tm = make ~fn:no_fn in
+    tm.pooled <- true;
+    tm.next <- t.free;
+    t.free <- tm;
+    t.n_free <- t.n_free + 1
+  done;
+  t
+
+let alloc t fn =
+  if t.free == t.nil then begin
+    let tm = make ~fn in
+    tm.pooled <- true;
+    tm
+  end else begin
+    let tm = t.free in
+    t.free <- tm.next;
+    t.n_free <- t.n_free - 1;
+    tm.next <- tm;
+    tm.prev <- tm;
+    tm.fn <- fn;
+    tm.cancelled <- false;
+    tm
+  end
+
+let release t tm =
+  if tm.where <> w_none then invalid_arg "Timer_wheel.release: timer armed";
+  if tm.pooled then begin
+    tm.fn <- no_fn;
+    tm.prev <- tm;
+    tm.next <- t.free;
+    t.free <- tm;
+    t.n_free <- t.n_free + 1
+  end
+
+let set_fn tm fn = tm.fn <- fn
+
+let unlink tm =
+  tm.prev.next <- tm.next;
+  tm.next.prev <- tm.prev;
+  tm.prev <- tm;
+  tm.next <- tm
+
+let append_before sent tm =
+  let tail = sent.prev in
+  tail.next <- tm;
+  tm.prev <- tail;
+  tm.next <- sent;
+  sent.prev <- tm
+
+(* Place [tm] into the slot its deadline selects, given the current
+   cursor.  Pre: 0 <= rel < horizon_ticks.  Does not touch n_pending. *)
+let rec level_for t rel l =
+  if rel asr ((l + 1) * t.slot_bits) = 0 then l else level_for t rel (l + 1)
+
+let place t tm =
+  let dtick = tm.deadline asr t.tick_bits in
+  let rel = dtick - t.now_tick in
+  let level = level_for t rel 0 in
+  let idx = (dtick asr (level * t.slot_bits)) land t.mask in
+  append_before t.slots.(level).(idx) tm;
+  t.counts.(level) <- t.counts.(level) + 1;
+  tm.where <- level
+
+let try_schedule t ~now tm =
+  if t.n_pending = 0 then t.now_tick <- now asr t.tick_bits;
+  let rel = (tm.deadline asr t.tick_bits) - t.now_tick in
+  if rel < 0 then begin
+    (* Inside the swept window (e.g. a zero-delay event, or a deadline
+       in the slot already sorted into [ready]). *)
+    t.n_near <- t.n_near + 1;
+    false
+  end else if rel >= t.horizon_ticks then begin
+    t.n_far <- t.n_far + 1;
+    false
+  end else begin
+    place t tm;
+    t.n_pending <- t.n_pending + 1;
+    t.n_scheduled <- t.n_scheduled + 1;
+    true
+  end
+
+let cancel t tm =
+  let w = tm.where in
+  if w = w_ready then begin
+    unlink tm;
+    tm.where <- w_none;
+    t.n_ready <- t.n_ready - 1;
+    t.n_pending <- t.n_pending - 1;
+    t.n_cancels <- t.n_cancels + 1
+  end else if w >= 0 && w < t.nlevels then begin
+    unlink tm;
+    tm.where <- w_none;
+    t.counts.(w) <- t.counts.(w) - 1;
+    t.n_pending <- t.n_pending - 1;
+    t.n_cancels <- t.n_cancels + 1
+  end
+
+(* Redistribute the level-[l] slot under the cursor into finer levels.
+   Every timer there has rel < 2^(l*slot_bits), so [place] puts it at a
+   strictly lower level (or, when rel = 0, level 0 at the cursor). *)
+let cascade t l =
+  let idx = (t.now_tick asr (l * t.slot_bits)) land t.mask in
+  let s = t.slots.(l).(idx) in
+  while s.next != s do
+    let tm = s.next in
+    unlink tm;
+    t.counts.(l) <- t.counts.(l) - 1;
+    t.n_cascades <- t.n_cascades + 1;
+    place t tm
+  done
+
+let by_deadline_seq a b =
+  if a.deadline <> b.deadline then compare a.deadline b.deadline
+  else compare a.seq b.seq
+
+(* Sort the level-0 slot under the cursor into [ready].  A slot usually
+   holds one timer; that case moves it without allocating. *)
+let collect t =
+  let s = t.slots.(0).(t.now_tick land t.mask) in
+  let first = s.next in
+  if first.next == s then begin
+    unlink first;
+    t.counts.(0) <- t.counts.(0) - 1;
+    first.where <- w_ready;
+    append_before t.ready first;
+    t.n_ready <- t.n_ready + 1
+  end
+  else begin
+    let rec take acc n =
+      if s.next == s then (acc, n)
+      else begin
+        let tm = s.next in
+        unlink tm;
+        take (tm :: acc) (n + 1)
+      end
+    in
+    let batch, n = take [] 0 in
+    t.counts.(0) <- t.counts.(0) - n;
+    List.iter
+      (fun tm ->
+        tm.where <- w_ready;
+        append_before t.ready tm;
+        t.n_ready <- t.n_ready + 1)
+      (List.sort by_deadline_seq batch)
+  end
+
+(* Advance the cursor until [ready] is non-empty.  Pre: n_pending >
+   n_ready = 0, so some slot is occupied and the loop terminates.
+   Cascade checks are idempotent (a cascaded slot is empty), so it is
+   safe to re-test boundaries on every iteration. *)
+let advance t =
+  while t.n_ready = 0 do
+    for l = t.nlevels - 1 downto 1 do
+      if t.now_tick land ((1 lsl (l * t.slot_bits)) - 1) = 0 then cascade t l
+    done;
+    if t.counts.(0) > 0 then begin
+      let s = t.slots.(0).(t.now_tick land t.mask) in
+      if s.next != s then begin
+        collect t;
+        (* The collected slot is consumed: deadlines at this tick now
+           arrive via the near-reject heap path, never behind the sorted
+           ready batch. *)
+        t.now_tick <- t.now_tick + 1
+      end
+      else t.now_tick <- t.now_tick + 1
+    end
+    else begin
+      (* Level 0 empty: jump to the next boundary of the lowest occupied
+         level.  One boundary at a time, so no cascade is skipped. *)
+      let l = ref 1 in
+      while !l < t.nlevels - 1 && t.counts.(!l) = 0 do incr l done;
+      let span = (1 lsl (!l * t.slot_bits)) - 1 in
+      t.now_tick <- (t.now_tick lor span) + 1
+    end
+  done
+
+let next_deadline t =
+  if t.n_ready > 0 then t.ready.next.deadline
+  else if t.n_pending = 0 then max_int
+  else begin
+    advance t;
+    t.ready.next.deadline
+  end
+
+let expired_seq t ~time ~seq_below =
+  if t.n_ready = 0 then max_int
+  else begin
+    let head = t.ready.next in
+    if head.deadline = time && head.seq < seq_below then head.seq
+    else max_int
+  end
+
+let pop_expired t =
+  let tm = t.ready.next in
+  unlink tm;
+  tm.where <- w_none;
+  t.n_ready <- t.n_ready - 1;
+  t.n_pending <- t.n_pending - 1;
+  t.n_fired <- t.n_fired + 1;
+  tm
+
+let horizon t = t.horizon_ticks lsl t.tick_bits
+let pending t = t.n_pending
+let ready_len t = t.n_ready
+let level_count t l = t.counts.(l)
+let levels t = t.nlevels
+let free_len t = t.n_free
+let scheduled t = t.n_scheduled
+let fired t = t.n_fired
+let cancels t = t.n_cancels
+let cascades t = t.n_cascades
+let near_rejects t = t.n_near
+let far_rejects t = t.n_far

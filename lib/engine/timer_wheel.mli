@@ -1,0 +1,119 @@
+(** Hierarchical timing wheel: the O(1) home for delay-class timers.
+
+    The simulator's event population is dominated by timers that are
+    re-armed or cancelled long before they fire — TCP retransmission and
+    delayed-ack timers, driver watchdogs, lost-interrupt poll timers.  In
+    a binary heap every one of those costs O(log n) to schedule and a
+    tombstone that stays in the heap until its deadline when cancelled.
+    The wheel makes all three hot operations O(1):
+
+    - {b schedule}: hash the deadline into a slot (2–3 levels of
+      power-of-two slots, far deadlines in coarser levels) and append to
+      the slot's intrusive doubly-linked list;
+    - {b cancel}: unlink the record from whatever list holds it — the
+      timer is gone immediately, no tombstone;
+    - {b re-arm}: unlink + relink, reusing the same record and callback,
+      so the steady-state re-arm path allocates nothing.
+
+    Timer records are preallocated and free-listed ({!alloc}/{!release});
+    one-shot handles that escape to callers use {!make} and are GC-owned.
+
+    Exactness: the wheel does NOT round deadlines to tick granularity.
+    Records carry their exact [deadline] and a scheduler-wide [seq], and
+    expiry hands timers back in exact (deadline, seq) order: when the
+    cursor reaches a slot, the slot's (small) population is sorted once
+    into the [ready] list.  [Sim] merges that stream with its binary heap
+    so firing order is byte-identical to a heap-only scheduler.
+
+    Deadlines the wheel cannot place — already inside the swept window
+    ("near", e.g. zero-delay events) or beyond the top level's horizon
+    ("far") — are rejected and the caller keeps them on the heap. *)
+
+type timer = {
+  mutable fn : unit -> unit;  (** callback, reused across re-arms *)
+  mutable deadline : Simtime.t;  (** exact expiry, not tick-rounded *)
+  mutable seq : int;  (** scheduler-wide FIFO tiebreak, set by [Sim] *)
+  mutable where : int;
+      (** location: {!w_none}, {!w_heap}, a wheel level, or {!w_ready} *)
+  mutable cancelled : bool;  (** user-visible cancel flag (see [Sim]) *)
+  mutable pooled : bool;  (** allocated from the free list *)
+  mutable prev : timer;  (** intrusive dlist; self-linked when unlinked *)
+  mutable next : timer;
+}
+
+val w_none : int
+(** Not scheduled anywhere (idle, fired, or cancelled). *)
+
+val w_heap : int
+(** Resident in the caller's event heap (near/far reject fallback). *)
+
+val w_ready : int
+(** In the sorted expired list, waiting for [Sim] to fire it. *)
+
+type t
+
+val create :
+  ?tick_bits:int -> ?slot_bits:int -> ?levels:int -> ?prealloc:int ->
+  unit -> t
+(** [tick_bits] (default 9): level-0 granularity is [2^tick_bits] ns.
+    [slot_bits] (default 8): [2^slot_bits] slots per level.
+    [levels] (default 3): horizon is [2^(tick_bits + levels*slot_bits)] ns
+    (≈ 8.6 s with the defaults).
+    [prealloc] (default 64): timer records built up front on the free
+    list. *)
+
+val make : fn:(unit -> unit) -> timer
+(** A fresh, GC-owned record (for one-shot handles that escape). *)
+
+val alloc : t -> (unit -> unit) -> timer
+(** Pop a record from the free list (or build one), install [fn]. *)
+
+val release : t -> timer -> unit
+(** Return an idle record to the free list and drop its callback.
+    The record must not be scheduled ([where = w_none]). *)
+
+val set_fn : timer -> (unit -> unit) -> unit
+(** Swap the callback (for self-referential timer setup). *)
+
+val try_schedule : t -> now:Simtime.t -> timer -> bool
+(** Place [tm] (with [deadline] and [seq] already set) in the wheel.
+    [false] when the deadline is near (inside the swept window — e.g. a
+    zero-delay event) or beyond the horizon; the caller then owns heap
+    placement.  [now] re-anchors an empty wheel's cursor. *)
+
+val cancel : t -> timer -> unit
+(** O(1) unlink from its slot or the ready list.  No-op if not wheel
+    resident. *)
+
+val next_deadline : t -> Simtime.t
+(** Exact earliest pending deadline, or [max_int] when empty.  Advances
+    the cursor (cascading coarser levels) until the earliest occupied
+    slot has been sorted into the ready list; subsequent calls are O(1)
+    until that batch is consumed. *)
+
+val expired_seq : t -> time:Simtime.t -> seq_below:int -> int
+(** [seq] of the ready-list head if it expires exactly at [time] with
+    [seq < seq_below]; [max_int] otherwise.  Never advances the cursor. *)
+
+val pop_expired : t -> timer
+(** Unlink and return the ready-list head (caller checked
+    {!expired_seq}). *)
+
+val horizon : t -> Simtime.t
+(** Width of the schedulable window, in ns. *)
+
+(** {2 Introspection (Obs export, tests)} *)
+
+val pending : t -> int
+(** Timers resident in slots plus the ready list. *)
+
+val ready_len : t -> int
+val level_count : t -> int -> int
+val levels : t -> int
+val free_len : t -> int
+val scheduled : t -> int
+val fired : t -> int
+val cancels : t -> int
+val cascades : t -> int
+val near_rejects : t -> int
+val far_rejects : t -> int

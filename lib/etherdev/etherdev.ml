@@ -11,19 +11,40 @@ and segment = {
   rate : float;
   mutable stations : t list;
   mutable frames : int;
+  (* Propagation delay line: (arrival time, station, frame) in FIFO
+     order drained by one reusable timer — arrival times are
+     non-decreasing because the medium serializes transmissions, so the
+     head is always next and per-delivery closures are gone. *)
+  pipe : (Simtime.t * t * Bytes.t) Queue.t;
+  timer : Sim.handle;
 }
 
 let broadcast = 0xffffffffffff
 
+let arrive seg =
+  match Queue.take_opt seg.pipe with
+  | None -> ()
+  | Some (_, st, frame) ->
+      st.rx frame;
+      (match Queue.peek_opt seg.pipe with
+      | Some (due, _, _) -> Sim.rearm_at seg.sim seg.timer due
+      | None -> ())
+
 let create_segment ~sim ?(rate = 10e6 /. 8.) ?(latency = Simtime.us 5.) () =
-  {
-    sim;
-    medium = Resource.create ~sim ~name:"ether.medium";
-    latency;
-    rate;
-    stations = [];
-    frames = 0;
-  }
+  let seg =
+    {
+      sim;
+      medium = Resource.create ~sim ~name:"ether.medium";
+      latency;
+      rate;
+      stations = [];
+      frames = 0;
+      pipe = Queue.create ();
+      timer = Sim.timer sim ignore;
+    }
+  in
+  Sim.set_fn seg.timer (fun () -> arrive seg);
+  seg
 
 let attach seg ~mac =
   let t = { mac_addr = mac; rx = (fun _ -> ()); seg } in
@@ -43,15 +64,18 @@ let transmit t frame =
       match Ether_frame.decode frame ~off:0 with
       | Error _ -> ()
       | Ok hdr ->
+          let due = Simtime.add (Sim.now seg.sim) seg.latency in
           List.iter
             (fun st ->
               if
                 st != t
                 && (st.mac_addr = hdr.Ether_frame.dst
                    || hdr.Ether_frame.dst = broadcast)
-              then
-                ignore
-                  (Sim.after seg.sim seg.latency (fun () -> st.rx frame)))
+              then begin
+                Queue.push (due, st, frame) seg.pipe;
+                if not (Sim.armed seg.timer) then
+                  Sim.rearm_at seg.sim seg.timer due
+              end)
             seg.stations)
 
 let frames_carried seg = seg.frames

@@ -15,6 +15,7 @@ type seed_report = {
   adaptor_resets : int;
   pin_fallbacks : int;
   netmem_failures : int;
+  events : int;  (** simulator events dispatched over the whole seed *)
   policy : Path_policy.stats option;
   ok : bool;
 }
@@ -173,6 +174,7 @@ let run_seed ?(wsize = 64 * 1024) ?(total = 2 * 1024 * 1024)
     netmem_failures =
       Netmem.failures (Cab.netmem tb.Testbed.a.Testbed.cab)
       + Netmem.failures (Cab.netmem tb.Testbed.b.Testbed.cab);
+    events = Sim.events_fired sim;
     policy =
       (match !handles with
       | Some (sa, _) -> Option.map Path_policy.stats (Socket.path_policy sa)
@@ -184,6 +186,7 @@ let run_storm ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?wsize ?total () =
   List.map (fun seed -> run_seed ?wsize ?total seed) seeds
 
 let all_ok reports = List.for_all (fun r -> r.ok) reports
+let total_events reports = List.fold_left (fun a r -> a + r.events) 0 reports
 
 let print reports =
   Tabulate.print_header

@@ -39,6 +39,7 @@ type seed_report = {
   adaptor_resets : int;
   pin_fallbacks : int;
   netmem_failures : int;
+  events : int;  (** simulator events dispatched over the whole seed *)
   policy : Path_policy.stats option;  (** sender's adaptive routing *)
   ok : bool;  (** completed && verified && leaks = [] *)
 }
@@ -55,5 +56,9 @@ val run_storm : ?seeds:int list -> ?wsize:int -> ?total:int -> unit -> seed_repo
 (** Soak each seed in turn (default seeds 1..8). *)
 
 val all_ok : seed_report list -> bool
+
+val total_events : seed_report list -> int
+(** Sum of simulator events dispatched across all seeds — the soak's
+    event-volume denominator for the CI wall-clock budget gate. *)
 
 val print : seed_report list -> unit

@@ -2,12 +2,24 @@ let line_rate = 100e6
 
 type side = A | B
 
+(* Each direction is a serialization resource feeding a delay line: a
+   FIFO of (arrival time, frame) drained by one reusable timer.  Frames
+   enter at serialization completion and arrive [latency] later;
+   arrival times are non-decreasing (the resource serializes), so the
+   head of the FIFO is always the next arrival and one timer per
+   direction replaces a per-frame closure + handle. *)
+type dir = {
+  res : Resource.t;
+  pipe : (Simtime.t * Bytes.t) Queue.t;
+  timer : Sim.handle;
+}
+
 type t = {
   sim : Sim.t;
   rate : float;
   latency : Simtime.t;
-  a2b : Resource.t;
-  b2a : Resource.t;
+  a2b : dir;
+  b2a : dir;
   mutable rx_a : Bytes.t -> unit;
   mutable rx_b : Bytes.t -> unit;
   mutable carried : int;
@@ -15,58 +27,81 @@ type t = {
   mutable dropped : int;
 }
 
+(* Wire faults happen after serialization, at the instant the frame
+   reaches the far end.  A corrupted frame has one byte XORed — the
+   receiving engine's checksum (or the host-verified header prefix)
+   catches it and TCP retransmission heals it.  A dropped frame never
+   arrives; its buffer is recycled so the soak leak check stays honest
+   about what the wire ate. *)
+let deliver t rx frame =
+  if Fault.fire "wire.drop" then begin
+    t.dropped <- t.dropped + 1;
+    Bufpool.put Bufpool.shared frame
+  end
+  else begin
+    (match Fault.fire_at "wire.corrupt" ~bound:(Bytes.length frame) with
+    | Some i ->
+        t.corrupted <- t.corrupted + 1;
+        Bytes.set frame i
+          (Char.chr (Char.code (Bytes.get frame i) lxor 0x40))
+    | None -> ());
+    rx frame
+  end
+
+let arrive t dir rx =
+  match Queue.take_opt dir.pipe with
+  | None -> ()
+  | Some (_, frame) ->
+      deliver t rx frame;
+      (match Queue.peek_opt dir.pipe with
+      | Some (due, _) -> Sim.rearm_at t.sim dir.timer due
+      | None -> ())
+
 let create ~sim ?(rate = line_rate) ?(latency = Simtime.us 1.) () =
-  {
-    sim;
-    rate;
-    latency;
-    a2b = Resource.create ~sim ~name:"link.a2b";
-    b2a = Resource.create ~sim ~name:"link.b2a";
-    rx_a = (fun _ -> invalid_arg "Hippi_link: no rx on side A");
-    rx_b = (fun _ -> invalid_arg "Hippi_link: no rx on side B");
-    carried = 0;
-    corrupted = 0;
-    dropped = 0;
-  }
+  let mk name =
+    { res = Resource.create ~sim ~name;
+      pipe = Queue.create ();
+      timer = Sim.timer sim ignore }
+  in
+  let t =
+    {
+      sim;
+      rate;
+      latency;
+      a2b = mk "link.a2b";
+      b2a = mk "link.b2a";
+      rx_a = (fun _ -> invalid_arg "Hippi_link: no rx on side A");
+      rx_b = (fun _ -> invalid_arg "Hippi_link: no rx on side B");
+      carried = 0;
+      corrupted = 0;
+      dropped = 0;
+    }
+  in
+  (* The receivers are installed later ([set_rx]), so the arrival
+     callbacks read them through [t] at fire time. *)
+  Sim.set_fn t.a2b.timer (fun () -> arrive t t.a2b (fun f -> t.rx_b f));
+  Sim.set_fn t.b2a.timer (fun () -> arrive t t.b2a (fun f -> t.rx_a f));
+  t
 
 let set_rx t side f =
   match side with A -> t.rx_a <- f | B -> t.rx_b <- f
 
 let send t ~from frame =
-  let dir, rx =
-    match from with A -> (t.a2b, fun f -> t.rx_b f) | B -> (t.b2a, fun f -> t.rx_a f)
-  in
-  let deliver () =
-    (* Wire faults happen after serialization, at the instant the frame
-       reaches the far end.  A corrupted frame has one byte XORed — the
-       receiving engine's checksum (or the host-verified header prefix)
-       catches it and TCP retransmission heals it.  A dropped frame never
-       arrives; its buffer is recycled so the soak leak check stays honest
-       about what the wire ate. *)
-    if Fault.fire "wire.drop" then begin
-      t.dropped <- t.dropped + 1;
-      Bufpool.put Bufpool.shared frame
-    end
-    else begin
-      (match Fault.fire_at "wire.corrupt" ~bound:(Bytes.length frame) with
-      | Some i ->
-          t.corrupted <- t.corrupted + 1;
-          Bytes.set frame i
-            (Char.chr (Char.code (Bytes.get frame i) lxor 0x40))
-      | None -> ());
-      rx frame
-    end
-  in
+  let dir = match from with A -> t.a2b | B -> t.b2a in
   let ser =
     Simtime.of_bytes_at_rate ~bytes_per_s:t.rate (Bytes.length frame)
   in
-  Resource.acquire dir ser (fun () ->
+  Resource.acquire dir.res ser (fun () ->
       t.carried <- t.carried + Bytes.length frame;
-      ignore (Sim.after t.sim t.latency deliver))
+      let due = Simtime.add (Sim.now t.sim) t.latency in
+      Queue.push (due, frame) dir.pipe;
+      if not (Sim.armed dir.timer) then Sim.rearm_at t.sim dir.timer due)
 
 let bytes_carried t = t.carried
 let frames_corrupted t = t.corrupted
 let frames_dropped t = t.dropped
 
 let busy_time t side =
-  match side with A -> Resource.busy_time t.a2b | B -> Resource.busy_time t.b2a
+  match side with
+  | A -> Resource.busy_time t.a2b.res
+  | B -> Resource.busy_time t.b2a.res

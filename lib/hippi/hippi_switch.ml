@@ -22,13 +22,29 @@ type t = {
   mutable out_busy : bool array;
   out_busy_time : Simtime.t array;
   rx : (Bytes.t -> unit) array;
+  (* Per-output-port delay line for the crossbar→station latency hop:
+     [out_busy] serializes each output, so arrival times per port are
+     non-decreasing and one reusable timer per port replaces a closure
+     per frame. *)
+  pipes : (Simtime.t * Bytes.t) Queue.t array;
+  dtimers : Sim.handle array;
   mutable frames : int;
   mutable bytes : int;
 }
 
+let arrive t dst =
+  match Queue.take_opt t.pipes.(dst) with
+  | None -> ()
+  | Some (_, payload) ->
+      t.rx.(dst) payload;
+      (match Queue.peek_opt t.pipes.(dst) with
+      | Some (due, _) -> Sim.rearm_at t.sim t.dtimers.(dst) due
+      | None -> ())
+
 let create ~sim ~ports ?(rate = Hippi_link.line_rate)
     ?(latency = Simtime.us 1.) discipline =
   if ports <= 0 then invalid_arg "Hippi_switch.create: ports";
+  let t =
   {
     sim;
     nports = ports;
@@ -47,9 +63,16 @@ let create ~sim ~ports ?(rate = Hippi_link.line_rate)
     out_busy = Array.make ports false;
     out_busy_time = Array.make ports 0;
     rx = Array.make ports (fun _ -> ());
+    pipes = Array.init ports (fun _ -> Queue.create ());
+    dtimers = Array.init ports (fun _ -> Sim.timer sim ignore);
     frames = 0;
     bytes = 0;
   }
+  in
+  Array.iteri
+    (fun dst tm -> Sim.set_fn tm (fun () -> arrive t dst))
+    t.dtimers;
+  t
 
 let ports t = t.nports
 let mac t = t.discipline
@@ -114,9 +137,11 @@ let rec try_start t i =
                t.out_busy.(f.dst) <- false;
                t.frames <- t.frames + 1;
                t.bytes <- t.bytes + Bytes.length f.payload;
-               let payload = f.payload in
                let dst = f.dst in
-               ignore (Sim.after t.sim t.latency (fun () -> t.rx.(dst) payload));
+               let due = Simtime.add (Sim.now t.sim) t.latency in
+               Queue.push (due, f.payload) t.pipes.(dst);
+               if not (Sim.armed t.dtimers.(dst)) then
+                 Sim.rearm_at t.sim t.dtimers.(dst) due;
                (* The freed output may unblock any input; the freed input
                   may have more queued. *)
                for j = 0 to t.nports - 1 do

@@ -4,7 +4,7 @@ type entry = {
   mutable buf : Bytes.t;
   mutable covered : (int * int) list;  (* sorted disjoint (off, len) *)
   mutable total : int option;  (* known once the MF=0 fragment arrives *)
-  mutable timer : Sim.handle;
+  timer : Sim.handle;  (* reusable; released when the entry dies *)
   hdr : Ipv4_header.t;  (* from the first fragment seen *)
 }
 
@@ -62,24 +62,23 @@ let input t ~hdr chain =
     match Hashtbl.find_opt t.entries key with
     | Some e -> e
     | None ->
+        let sim = t.host.Host.sim in
         let e =
           {
             buf = Bytes.create (max 4096 (off + len));
             covered = [];
             total = None;
-            timer =
-              Sim.after t.host.Host.sim t.timeout (fun () ->
-                  (* give the real handle below *) ());
+            timer = Sim.timer sim ignore;
             hdr;
           }
         in
-        Sim.cancel e.timer;
-        e.timer <-
-          Sim.after t.host.Host.sim t.timeout (fun () ->
-              if Hashtbl.mem t.entries key then begin
-                Hashtbl.remove t.entries key;
-                t.n_timeouts <- t.n_timeouts + 1
-              end);
+        Sim.set_fn e.timer (fun () ->
+            if Hashtbl.mem t.entries key then begin
+              Hashtbl.remove t.entries key;
+              t.n_timeouts <- t.n_timeouts + 1
+            end;
+            Sim.release sim e.timer);
+        Sim.rearm sim e.timer t.timeout;
         Hashtbl.add t.entries key e;
         e
   in
@@ -97,7 +96,7 @@ let input t ~hdr chain =
   entry.covered <- merge entry.covered (off, len);
   if not hdr.Ipv4_header.more_fragments then entry.total <- Some (off + len);
   if complete entry then begin
-    Sim.cancel entry.timer;
+    Sim.release t.host.Host.sim entry.timer;
     Hashtbl.remove t.entries key;
     t.n_reassembled <- t.n_reassembled + 1;
     let total = Option.get entry.total in

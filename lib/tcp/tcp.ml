@@ -143,10 +143,14 @@ type pcb = {
   (* MSS *)
   mutable mss_val : int;
   (* timers *)
-  mutable rexmt_timer : Sim.handle option;
-  mutable delack_timer : Sim.handle option;
-  mutable persist_timer : Sim.handle option;
-  mutable time_wait_timer : Sim.handle option;
+  (* Reusable timers ([Sim.timer]): one record + one callback per pcb
+     for the whole connection lifetime, re-armed in place so the RTO /
+     delayed-ack hot paths allocate nothing.  [Sim.armed] replaces the
+     old [option] state. *)
+  rexmt_timer : Sim.handle;
+  delack_timer : Sim.handle;
+  persist_timer : Sim.handle;
+  time_wait_timer : Sim.handle;
   (* RTT estimation (Jacobson/Karn) *)
   mutable srtt : Simtime.t;  (* 0 = no sample yet *)
   mutable rttvar : Simtime.t;
@@ -234,19 +238,10 @@ let pp_pcb fmt pcb =
 
 (* ---------- timers ---------- *)
 
-let stop_timer = function Some h -> Sim.cancel h | None -> ()
-
-let cancel_rexmt pcb =
-  stop_timer pcb.rexmt_timer;
-  pcb.rexmt_timer <- None
-
-let cancel_delack pcb =
-  stop_timer pcb.delack_timer;
-  pcb.delack_timer <- None
-
-let cancel_persist pcb =
-  stop_timer pcb.persist_timer;
-  pcb.persist_timer <- None
+let sim_of pcb = pcb.tcp.hst.Host.sim
+let cancel_rexmt pcb = Sim.stop (sim_of pcb) pcb.rexmt_timer
+let cancel_delack pcb = Sim.stop (sim_of pcb) pcb.delack_timer
+let cancel_persist pcb = Sim.stop (sim_of pcb) pcb.persist_timer
 
 (* ---------- window / mss helpers ---------- *)
 
@@ -441,7 +436,7 @@ let remove_pcb pcb =
   cancel_rexmt pcb;
   cancel_delack pcb;
   cancel_persist pcb;
-  stop_timer pcb.time_wait_timer;
+  Sim.stop (sim_of pcb) pcb.time_wait_timer;
   Tcp_sendq.clear pcb.sendq;
   List.iter Mbuf.free pcb.rcvq;
   pcb.rcvq <- [];
@@ -457,11 +452,7 @@ let to_closed pcb =
 let enter_time_wait pcb =
   pcb.st <- Time_wait;
   cancel_rexmt pcb;
-  let h =
-    Sim.after pcb.tcp.hst.Host.sim (2 * pcb.tcp.cfg.msl) (fun () ->
-        to_closed pcb)
-  in
-  pcb.time_wait_timer <- Some h
+  Sim.rearm (sim_of pcb) pcb.time_wait_timer (2 * pcb.tcp.cfg.msl)
 
 (* ---------- retransmission timer ---------- *)
 
@@ -478,14 +469,7 @@ let update_rtt pcb sample =
   let rto = pcb.srtt + (4 * pcb.rttvar) in
   pcb.rto <- max pcb.tcp.cfg.rto_min (min pcb.tcp.cfg.rto_max rto)
 
-let rec arm_rexmt pcb =
-  cancel_rexmt pcb;
-  let h =
-    Sim.after pcb.tcp.hst.Host.sim pcb.rto (fun () ->
-        pcb.rexmt_timer <- None;
-        rto_fire pcb)
-  in
-  pcb.rexmt_timer <- Some h
+let rec arm_rexmt pcb = Sim.rearm (sim_of pcb) pcb.rexmt_timer pcb.rto
 
 and rto_fire pcb =
   match pcb.st with
@@ -554,7 +538,7 @@ and send_control pcb ~flags () =
       if is_syn || is_fin then begin
         pcb.snd_nxt <- Tcp_seq.add pcb.snd_nxt 1;
         pcb.snd_max <- Tcp_seq.max pcb.snd_max pcb.snd_nxt;
-        if pcb.rexmt_timer = None then arm_rexmt pcb
+        if not (Sim.armed pcb.rexmt_timer) then arm_rexmt pcb
       end
   | Error _ -> ())
 
@@ -686,7 +670,7 @@ and transmit_plan pcb plan =
                 Some (pcb.snd_nxt, Sim.now pcb.tcp.hst.Host.sim)
           end;
           pcb.snd_max <- Tcp_seq.max pcb.snd_max pcb.snd_nxt;
-          if pcb.rexmt_timer = None then arm_rexmt pcb
+          if not (Sim.armed pcb.rexmt_timer) then arm_rexmt pcb
       | Error "outboard data on legacy path" ->
           (* The route moved to a device that cannot read outboard data
              (§4.1's "stack switch" hazard): copy the range back from
@@ -748,26 +732,24 @@ and pump ?(proc = "kernel") ?(intr = false) pcb =
    update cannot deadlock the connection.  Rearms with backoff while the
    window stays closed. *)
 let rec arm_persist pcb =
-  if pcb.persist_timer = None then begin
+  if not (Sim.armed pcb.persist_timer) then begin
     let delay = max pcb.rto (Simtime.ms 10.) in
-    let h =
-      Sim.after pcb.tcp.hst.Host.sim delay (fun () ->
-          pcb.persist_timer <- None;
-          let off = Tcp_seq.diff pcb.snd_nxt pcb.snd_una in
-          if pcb.snd_wnd = 0 && Tcp_sendq.length pcb.sendq > off then begin
-            let payload = Tcp_sendq.range pcb.sendq ~off ~len:1 in
-            (match
-               emit pcb ~seq:pcb.snd_nxt ~flags:[ Tcp_header.ACK ]
-                 ~options:[] ~payload:(Some payload)
-             with
-            | Ok () ->
-                pcb.snd_nxt <- Tcp_seq.add pcb.snd_nxt 1;
-                pcb.snd_max <- Tcp_seq.max pcb.snd_max pcb.snd_nxt
-            | Error _ -> ());
-            arm_persist pcb
-          end)
-    in
-    pcb.persist_timer <- Some h
+    Sim.rearm (sim_of pcb) pcb.persist_timer delay
+  end
+
+and persist_fire pcb =
+  let off = Tcp_seq.diff pcb.snd_nxt pcb.snd_una in
+  if pcb.snd_wnd = 0 && Tcp_sendq.length pcb.sendq > off then begin
+    let payload = Tcp_sendq.range pcb.sendq ~off ~len:1 in
+    (match
+       emit pcb ~seq:pcb.snd_nxt ~flags:[ Tcp_header.ACK ] ~options:[]
+         ~payload:(Some payload)
+     with
+    | Ok () ->
+        pcb.snd_nxt <- Tcp_seq.add pcb.snd_nxt 1;
+        pcb.snd_max <- Tcp_seq.max pcb.snd_max pcb.snd_nxt
+    | Error _ -> ());
+    arm_persist pcb
   end
 
 (* ---------- receive-side checksum verification ---------- *)
@@ -846,15 +828,13 @@ let schedule_ack pcb =
   end
   else begin
     pcb.ack_pending <- true;
-    let h =
-      Sim.after pcb.tcp.hst.Host.sim pcb.tcp.cfg.delack_delay (fun () ->
-          pcb.delack_timer <- None;
-          if pcb.ack_pending then begin
-            pcb.ack_pending <- false;
-            send_ack_now pcb
-          end)
-    in
-    pcb.delack_timer <- Some h
+    Sim.rearm (sim_of pcb) pcb.delack_timer pcb.tcp.cfg.delack_delay
+  end
+
+let delack_fire pcb =
+  if pcb.ack_pending then begin
+    pcb.ack_pending <- false;
+    send_ack_now pcb
   end
 
 (* ---------- input processing ---------- *)
@@ -1142,10 +1122,10 @@ let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
       rcvq_len = 0;
       reasm = Tcp_reasm.create ();
       mss_val = default_mss tcp ~dst:raddr;
-      rexmt_timer = None;
-      delack_timer = None;
-      persist_timer = None;
-      time_wait_timer = None;
+      rexmt_timer = Sim.timer tcp.hst.Host.sim ignore;
+      delack_timer = Sim.timer tcp.hst.Host.sim ignore;
+      persist_timer = Sim.timer tcp.hst.Host.sim ignore;
+      time_wait_timer = Sim.timer tcp.hst.Host.sim ignore;
       srtt = 0;
       rttvar = 0;
       rto = tcp.cfg.rto_init;
@@ -1171,6 +1151,12 @@ let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
       stats = zero_stats;
     }
   in
+  (* The timer callbacks need the pcb, so they are installed after the
+     record exists; each is allocated once for the connection's life. *)
+  Sim.set_fn pcb.rexmt_timer (fun () -> rto_fire pcb);
+  Sim.set_fn pcb.delack_timer (fun () -> delack_fire pcb);
+  Sim.set_fn pcb.persist_timer (fun () -> persist_fire pcb);
+  Sim.set_fn pcb.time_wait_timer (fun () -> to_closed pcb);
   tcp.conns <- ((lport, raddr, rport), pcb) :: tcp.conns;
   pcb
 

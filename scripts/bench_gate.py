@@ -29,7 +29,18 @@ Machine-independent invariants are checked unconditionally:
     untraced one) stays per-event — a ratio past 1.5x means tracing
     leaked onto a per-byte path.
 
-Usage: bench_gate.py BASELINE CURRENT
+When MICRO (a BENCH_micro.json) is given, the timer-core rows are gated
+too: the O(1)-wheel claim is held as a machine-independent ratio inside
+the same file (heap churn / wheel churn >= 5x), and each timer row is
+anchor-normalized by the unrelated mbuf/of_bytes row and compared
+against the "micro" section of the baseline at the same +-15%.
+
+Soak mode (bench_gate.py --soak BENCH_soak.json --budget-s N) gates the
+fault-storm soak's wall clock: all seeds ok and wall_s <= N, with the
+dispatched event count reported so the 5x-volume claim is auditable.
+
+Usage: bench_gate.py BASELINE CURRENT [MICRO]
+       bench_gate.py --soak SOAK_JSON --budget-s SECONDS
 """
 
 import json
@@ -37,6 +48,8 @@ import sys
 
 TOLERANCE = 0.15
 ANCHOR = "ttcp-4K-unmodified"
+MICRO_ANCHOR = "micro mbuf/of_bytes-32K"
+TIMER_SPEEDUP_MIN = 5.0
 
 
 def load(path):
@@ -52,10 +65,101 @@ def normalized(data):
     return {k: v["ns_per_run"] / anchor for k, v in data.items()}
 
 
-def main(baseline_path, current_path):
+def micro_gate(base_micro, micro_path, failures, warnings):
+    """Timer-core micro gate: same-file >=5x churn ratio plus
+    anchor-normalized drift vs the baseline's "micro" section."""
+    with open(micro_path) as f:
+        cur = json.load(f)
+
+    wheel = cur.get("micro timer/churn-wheel")
+    heap = cur.get("micro timer/churn-heap")
+    if wheel is None or heap is None:
+        failures.append(f"{micro_path}: missing timer churn row pair")
+    else:
+        ratio = heap / wheel
+        print(f"  timer churn speedup (heap/wheel): {ratio:.1f}x")
+        if ratio < TIMER_SPEEDUP_MIN:
+            failures.append(
+                f"timer churn speedup {ratio:.1f}x below the "
+                f"{TIMER_SPEEDUP_MIN:.0f}x floor: the wheel lost its O(1) "
+                "schedule/re-arm/cancel advantage"
+            )
+    fw = cur.get("micro timer/fire-wheel")
+    fh = cur.get("micro timer/fire-heap")
+    if fw is None or fh is None:
+        failures.append(f"{micro_path}: missing timer fire row pair")
+    elif fw > fh:
+        failures.append(
+            f"timer fire: wheel dispatch ({fw:.0f} ns) slower than heap "
+            f"({fh:.0f} ns)"
+        )
+
+    if base_micro is None:
+        warnings.append("baseline has no micro section; timer drift unchecked")
+        return
+    if MICRO_ANCHOR not in cur or MICRO_ANCHOR not in base_micro:
+        failures.append(f"missing micro anchor row {MICRO_ANCHOR!r}")
+        return
+    for key, bval in sorted(base_micro.items()):
+        if key == MICRO_ANCHOR or not key.startswith("micro timer/"):
+            continue
+        if key not in cur:
+            failures.append(f"micro row {key!r} disappeared from {micro_path}")
+            continue
+        bn = bval / base_micro[MICRO_ANCHOR]
+        cn = cur[key] / cur[MICRO_ANCHOR]
+        drift = cn / bn - 1.0
+        line = f"{key}: normalized {cn:.3f} vs baseline {bn:.3f} ({drift:+.1%})"
+        if drift > TOLERANCE:
+            failures.append(line)
+        elif drift < -TOLERANCE:
+            warnings.append(line + " — consider refreshing the baseline")
+        else:
+            print(f"  ok   {line}")
+
+
+def soak_gate(soak_path, budget_s):
+    with open(soak_path) as f:
+        soak = json.load(f)
+    failures = []
+    if not soak.get("ok", False):
+        failures.append("soak reported failure (leak / unverified / timeout)")
+    wall = soak.get("wall_s")
+    if wall is None:
+        failures.append("soak report missing wall_s")
+    elif wall > budget_s:
+        failures.append(
+            f"soak wall clock {wall:.1f} s exceeds the {budget_s:.0f} s budget"
+        )
+    else:
+        print(f"  soak wall clock {wall:.1f} s within {budget_s:.0f} s budget")
+    events = soak.get("events", 0)
+    if events <= 0:
+        failures.append("soak report missing dispatched event count")
+    else:
+        print(
+            f"  {events} events over {soak.get('seeds', 0)} seeds, "
+            f"{soak.get('bytes_per_seed', 0)} bytes/seed"
+        )
+    if failures:
+        print(f"\n{len(failures)} soak gate failure(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  FAIL {f_}", file=sys.stderr)
+        sys.exit(1)
+    print("\nsoak gate ok")
+
+
+def main(baseline_path, current_path, micro_path=None):
     base = load(baseline_path)
     cur = load(current_path)
     failures, warnings = [], []
+
+    # The baseline's "micro" section rides alongside the macro rows; pull
+    # it out before the macro normalization walks the rows.
+    base_micro = base.pop("micro", None)
+    cur.pop("micro", None)
+    if micro_path is not None:
+        micro_gate(base_micro, micro_path, failures, warnings)
 
     # Hard invariant: small-transfer parity, in *simulated* throughput
     # (wall-clock ns/run measures the simulator, which legitimately does
@@ -286,6 +390,11 @@ def main(baseline_path, current_path):
 
 
 if __name__ == "__main__":
-    if len(sys.argv) != 3:
+    if len(sys.argv) == 5 and sys.argv[1] == "--soak" and sys.argv[3] == "--budget-s":
+        soak_gate(sys.argv[2], float(sys.argv[4]))
+    elif len(sys.argv) == 3:
+        main(sys.argv[1], sys.argv[2])
+    elif len(sys.argv) == 4:
+        main(sys.argv[1], sys.argv[2], sys.argv[3])
+    else:
         sys.exit(__doc__)
-    main(sys.argv[1], sys.argv[2])

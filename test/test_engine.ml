@@ -132,7 +132,7 @@ let test_sim_cancel () =
   let sim = Sim.create () in
   let fired = ref false in
   let h = Sim.at sim 10 (fun () -> fired := true) in
-  Sim.cancel h;
+  Sim.cancel sim h;
   Sim.run sim;
   check_bool "cancelled event did not fire" false !fired;
   check_bool "handle reports cancelled" true (Sim.cancelled h)
