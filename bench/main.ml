@@ -102,7 +102,7 @@ let micro ?(json = false) () =
      those is an O(1) dlist splice.  Each test owns its rig so heap
      tombstones from the churn rows can't contaminate the fire rows.
      The churn pair is the tentpole gate: bench_gate.py requires
-     heap-churn / wheel-churn >= 5x in the same run. *)
+     heap-churn / wheel-churn >= 4x in the same run. *)
   let n_background = 65536 in
   let timer_rig wheel =
     let sim = Sim.create ~wheel () in
@@ -133,6 +133,33 @@ let micro ?(json = false) () =
   in
   let churn_wheel = timer_rig true and churn_heap = timer_rig false in
   let fire_wheel = timer_rig true and fire_heap = timer_rig false in
+  (* RSS demux at 10K standing flows: the open-addressed per-shard flow
+     table vs the legacy assoc-list scan it replaced.  Both rows look up
+     the same 256 tuples (hash computed inline, as the real demux does);
+     bench_gate.py requires assoc/hash >= 20x in the same run. *)
+  let demux_flows = 10_000 in
+  let demux_tuples =
+    Array.init demux_flows (fun i ->
+        (Inaddr.v 10 1 ((i lsr 8) land 0xff) (i land 0xff), 10_000 + i, 5001))
+  in
+  let demux_tab = Flowtab.create () in
+  Array.iter
+    (fun (raddr, lport, rport) ->
+      Flowtab.add demux_tab
+        ~hash:(Flow_hash.hash ~raddr ~lport ~rport)
+        ~ka:((lport lsl 16) lor rport)
+        ~kb:(Flow_hash.addr_bits raddr) 0)
+    demux_tuples;
+  let demux_assoc =
+    Array.to_list
+      (Array.map
+         (fun (raddr, lport, rport) ->
+           ((lport, rport, Flow_hash.addr_bits raddr), 0))
+         demux_tuples)
+  in
+  let demux_probe =
+    Array.init 256 (fun i -> demux_tuples.(i * 389 mod demux_flows))
+  in
   let tests =
     [
       Test.make ~name:"inet_csum/32K" (Staged.stage (fun () ->
@@ -171,6 +198,23 @@ let micro ?(json = false) () =
           let b = Bytes.create 20 in
           Tcp_header.encode h ~csum:0 b ~off:0;
           ignore (Tcp_header.decode b ~off:0 ~len:20)));
+      Test.make ~name:"demux/lookup-10K-hash" (Staged.stage (fun () ->
+          Array.iter
+            (fun (raddr, lport, rport) ->
+              ignore
+                (Flowtab.find demux_tab
+                   ~hash:(Flow_hash.hash ~raddr ~lport ~rport)
+                   ~ka:((lport lsl 16) lor rport)
+                   ~kb:(Flow_hash.addr_bits raddr)))
+            demux_probe));
+      Test.make ~name:"demux/lookup-10K-assoc" (Staged.stage (fun () ->
+          Array.iter
+            (fun (raddr, lport, rport) ->
+              ignore
+                (List.assoc_opt
+                   (lport, rport, Flow_hash.addr_bits raddr)
+                   demux_assoc))
+            demux_probe));
       Test.make ~name:"sim/ttcp-64K-single-copy" (Staged.stage (fun () ->
           let tb = Testbed.create () in
           ignore
@@ -381,6 +425,23 @@ let macro_ttcp_faulty () =
          r.Exp_soak.netmem_failures r.Exp_soak.pin_fallbacks);
   (r.Exp_soak.throughput_mbit, r.Exp_soak.policy, total)
 
+(* RSS scaling row: 8 concurrent ttcp flows on the CPU-bound smp profile
+   with a non-bottleneck link rate, so aggregate throughput tracks how
+   many shard CPUs share the per-packet work.  The 1-shard twin is the
+   serialized reference; bench_gate.py requires 4-shard >= 2.5x 1-shard
+   in the same run. *)
+let macro_ttcp_parallel ~shards () =
+  let total = 1 lsl 20 in
+  let tb =
+    Testbed.create ~profile:Host_profile.smp ~shards ~link_rate:1.25e9 ()
+  in
+  let r =
+    Ttcp.run_parallel ~tb ~flows:8 ~wsize:(256 * 1024) ~total ~verify:false
+      ()
+  in
+  deposit_rx_pipe tb.Testbed.b.Testbed.cab;
+  (r.Ttcp.p_mbit, None, 8 * total)
+
 let macro ?(json = false) () =
   let measure ?(traced = false) ~name ~iters run =
     (* Warm-up: fault in the pools, then measure with clean counters and
@@ -458,6 +519,12 @@ let macro ?(json = false) () =
         (* Degraded-mode row: throughput informational, recovery report
            hard-gated (see scripts/bench_gate.py). *)
         measure ~name:"ttcp-1M-faulty" ~iters:8 macro_ttcp_faulty;
+        (* RSS scaling pair: serialized reference and the 4-shard run
+           the >= 2.5x aggregate-speedup gate compares against it. *)
+        measure ~name:"ttcp-parallel-8x1M-1shard" ~iters:6
+          (macro_ttcp_parallel ~shards:1);
+        measure ~name:"ttcp-parallel-8x1M-4shard" ~iters:6
+          (macro_ttcp_parallel ~shards:4);
       ]
   in
   Tabulate.print_header

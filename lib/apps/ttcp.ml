@@ -39,11 +39,21 @@ let run ~tb ~wsize ~total ?(force_uio = true) ?(adaptive = false)
   Testbed.establish_stream tb ~port ~a_paths:paths ~b_paths:paths
     (fun sa sb ->
       (* Measurement window starts once the connection is up: reset the
-         books and start the util soakers. *)
-      Cpu.reset_accounting a_host.Host.cpu;
-      Cpu.reset_accounting b_host.Host.cpu;
-      Cpu.set_idle_proc a_host.Host.cpu "util";
-      Cpu.set_idle_proc b_host.Host.cpu "util";
+         books (every shard's CPU) and start the util soakers. *)
+      Array.iter
+        (fun sh ->
+          Cpu.reset_accounting sh.Shard.cpu;
+          Cpu.set_idle_proc sh.Shard.cpu "util")
+        (Host.shards a_host);
+      Array.iter
+        (fun sh ->
+          Cpu.reset_accounting sh.Shard.cpu;
+          Cpu.set_idle_proc sh.Shard.cpu "util")
+        (Host.shards b_host);
+      (* The app loop runs on the CPU of the shard owning the
+         connection, like the syscalls it makes. *)
+      let a_shard = Tcp.pcb_shard (Socket.pcb sa) in
+      let b_shard = Tcp.pcb_shard (Socket.pcb sb) in
       let t0 = Sim.now sim in
       let a_space = Netstack.make_space tb.Testbed.a.Testbed.stack ~name:"ttcp" in
       let b_space = Netstack.make_space tb.Testbed.b.Testbed.stack ~name:"ttcp" in
@@ -76,7 +86,7 @@ let run ~tb ~wsize ~total ?(force_uio = true) ?(adaptive = false)
         end
         else begin
           issued := !issued + wsize;
-          Host.in_proc a_host ~proc:"ttcp" ~mode:Cpu.User
+          Host.in_proc_on a_host ~shard:a_shard ~proc:"ttcp" ~mode:Cpu.User
             (Simtime.us loop_cost_us) (fun () ->
               let t_write = Sim.now sim in
               Socket.write sa srcs.(buf) (fun () ->
@@ -109,7 +119,7 @@ let run ~tb ~wsize ~total ?(force_uio = true) ?(adaptive = false)
           finished := Some (t0, t1, got, sa, sb)
         end
         else
-          Host.in_proc b_host ~proc:"ttcp" ~mode:Cpu.User
+          Host.in_proc_on b_host ~shard:b_shard ~proc:"ttcp" ~mode:Cpu.User
             (Simtime.us loop_cost_us) (fun () ->
               Socket.read sb dst (fun n ->
                   if n > 0 then
@@ -153,3 +163,144 @@ let run ~tb ~wsize ~total ?(force_uio = true) ?(adaptive = false)
         sender_policy =
           Option.map Path_policy.stats (Socket.path_policy sa);
       }
+
+(* ---------- parallel flows (RSS scaling experiment) ---------- *)
+
+type parallel_result = {
+  p_flows : int;
+  p_total : int;  (* bytes per flow *)
+  p_elapsed : Simtime.t;  (* first connection up -> last flow done *)
+  p_mbit : float;  (* aggregate over all flows *)
+  p_verified : bool;
+  p_flow_mbit : float array;
+}
+
+let run_parallel ~tb ~flows ~wsize ~total ?(force_uio = true)
+    ?(verify = true) ?(base_port = 5001) ?(pipeline_writes = 2) () =
+  if total mod wsize <> 0 then
+    invalid_arg "Ttcp.run_parallel: total must be a multiple of wsize";
+  if flows < 1 then invalid_arg "Ttcp.run_parallel: flows must be >= 1";
+  let paths = { Socket.default_paths with Socket.force_uio } in
+  let sim = tb.Testbed.sim in
+  let a_host = tb.Testbed.a.Testbed.stack.Netstack.host in
+  let b_host = tb.Testbed.b.Testbed.stack.Netstack.host in
+  let started = ref 0 in
+  let done_flows = ref 0 in
+  let all_ok = ref true in
+  let t0 = ref Simtime.zero in
+  let t_last = ref Simtime.zero in
+  let flow_elapsed = Array.make flows Simtime.zero in
+  let launch i =
+    Testbed.establish_stream tb ~port:(base_port + i) ~a_paths:paths
+      ~b_paths:paths (fun sa sb ->
+        incr started;
+        if !started = 1 then begin
+          (* Measurement window opens with the first connection. *)
+          Array.iter
+            (fun sh ->
+              Cpu.reset_accounting sh.Shard.cpu;
+              Cpu.set_idle_proc sh.Shard.cpu "util")
+            (Host.shards a_host);
+          Array.iter
+            (fun sh ->
+              Cpu.reset_accounting sh.Shard.cpu;
+              Cpu.set_idle_proc sh.Shard.cpu "util")
+            (Host.shards b_host);
+          t0 := Sim.now sim
+        end;
+        let t_start = Sim.now sim in
+        let a_shard = Tcp.pcb_shard (Socket.pcb sa) in
+        let b_shard = Tcp.pcb_shard (Socket.pcb sb) in
+        let a_space =
+          Netstack.make_space tb.Testbed.a.Testbed.stack
+            ~name:(Printf.sprintf "ttcp%d" i)
+        in
+        let b_space =
+          Netstack.make_space tb.Testbed.b.Testbed.stack
+            ~name:(Printf.sprintf "ttcp%d" i)
+        in
+        let nbuf = min pipeline_writes (max 1 (total / wsize)) in
+        (* Per-flow seed: cross-flow misdelivery cannot verify. *)
+        let srcs =
+          Array.init nbuf (fun _ ->
+              let r = Addr_space.alloc a_space wsize in
+              Region.fill_pattern r ~seed:(1234 + i);
+              r)
+        in
+        let src = srcs.(0) in
+        let dst = Addr_space.alloc b_space wsize in
+        let issued = ref 0 in
+        let completed = ref 0 in
+        let rec send_loop buf =
+          if !issued >= total then begin
+            if !completed >= total then Socket.close sa
+          end
+          else begin
+            issued := !issued + wsize;
+            Host.in_proc_on a_host ~shard:a_shard ~proc:"ttcp"
+              ~mode:Cpu.User (Simtime.us loop_cost_us) (fun () ->
+                Socket.write sa srcs.(buf) (fun () ->
+                    completed := !completed + wsize;
+                    send_loop buf))
+          end
+        in
+        let verify_stream ~stream_off ~len =
+          let rec check doff soff remaining =
+            remaining = 0
+            ||
+            let piece = min remaining (wsize - soff) in
+            Region.equal_contents
+              (Region.sub dst ~off:doff ~len:piece)
+              (Region.sub src ~off:soff ~len:piece)
+            && check (doff + piece)
+                 ((soff + piece) mod wsize)
+                 (remaining - piece)
+          in
+          check 0 (stream_off mod wsize) len
+        in
+        let rec recv_loop got =
+          if got >= total then begin
+            flow_elapsed.(i) <- Simtime.sub (Sim.now sim) t_start;
+            t_last := Sim.now sim;
+            incr done_flows
+          end
+          else
+            Host.in_proc_on b_host ~shard:b_shard ~proc:"ttcp"
+              ~mode:Cpu.User (Simtime.us loop_cost_us) (fun () ->
+                Socket.read sb dst (fun n ->
+                    if n = 0 then all_ok := false
+                    else begin
+                      if
+                        verify && not (verify_stream ~stream_off:got ~len:n)
+                      then all_ok := false;
+                      recv_loop (got + n)
+                    end))
+        in
+        for buf = 0 to nbuf - 1 do
+          send_loop buf
+        done;
+        recv_loop 0)
+  in
+  for i = 0 to flows - 1 do
+    launch i
+  done;
+  Sim.run ~until:(Simtime.s 600.) sim;
+  if !done_flows < flows then
+    failwith
+      (Printf.sprintf "Ttcp.run_parallel: %d of %d flows completed"
+         !done_flows flows);
+  let elapsed = Simtime.sub !t_last !t0 in
+  {
+    p_flows = flows;
+    p_total = total;
+    p_elapsed = elapsed;
+    p_mbit = Simtime.rate_mbit ~bytes:(flows * total) elapsed;
+    p_verified = !all_ok;
+    p_flow_mbit =
+      Array.map
+        (fun e ->
+          if Simtime.compare e Simtime.zero > 0 then
+            Simtime.rate_mbit ~bytes:total e
+          else 0.)
+        flow_elapsed;
+  }

@@ -56,3 +56,32 @@ val run :
     buffer is still strictly reused only after its own write returns.
     Raises [Failure] if the transfer does not finish within simulated 10
     minutes. *)
+
+type parallel_result = {
+  p_flows : int;
+  p_total : int;  (** bytes per flow *)
+  p_elapsed : Simtime.t;  (** first connection up -> last flow done *)
+  p_mbit : float;  (** aggregate throughput over all flows *)
+  p_verified : bool;  (** every flow's pattern checked (per-flow seeds) *)
+  p_flow_mbit : float array;
+}
+
+val run_parallel :
+  tb:Testbed.t ->
+  flows:int ->
+  wsize:int ->
+  total:int ->
+  ?force_uio:bool ->
+  ?verify:bool ->
+  ?base_port:int ->
+  ?pipeline_writes:int ->
+  unit ->
+  parallel_result
+(** [flows] concurrent ttcp streams (ports [base_port] ..
+    [base_port + flows - 1]), each moving [total] bytes; the RSS demux
+    spreads them across the testbed hosts' shards, each app loop charging
+    the CPU of the shard owning its connection.  Each flow's payload
+    carries a flow-specific pattern seed, so cross-flow misdelivery fails
+    verification.  Aggregate throughput is measured from the first
+    established connection to the last completed flow.  Raises [Failure]
+    if any flow does not finish within simulated 10 minutes. *)

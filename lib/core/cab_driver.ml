@@ -37,6 +37,10 @@ type t = {
   mutable watch_key : int;
   (* watch key -> reset-recovery thunk for every in-flight watched post *)
   tx_watch : (int, unit -> unit) Hashtbl.t;
+  (* RSS steering classifier: maps an adaptor event to the flow hash of
+     the frame it carries (the stack installs one; see Netstack).  Only
+     consulted on multi-shard hosts. *)
+  mutable steer : (Cab.intr -> int option) option;
   mutable s : driver_stats;
 }
 
@@ -689,20 +693,54 @@ let handle_rx t (info : Cab.rx_info) =
     end
   end
 
+let handle_ev t = function
+  | Cab.Sdma_done _ -> ()
+  | Cab.Rx_packet info -> handle_rx t info
+
 let interrupt_batch t evs =
   (* NAPI-style burst: one interrupt entry/exit for the whole batch, a
      quarter-cost charge for each coalesced follower (its handler work
      runs inside the already-open interrupt), all in one charged step.
      Sdma_done bookkeeping already ran in the on_complete hooks. *)
   let intr = Memcost.interrupt t.host.Host.profile in
-  let n = List.length evs in
-  let cost = intr + ((n - 1) * intr / 4) in
-  Host.in_intr t.host cost (fun () ->
-      List.iter
-        (function
-          | Cab.Sdma_done _ -> ()
-          | Cab.Rx_packet info -> handle_rx t info)
-        evs);
+  let nshards = Host.shard_count t.host in
+  if nshards = 1 then begin
+    let n = List.length evs in
+    let cost = intr + ((n - 1) * intr / 4) in
+    Host.in_intr t.host cost (fun () -> List.iter (handle_ev t) evs)
+  end
+  else begin
+    (* RSS: split the batch by owning shard (classifier hash mod shard
+       count; unclassifiable events go to shard 0) and raise one
+       NAPI-style interrupt per shard, each on that shard's CPU, in
+       shard order with per-group event order preserved. *)
+    let groups = Array.make nshards [] in
+    List.iter
+      (fun ev ->
+        let s =
+          match t.steer with
+          | None -> 0
+          | Some classify -> (
+              match classify ev with
+              | Some h -> h mod nshards
+              | None ->
+                  Shard.note_default (Host.shard t.host 0);
+                  0)
+        in
+        groups.(s) <- ev :: groups.(s))
+      evs;
+    Array.iteri
+      (fun s g ->
+        match List.rev g with
+        | [] -> ()
+        | g ->
+            let n = List.length g in
+            Shard.note_batch (Host.shard t.host s) n;
+            let cost = intr + ((n - 1) * intr / 4) in
+            Host.in_intr_on t.host ~shard:s cost (fun () ->
+                List.iter (handle_ev t) g))
+      groups
+  end;
   (* Keep the poll timer armed while anything could strand: a lost
      interrupt after this burst would otherwise leave events queued. *)
   if Cab.pending_events t.cab > 0 || t.inflight > 0 then kick_watchdog t
@@ -729,6 +767,7 @@ let attach ~host ~ip ~cab ~addr ?(mtu = 32 * 1024) ~mode ?watchdog
       poll_timer = Sim.timer (Cab.sim cab) ignore;
       watch_key = 0;
       tx_watch = Hashtbl.create 16;
+      steer = None;
       s = zero_stats;
     }
   in
@@ -771,6 +810,8 @@ let attach ~host ~ip ~cab ~addr ?(mtu = 32 * 1024) ~mode ?watchdog
   t
 
 let add_neighbor t ip ~hippi_addr = Netif.add_neighbor (iface t) ip hippi_addr
+
+let set_steer t classify = t.steer <- Some classify
 
 
 let pp_stats fmt (s : driver_stats) =

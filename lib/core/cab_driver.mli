@@ -83,3 +83,11 @@ val pp_stats : Format.formatter -> driver_stats -> unit
 
 val add_neighbor : t -> Inaddr.t -> hippi_addr:int -> unit
 (** Static address resolution: IP next hop to HIPPI switch address. *)
+
+val set_steer : t -> (Cab.intr -> int option) -> unit
+(** Install the RSS steering classifier: given an adaptor event, return
+    the flow hash of the frame it carries ([None] when unclassifiable —
+    non-TCP, fragment, short head, SDMA completion).  On a multi-shard
+    host, {!attach}'s batch-interrupt handler splits each burst by
+    [hash mod shards] and raises one interrupt per owning shard; without
+    a classifier (or on a 1-shard host) everything lands on shard 0. *)

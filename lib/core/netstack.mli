@@ -20,9 +20,12 @@ val create :
   name:string ->
   mode:Stack_mode.t ->
   ?tcp_config:(Tcp.config -> Tcp.config) ->
+  ?shards:int ->
   unit ->
   t
-(** [tcp_config] tweaks the mode-derived default TCP configuration. *)
+(** [tcp_config] tweaks the mode-derived default TCP configuration.
+    [shards] (default 1) splits the host into that many RSS shards; see
+    {!Host.create} and {!Shard}. *)
 
 val attach_cab :
   t ->

@@ -17,17 +17,22 @@ let addr_b = Inaddr.v 10 0 0 2
 let create ?(profile = Host_profile.alpha400)
     ?(mode = Stack_mode.Single_copy) ?(mtu = 32 * 1024)
     ?(netmem_pages = 4096) ?tcp_config ?(drop_a_frames = [])
-    ?(drop_b_frames = []) ?watchdog ?sdma_timeout () =
+    ?(drop_b_frames = []) ?watchdog ?sdma_timeout ?(shards = 1) ?link_rate
+    () =
   let sim = Sim.create () in
   (* Packet-trace timestamps come from this testbed's simulator; a new
      testbed retargets the (process-global) tracer clock. *)
   Obs_trace.set_clock (fun () -> Sim.now sim);
-  let link = Hippi_link.create ~sim () in
+  let link =
+    match link_rate with
+    | None -> Hippi_link.create ~sim ()
+    | Some rate -> Hippi_link.create ~sim ~rate ()
+  in
   let a_frame_count = ref 0 in
   let b_frame_count = ref 0 in
   let mk_node ~name ~side ~hippi_addr ~addr =
     let stack =
-      Netstack.create ~sim ~profile ~name ~mode ?tcp_config ()
+      Netstack.create ~sim ~profile ~name ~mode ?tcp_config ~shards ()
     in
     let cab =
       Cab.create ~sim ~profile ~name:(name ^ ".cab") ~netmem_pages

@@ -31,6 +31,8 @@ val create :
   ?drop_b_frames:int list ->
   ?watchdog:Simtime.t ->
   ?sdma_timeout:Simtime.t ->
+  ?shards:int ->
+  ?link_rate:float ->
   unit ->
   t
 (** Defaults: alpha400 profile, single-copy mode, 32 KByte MTU, 4096
@@ -38,7 +40,11 @@ val create :
     [drop_b_frames] inject loss: the i-th frames sent by that host
     (0-based) are silently discarded — the fault-injection hooks for
     retransmission experiments.  [watchdog] / [sdma_timeout] arm both
-    drivers' recovery plane (see {!Cab_driver.attach}); off by default. *)
+    drivers' recovery plane (see {!Cab_driver.attach}); off by default.
+    [shards] (default 1) splits both hosts into RSS shards (see
+    {!Host.create}); [link_rate] overrides the HIPPI line rate in
+    bytes/s for scaling experiments where 100 MByte/s would cap the
+    aggregate. *)
 
 val establish_stream :
   t ->

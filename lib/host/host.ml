@@ -5,16 +5,36 @@ type t = {
   name : string;
   kernel_space : Addr_space.t;
   mutable ifaces : Netif.t list;
+  shards : Shard.t array;
+  mutable cur_shard : int;
 }
 
-let create ~sim ~profile ~name =
+let create ?(shards = 1) ~sim ~profile ~name () =
+  if shards < 1 then invalid_arg "Host.create: shards must be >= 1";
+  let cpu = Cpu.create ~sim ~name:(name ^ ".cpu") in
+  let shard_arr =
+    Array.init shards (fun i ->
+        if i = 0 then Shard.make ~id:0 ~cpu
+        else
+          Shard.make ~id:i
+            ~cpu:(Cpu.create ~sim ~name:(Printf.sprintf "%s.cpu%d" name i)))
+  in
+  if shards > 1 then Shard.register_obs ~host:name shard_arr;
+  (* The pools are process-global; sharding them follows the host with
+     the most shards created so far in this process.  Pool residency is
+     timing-neutral in the simulation, so this only affects hit/spill
+     statistics, never event order. *)
+  Mbuf.Pool.set_shard_count shards;
+  Bufpool.set_shard_count Bufpool.shared shards;
   {
     sim;
-    cpu = Cpu.create ~sim ~name:(name ^ ".cpu");
+    cpu;
     profile;
     name;
     kernel_space = Addr_space.create ~profile ~name:(name ^ ".kernel");
     ifaces = [];
+    shards = shard_arr;
+    cur_shard = 0;
   }
 
 let add_iface t ifc = t.ifaces <- t.ifaces @ [ ifc ]
@@ -24,8 +44,43 @@ let find_iface t name =
 
 let now t = Sim.now t.sim
 
-let in_proc t ~proc ?(mode = Cpu.Sys) cost k = Cpu.execute t.cpu ~proc ~mode cost k
+let shard_count t = Array.length t.shards
+let shard t i = t.shards.(i)
+let shards t = t.shards
+let current_shard t = t.cur_shard
 
-let in_intr t cost k = Cpu.execute_intr t.cpu cost k
+(* Entering a shard context redirects the process-global pool free
+   lists too, so allocations made while that shard's code runs come
+   from (and return to) its private free list. *)
+let enter t i =
+  t.cur_shard <- i;
+  Mbuf.Pool.set_current i;
+  Bufpool.set_current Bufpool.shared i
+
+let in_proc_on t ~shard ~proc ?(mode = Cpu.Sys) cost k =
+  if Array.length t.shards = 1 then Cpu.execute t.cpu ~proc ~mode cost k
+  else
+    Cpu.execute t.shards.(shard).Shard.cpu ~proc ~mode cost (fun () ->
+        let prev = t.cur_shard in
+        enter t shard;
+        k ();
+        enter t prev)
+
+let in_intr_on t ~shard cost k =
+  if Array.length t.shards = 1 then Cpu.execute_intr t.cpu cost k
+  else
+    Cpu.execute_intr t.shards.(shard).Shard.cpu cost (fun () ->
+        let prev = t.cur_shard in
+        enter t shard;
+        k ();
+        enter t prev)
+
+let in_proc t ~proc ?(mode = Cpu.Sys) cost k =
+  if Array.length t.shards = 1 then Cpu.execute t.cpu ~proc ~mode cost k
+  else in_proc_on t ~shard:t.cur_shard ~proc ~mode cost k
+
+let in_intr t cost k =
+  if Array.length t.shards = 1 then Cpu.execute_intr t.cpu cost k
+  else in_intr_on t ~shard:t.cur_shard cost k
 
 let after t d k = Sim.after t.sim d k

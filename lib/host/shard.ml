@@ -1,0 +1,29 @@
+type t = {
+  id : int;
+  cpu : Cpu.t;
+  mutable intr_batches : int;
+  mutable intr_events : int;
+  mutable steered_default : int;
+}
+
+let make ~id ~cpu = { id; cpu; intr_batches = 0; intr_events = 0; steered_default = 0 }
+
+let note_batch t n =
+  t.intr_batches <- t.intr_batches + 1;
+  t.intr_events <- t.intr_events + n
+
+let note_default t = t.steered_default <- t.steered_default + 1
+
+let register_obs ~host shards =
+  Array.iter
+    (fun sh ->
+      let name suffix = Printf.sprintf "%s.%d.%s" host sh.id suffix in
+      Obs.gauge ~section:"shard" ~name:(name "intr_batches") (fun () ->
+          float_of_int sh.intr_batches);
+      Obs.gauge ~section:"shard" ~name:(name "intr_events") (fun () ->
+          float_of_int sh.intr_events);
+      Obs.gauge ~section:"shard" ~name:(name "steered_default") (fun () ->
+          float_of_int sh.steered_default);
+      Obs.gauge ~section:"shard" ~name:(name "cpu_busy_us") (fun () ->
+          Simtime.to_us (Cpu.busy sh.cpu)))
+    shards

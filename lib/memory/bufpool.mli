@@ -47,6 +47,24 @@ val outstanding : t -> int
 val reset_stats : t -> unit
 (** Zero the counters; keeps the free lists. *)
 
+val set_shard_count : t -> int -> unit
+(** Switch between unsharded ([1], the default) and sharded ([n > 1])
+    mode.  Sharded mode gives each shard a private size-classed free
+    list (depth-capped at a quarter of [max_per_class]); the original
+    classes become the global spill pool.  Reconfiguring spills all
+    local buffers back into the global pool.  Hit/miss/[outstanding]
+    accounting is unaffected by the mode. *)
+
+val set_current : t -> int -> unit
+(** Select the shard whose free list subsequent traffic uses.  No-op in
+    unsharded mode or out of range. *)
+
+val shard_count : t -> int
+
+val local_free_bytes : t -> int
+(** Bytes parked across all per-shard free lists ([free_bytes] includes
+    them). *)
+
 val shared : t
 (** Process-wide instance used by the simulator datapath (network
     memory, driver staging). *)

@@ -43,6 +43,11 @@ val alpha400 : t
 val alpha300lx : t
 (** DEC Alpha 3000/300LX, 125 MHz, half-speed TurboChannel (Figure 6). *)
 
+val smp : t
+(** Hypothetical multiprocessor for the RSS-sharding experiments:
+    alpha400 per-CPU costs on a fast (non-bottleneck) I/O system, so
+    per-packet CPU work limits throughput and sharding scales. *)
+
 val by_name : string -> t option
 val all : t list
 

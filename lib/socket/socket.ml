@@ -166,7 +166,11 @@ let create ~host ~space ~proc ?(paths = default_paths) pcb =
     ();
   t
 
-let charge t cost k = Host.in_proc t.host ~proc:t.proc cost k
+(* Syscall-side costs run on the CPU of the shard owning the connection
+   (explicit: callbacks waking blocked readers/writers arrive from timer
+   or interrupt context, where shard inheritance would misattribute). *)
+let charge t cost k =
+  Host.in_proc_on t.host ~shard:(Tcp.pcb_shard t.pcb) ~proc:t.proc cost k
 
 let block_writer t k =
   t.s <- { t.s with write_blocks = t.s.write_blocks + 1 };

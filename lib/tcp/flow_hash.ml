@@ -1,0 +1,51 @@
+(* Toeplitz RSS hash over the TCP 4-tuple (the local address is implied:
+   one Tcp.t serves one host).  The input is the 8-byte vector
+   raddr(4) | lport(2) | rport(2), big-endian, hashed against the
+   standard 40-byte Microsoft RSS key.  Per input-byte contributions are
+   precomputed into 8 x 256 tables at module init, so a hash is eight
+   loads and xors — allocation-free and cheap enough to run per
+   segment in both the TCP demux and the driver's steering classifier
+   (which must agree on the mapping by construction). *)
+
+let key =
+  [|
+    0x6d; 0x5a; 0x56; 0xda; 0x25; 0x5b; 0x0e; 0xc2; 0x41; 0x67;
+    0x25; 0x3d; 0x43; 0xa3; 0x8f; 0xb0; 0xd0; 0xca; 0x2b; 0xcb;
+    0xae; 0x7b; 0x30; 0xb4; 0x77; 0xcb; 0x2d; 0xa3; 0x80; 0x30;
+    0xf2; 0x0c; 0x6a; 0x42; 0xb7; 0x3b; 0xbe; 0xac; 0x01; 0xfa;
+  |]
+[@@ocamlformat "disable"]
+
+(* tbl.(j).(v): xor of the 32-bit key windows selected by the set bits
+   of byte value [v] at input-byte position [j].  Window for bit b of
+   byte j = bits [8j+b, 8j+b+32) of the (cyclic) key. *)
+let tbl =
+  Array.init 8 (fun j ->
+      (* 40 key bits starting at byte j: windows for all 8 bit offsets. *)
+      let w = ref 0 in
+      for t = 0 to 4 do
+        w := (!w lsl 8) lor key.((j + t) mod 40)
+      done;
+      let w = !w in
+      Array.init 256 (fun v ->
+          let r = ref 0 in
+          for bit = 0 to 7 do
+            if v land (0x80 lsr bit) <> 0 then
+              r := !r lxor ((w lsr (8 - bit)) land 0xffffffff)
+          done;
+          !r))
+
+let addr_bits (a : Inaddr.t) = Int32.to_int a land 0xffffffff
+
+let hash ~raddr ~lport ~rport =
+  let a = addr_bits raddr in
+  tbl.(0).((a lsr 24) land 0xff)
+  lxor tbl.(1).((a lsr 16) land 0xff)
+  lxor tbl.(2).((a lsr 8) land 0xff)
+  lxor tbl.(3).(a land 0xff)
+  lxor tbl.(4).((lport lsr 8) land 0xff)
+  lxor tbl.(5).(lport land 0xff)
+  lxor tbl.(6).((rport lsr 8) land 0xff)
+  lxor tbl.(7).(rport land 0xff)
+
+let shard ~count h = if count <= 1 then 0 else h mod count

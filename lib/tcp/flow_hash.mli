@@ -1,0 +1,15 @@
+(** RSS flow hash: Toeplitz over the (raddr, lport, rport) tuple.
+
+    Both the TCP demux ({!Flowtab} bucket + shard selection) and the CAB
+    driver's interrupt-steering classifier hash the same tuple with the
+    same fixed key, so a flow's segments land on the shard that owns its
+    pcb by construction. *)
+
+val hash : raddr:Inaddr.t -> lport:int -> rport:int -> int
+(** 32-bit non-negative Toeplitz hash; allocation-free. *)
+
+val shard : count:int -> int -> int
+(** [shard ~count h] maps a hash onto one of [count] shards. *)
+
+val addr_bits : Inaddr.t -> int
+(** The address as a non-negative int (key material for {!Flowtab}). *)

@@ -120,6 +120,12 @@ type pcb = {
   lport : int;
   raddr : Inaddr.t;
   rport : int;
+  (* RSS: the Toeplitz hash of the demux tuple and the shard it maps to.
+     Every CPU charge for this connection goes to that shard's CPU, and
+     the driver's steering classifier computes the same hash, so rx
+     interrupts arrive there too. *)
+  flow_hash : int;
+  shard : int;
   (* send state *)
   iss : Tcp_seq.t;
   mutable snd_una : Tcp_seq.t;
@@ -194,11 +200,19 @@ and t = {
   ip : Ipv4.t;
   hst : Host.t;
   cfg : config;
-  mutable conns : ((int * Inaddr.t * int) * pcb) list;
-      (* (lport, raddr, rport) -> pcb *)
+  shard_count : int;
+  tabs : pcb Flowtab.t array;
+      (* per-shard demux: (lport, raddr, rport) -> pcb, O(1) via the
+         RSS flow hash (shard = hash mod shard_count) *)
   mutable listeners : (int * (pcb -> unit)) list;
   mutable next_port : int;
   mutable next_iss : int;
+  iss_rng : Rng.t;
+      (* per-instance stream salting ISS bumps so a 4-tuple reopened
+         inside time-wait cannot land on a colliding sequence range *)
+  staging : Bytes.t;
+      (* preallocated header-decode staging for the straddling-segment
+         slow path in [input] *)
 }
 
 let config t = t.cfg
@@ -217,6 +231,13 @@ let remote_iface pcb =
   Option.map fst (Ipv4.route_for pcb.tcp.ip ~dst:pcb.raddr)
 let srtt pcb = pcb.srtt
 let snd_wnd pcb = pcb.snd_wnd
+let pcb_shard pcb = pcb.shard
+
+let flows_per_shard t = Array.map Flowtab.length t.tabs
+let active_flows t = Array.fold_left (fun a tab -> a + Flowtab.length tab) 0 t.tabs
+
+(* Demux key packing for the per-shard flow tables. *)
+let key_a ~lport ~rport = (lport lsl 16) lor rport
 
 let set_callbacks pcb ?on_readable ?on_sendable ?on_closed () =
   (match on_readable with Some f -> pcb.on_readable <- f | None -> ());
@@ -422,8 +443,9 @@ let emit pcb ~seq ~flags ~options ~(payload : Mbuf.t option) =
           in
           if csum_cost > 0 then
             (* The host checksum pass is charged to whoever is running
-               (process context on writes, interrupt on ack-driven sends). *)
-            Host.in_intr pcb.tcp.hst csum_cost send
+               on the owning shard's CPU (process context on writes,
+               interrupt on ack-driven sends). *)
+            Host.in_intr_on pcb.tcp.hst ~shard:pcb.shard csum_cost send
           else send ();
           Ok ()
 
@@ -431,8 +453,15 @@ let emit pcb ~seq ~flags ~options ~(payload : Mbuf.t option) =
 
 let remove_pcb pcb =
   let tcp = pcb.tcp in
-  tcp.conns <-
-    List.filter (fun (_, p) -> p != pcb) tcp.conns;
+  let tab = tcp.tabs.(pcb.shard) in
+  let ka = key_a ~lport:pcb.lport ~rport:pcb.rport
+  and kb = Flow_hash.addr_bits pcb.raddr in
+  (* Only remove our own entry: a 4-tuple reopened while this pcb sat in
+     time-wait has replaced it in the table (the assoc list used to
+     shadow it the same way). *)
+  (match Flowtab.find tab ~hash:pcb.flow_hash ~ka ~kb with
+  | Some p when p == pcb -> Flowtab.remove tab ~hash:pcb.flow_hash ~ka ~kb
+  | Some _ | None -> ());
   cancel_rexmt pcb;
   cancel_delack pcb;
   cancel_persist pcb;
@@ -498,6 +527,11 @@ and rto_fire pcb =
       if pcb.st = Syn_sent then begin
         pcb.snd_nxt <- pcb.iss;
         send_control pcb ~flags:[ Tcp_header.SYN ] ()
+      end
+      else if pcb.st = Syn_received then begin
+        (* The pump cannot regenerate a SYN-ACK; resend it directly. *)
+        pcb.snd_nxt <- pcb.iss;
+        send_control pcb ~flags:[ Tcp_header.SYN; Tcp_header.ACK ] ()
       end
       else begin
         pcb.snd_nxt <- pcb.snd_una;
@@ -705,8 +739,10 @@ and pump ?(proc = "kernel") ?(intr = false) pcb =
   if not pcb.pumping then begin
     pcb.pumping <- true;
     let charge cost k =
-      if intr then Host.in_intr pcb.tcp.hst cost k
-      else Host.in_proc pcb.tcp.hst ~proc cost k
+      (* Explicit shard: timer-driven pumps run outside any shard
+         context, so inheritance would misattribute them. *)
+      if intr then Host.in_intr_on pcb.tcp.hst ~shard:pcb.shard cost k
+      else Host.in_proc_on pcb.tcp.hst ~shard:pcb.shard ~proc cost k
     in
     let rec loop () =
       match decide pcb with
@@ -1008,6 +1044,10 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
           pcb.rcv_nxt <- Tcp_seq.add seq 1;
           apply_syn_options pcb hdr;
           pcb.snd_una <- hdr.Tcp_header.ack;
+          (* An RTO may have rewound snd_nxt below the ack (go-back-N
+             rewind raced the in-flight handshake reply). *)
+          if Tcp_seq.lt pcb.snd_nxt pcb.snd_una then
+            pcb.snd_nxt <- pcb.snd_una;
           pcb.snd_wnd <- hdr.Tcp_header.window lsl pcb.snd_wscale;
           pcb.snd_wl1 <- seq;
           pcb.snd_wl2 <- hdr.Tcp_header.ack;
@@ -1023,6 +1063,8 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
         if has Tcp_header.ACK && Tcp_seq.gt hdr.Tcp_header.ack pcb.snd_una
         then begin
           pcb.snd_una <- hdr.Tcp_header.ack;
+          if Tcp_seq.lt pcb.snd_nxt pcb.snd_una then
+            pcb.snd_nxt <- pcb.snd_una;
           pcb.snd_wnd <- hdr.Tcp_header.window lsl pcb.snd_wscale;
           pcb.snd_wl1 <- seq;
           pcb.snd_wl2 <- hdr.Tcp_header.ack;
@@ -1036,6 +1078,14 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
         else Mbuf.free chain
     | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
     | Last_ack | Time_wait ->
+        if has Tcp_header.SYN then begin
+          (* Duplicate handshake segment in a synchronized state: our
+             handshake ACK was lost (rx overrun), so the peer is still
+             retransmitting from Syn_received.  Re-ACK so it can come
+             up (RFC 793's "an acceptable reset... otherwise ACK"). *)
+          pcb.need_ack_now <- true;
+          schedule_ack pcb
+        end;
         if has Tcp_header.ACK then begin
           process_ack pcb hdr;
           update_send_window pcb hdr seq
@@ -1087,8 +1137,18 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
 (* ---------- demux and pcb creation ---------- *)
 
 let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
+  let flow_hash = Flow_hash.hash ~raddr ~lport ~rport in
+  let shard = Flow_hash.shard ~count:tcp.shard_count flow_hash in
   let iss = tcp.next_iss in
-  tcp.next_iss <- Tcp_seq.norm (tcp.next_iss + 64000);
+  (* Advance by the classic 64000 plus a flow-salted pseudo-random
+     offset: a 4-tuple reopened while its predecessor sits in time-wait
+     starts outside the old sequence range instead of a predictable
+     64000 ahead.  Sequence numbers never influence event timing, so
+     this does not perturb the deterministic traces. *)
+  tcp.next_iss <-
+    Tcp_seq.norm
+      (tcp.next_iss + 64000
+      + ((flow_hash lxor Rng.int tcp.iss_rng 0x40000000) land 0xffff));
   (* Preencode the connection-constant header fields; seq/ack/flags/
      window/checksum are patched per segment (urgent stays 0). *)
   let tpl = Bytes.make Tcp_header.base_size '\000' in
@@ -1103,6 +1163,8 @@ let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
       lport;
       raddr;
       rport;
+      flow_hash;
+      shard;
       iss;
       snd_una = iss;
       snd_nxt = iss;
@@ -1157,11 +1219,15 @@ let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
   Sim.set_fn pcb.delack_timer (fun () -> delack_fire pcb);
   Sim.set_fn pcb.persist_timer (fun () -> persist_fire pcb);
   Sim.set_fn pcb.time_wait_timer (fun () -> to_closed pcb);
-  tcp.conns <- ((lport, raddr, rport), pcb) :: tcp.conns;
+  Flowtab.add tcp.tabs.(shard) ~hash:flow_hash ~ka:(key_a ~lport ~rport)
+    ~kb:(Flow_hash.addr_bits raddr) pcb;
   pcb
 
 let lookup tcp ~lport ~raddr ~rport =
-  List.assoc_opt (lport, raddr, rport) tcp.conns
+  let h = Flow_hash.hash ~raddr ~lport ~rport in
+  Flowtab.find
+    tcp.tabs.(Flow_hash.shard ~count:tcp.shard_count h)
+    ~hash:h ~ka:(key_a ~lport ~rport) ~kb:(Flow_hash.addr_bits raddr)
 
 let input tcp ~src ~dst seg =
   let seg = Mbuf.pullup seg Tcp_header.base_size in
@@ -1173,9 +1239,10 @@ let input tcp ~src ~dst seg =
     match Mbuf.view seg ~off:0 ~len:hlen with
     | Some (b, pos) -> (b, pos)
     | None ->
-        let b = Bytes.create hlen in
-        Mbuf.copy_into seg ~off:0 ~len:hlen b ~dst_off:0;
-        (b, 0)
+        (* Reuse the per-instance staging buffer (hlen <= 64): this slow
+           path must not allocate per segment. *)
+        Mbuf.copy_into seg ~off:0 ~len:hlen tcp.staging ~dst_off:0;
+        (tcp.staging, 0)
   in
   match Tcp_header.decode hbytes ~off:hoff ~len:hlen with
   | Error _ -> Mbuf.free seg
@@ -1194,7 +1261,8 @@ let input tcp ~src ~dst seg =
               if payload_len > 0 then Memcost.per_packet tcp.hst.Host.profile
               else Memcost.ack tcp.hst.Host.profile
             in
-            Host.in_intr tcp.hst (base_cost + csum_cost) (fun () ->
+            Host.in_intr_on tcp.hst ~shard:pcb.shard (base_cost + csum_cost)
+              (fun () ->
                 (* Strip the TCP header, keep descriptor metadata. *)
                 Mbuf.adj_head seg hdr_size;
                 segment_arrived pcb hdr seg)
@@ -1217,8 +1285,8 @@ let input tcp ~src ~dst seg =
                 hdr.Tcp_header.window lsl pcb.snd_wscale;
               pcb.on_established <- (fun () -> on_accept pcb);
               Mbuf.free seg;
-              Host.in_intr tcp.hst (Memcost.ack tcp.hst.Host.profile)
-                (fun () ->
+              Host.in_intr_on tcp.hst ~shard:pcb.shard
+                (Memcost.ack tcp.hst.Host.profile) (fun () ->
                   send_control pcb
                     ~flags:[ Tcp_header.SYN; Tcp_header.ACK ]
                     ())
@@ -1228,17 +1296,29 @@ let input tcp ~src ~dst seg =
               Mbuf.free seg))
 
 let create ~ip ~config =
+  let hst = Ipv4.host ip in
+  let shard_count = Host.shard_count hst in
   let tcp =
     {
       ip;
-      hst = Ipv4.host ip;
+      hst;
       cfg = config;
-      conns = [];
+      shard_count;
+      tabs = Array.init shard_count (fun _ -> Flowtab.create ());
       listeners = [];
       next_port = 10000;
       next_iss = 1000;
+      iss_rng = Rng.create ~seed:(0x1995 lxor Hashtbl.hash hst.Host.name);
+      staging = Bytes.create 64;
     }
   in
+  if shard_count > 1 then
+    Array.iteri
+      (fun i tab ->
+        Obs.gauge ~section:"shard"
+          ~name:(Printf.sprintf "%s.%d.flows" hst.Host.name i) (fun () ->
+            float_of_int (Flowtab.length tab)))
+      tcp.tabs;
   Ipv4.register_protocol ip ~proto:Ipv4_header.proto_tcp
     (fun ~src ~dst seg -> input tcp ~src ~dst seg);
   tcp

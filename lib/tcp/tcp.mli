@@ -193,5 +193,16 @@ val remote_iface : pcb -> Netif.t option
 val srtt : pcb -> Simtime.t
 val snd_wnd : pcb -> int
 
+val pcb_shard : pcb -> int
+(** The RSS shard owning this connection ({!Flow_hash} over the demux
+    tuple, mod the host's shard count; 0 on a 1-shard host). *)
+
+val active_flows : t -> int
+(** Open connections across all shards' demux tables (includes
+    time-wait residents). *)
+
+val flows_per_shard : t -> int array
+(** Per-shard demux-table occupancy. *)
+
 val pp_pcb : Format.formatter -> pcb -> unit
 val pp_stats : Format.formatter -> pcb_stats -> unit

@@ -166,7 +166,7 @@ let test_udp_maximum_enforced () =
 
 let frag_host () =
   let sim = Sim.create () in
-  (sim, Host.create ~sim ~profile ~name:"fr")
+  (sim, Host.create ~sim ~profile ~name:"fr" ())
 
 let mk_hdr ~ident ~off8 ~mf ~len =
   {
