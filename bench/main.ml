@@ -298,11 +298,17 @@ let micro ?(json = false) () =
 type macro_row = {
   row_name : string;
   row_ns : float;
+  row_samples : float array;
+      (** per-iteration wall-clock ns, sorted ascending — lets the gate's
+          drift WARNs report spread, not just the median *)
   row_mbit : float;
   row_mbuf : float;
   row_frame : float;
   row_routing : Path_policy.stats option;
   row_touch : string;  (** data-touch ledger report (JSON object) *)
+  row_lat : string;
+      (** per-flow latency percentiles (JSON object, Obs_lat quantiles
+          over the measured iterations) *)
   row_fault : string option;
       (** recovery-plane report (JSON object), fault-injection rows only *)
   row_rx_pipe : string option;
@@ -329,6 +335,53 @@ let deposit_rx_pipe cab =
          p.Cab.rx_pipe_depth p.Cab.rx_pipe_posts p.Cab.rx_pipe_hwm
          p.Cab.rx_pipe_overlap p.Cab.rx_pipe_stalls)
 
+(* Flight-recorder side channel: when armed (the traced 1M row), each
+   ttcp run drives an Obs_series recorder from a timing-wheel periodic
+   timer on the run's own sim clock; the last window is written to
+   BENCH_series.json.  The tick self-stops once the workload drains
+   (see the pending-events check below), so the periodic timer never
+   keeps the simulation running to the 600 s horizon. *)
+let series_on = ref false
+let series_last : Obs_series.t option ref = ref None
+
+(* 1 ms snapshots: each wheel firing costs ~1-3 us of host time in
+   cursor advance (512 ns slots), so a finer interval would dominate
+   the traced row's instrumentation-overhead budget; 1 ms still yields
+   ~100 samples across the 1 MB transfer. *)
+let series_interval = Simtime.ms 1.
+
+let arm_series tb =
+  if !series_on then begin
+    let sim = tb.Testbed.sim in
+    let s =
+      Obs_series.create ~capacity:512 ~interval:series_interval
+        ~metrics:
+          [
+            ("tcp", "retransmits");
+            ("tcp", "csum_failures_rx");
+            ("cab.hostB.cab", "rx_packets");
+            ("cab.hostB.cab", "sdma_bytes");
+            ("cab.hostB.cab", "rx_pipe_inflight");
+            ("cab.hostB.cab", "interrupts");
+            ("cab_driver.hostB.cab", "copyouts");
+            ("cab_driver.hostB.cab", "watchdog_polls");
+          ]
+    in
+    let handle = ref None in
+    let h =
+      Sim.periodic sim ~every:series_interval (fun () ->
+          Obs_series.tick s ~now:(Sim.now sim);
+          (* Inside the callback our own next tick is already re-armed,
+             so pending <= 1 means nothing else exists anywhere: the
+             workload (including time-wait teardown) has fully drained
+             and the recorder must not keep the simulation alive. *)
+          if Sim.pending sim <= 1 then
+            match !handle with Some h -> Sim.stop sim h | None -> ())
+    in
+    handle := Some h;
+    series_last := Some s
+  end
+
 let macro_tcp_config ~adaptive c =
   if adaptive then { c with Tcp.coalesce_descriptors = true } else c
 
@@ -340,6 +393,7 @@ let macro_ttcp ?(force_uio = false) ~mode ~total () =
   let wsize = min total 65536 in
   let adaptive = (not force_uio) && mode = Stack_mode.Single_copy in
   let tb = Testbed.create ~mode ~tcp_config:(macro_tcp_config ~adaptive) () in
+  arm_series tb;
   let r = Ttcp.run ~tb ~wsize ~total ~force_uio ~adaptive ~verify:false () in
   deposit_rx_pipe tb.Testbed.b.Testbed.cab;
   (r.Ttcp.receiver.Measurement.throughput_mbit, r.Ttcp.sender_policy, total)
@@ -451,11 +505,15 @@ let macro ?(json = false) () =
     ignore (run ());
     Mbuf.Pool.reset ();
     Bufpool.reset_stats Bufpool.shared;
+    (* Latency percentiles cover only the measured iterations. *)
+    Obs_lat.reset ();
     if traced then begin
-      (* The overhead row: tracer armed during the timed runs, so its
-         ns/run vs the untraced twin row IS the tracing cost. *)
+      (* The overhead row: tracer + flight recorder armed during the
+         timed runs, so its ns/run vs the untraced twin row IS the
+         combined instrumentation cost. *)
       Obs_trace.configure ~capacity:4096;
-      Obs_trace.enable ()
+      Obs_trace.enable ();
+      series_on := true
     end;
     let s0 = Obs_ledger.snapshot () in
     let times = Array.make iters 0. in
@@ -465,7 +523,10 @@ let macro ?(json = false) () =
       last := Some (run ());
       times.(i) <- Unix.gettimeofday () -. t0
     done;
-    if traced then Obs_trace.disable ();
+    if traced then begin
+      Obs_trace.disable ();
+      series_on := false
+    end;
     let mbit, routing, payload = Option.get !last in
     let d = Obs_ledger.since s0 in
     (* Median per-iteration time: wall-clock on a shared machine has
@@ -474,11 +535,13 @@ let macro ?(json = false) () =
     {
       row_name = name;
       row_ns = times.(iters / 2) *. 1e9;
+      row_samples = Array.map (fun t -> t *. 1e9) times;
       row_mbit = mbit;
       row_mbuf = Mbuf.Pool.hit_rate ();
       row_frame = Bufpool.hit_rate Bufpool.shared;
       row_routing = routing;
       row_touch = Obs_ledger.report_json d ~payload:(payload * iters);
+      row_lat = Obs_lat.summary_json ();
       row_fault = !fault_json;
       row_rx_pipe = !rx_pipe_json;
     }
@@ -590,17 +653,33 @@ let macro ?(json = false) () =
           | None -> ""
           | Some p -> Printf.sprintf ", \"rx_pipe\": %s" p
         in
+        let samples =
+          String.concat ", "
+            (Array.to_list
+               (Array.map (Printf.sprintf "%.1f") r.row_samples))
+        in
         Printf.fprintf oc
-          "  %S: { \"ns_per_run\": %.1f, \"sim_throughput_mbit\": %.1f, \
-           \"mbuf_pool_hit_rate\": %.4f, \"frame_pool_hit_rate\": %.4f%s, \
-           \"touch\": %s%s%s }%s\n"
-          r.row_name r.row_ns r.row_mbit r.row_mbuf r.row_frame routing
-          r.row_touch fault rx_pipe
+          "  %S: { \"ns_per_run\": %.1f, \"ns_samples\": [%s], \
+           \"sim_throughput_mbit\": %.1f, \"mbuf_pool_hit_rate\": %.4f, \
+           \"frame_pool_hit_rate\": %.4f%s, \"touch\": %s, \"lat\": %s%s%s \
+           }%s\n"
+          r.row_name r.row_ns samples r.row_mbit r.row_mbuf r.row_frame
+          routing r.row_touch r.row_lat fault rx_pipe
           (if i = List.length rows - 1 then "" else ","))
       rows;
     output_string oc "}\n";
     close_out oc;
-    Printf.printf "\n  wrote %s\n" file
+    Printf.printf "\n  wrote %s\n" file;
+    (match !series_last with
+    | Some s ->
+        let sf = out_path "BENCH_series.json" in
+        let oc = open_out sf in
+        output_string oc (Obs_series.to_json s);
+        output_string oc "\n";
+        close_out oc;
+        Printf.printf "  wrote %s (%d samples, %d dropped)\n" sf
+          (Obs_series.length s) (Obs_series.dropped s)
+    | None -> ())
   end;
   if !trace_mode then begin
     (* One forced-uio ttcp-64K run recorded end to end: the descriptor

@@ -592,7 +592,7 @@ let copy_out t (mb : Mbuf.t) ~off ~len ~dst ~on_done =
                 let copy_cost =
                   Memcost.copy t.host.Host.profile ~locality:Memcost.Cold len
                 in
-                Host.in_intr t.host copy_cost (fun () ->
+                Host.in_intr t.host ~site:Cpu.Copy copy_cost (fun () ->
                     Obs_ledger.touch Obs_ledger.Drv_rx_stage Obs_ledger.Copy
                       len;
                     (match dst with
@@ -737,7 +737,10 @@ let interrupt_batch t evs =
             let n = List.length g in
             Shard.note_batch (Host.shard t.host s) n;
             let cost = intr + ((n - 1) * intr / 4) in
-            Host.in_intr_on t.host ~shard:s cost (fun () ->
+            (* Steered per-shard dispatch: this charge is the RSS demux
+               path (classify + per-shard raise), distinct from the
+               plain single-CPU interrupt entry above. *)
+            Host.in_intr_on t.host ~shard:s ~site:Cpu.Demux cost (fun () ->
                 List.iter (handle_ev t) g))
       groups
   end;

@@ -1,9 +1,51 @@
 type mode = User | Sys
 
+type site =
+  | Checksum
+  | Copy
+  | Header
+  | Demux
+  | Intr
+  | Timer
+  | Socket
+  | Other
+
+let n_sites = 8
+
+let site_index = function
+  | Checksum -> 0
+  | Copy -> 1
+  | Header -> 2
+  | Demux -> 3
+  | Intr -> 4
+  | Timer -> 5
+  | Socket -> 6
+  | Other -> 7
+
+let site_name = function
+  | Checksum -> "checksum"
+  | Copy -> "copy"
+  | Header -> "header"
+  | Demux -> "demux"
+  | Intr -> "intr"
+  | Timer -> "timer"
+  | Socket -> "socket"
+  | Other -> "other"
+
+let all_sites = [ Checksum; Copy; Header; Demux; Intr; Timer; Socket; Other ]
+
 type item = {
   duration : Simtime.t;
   proc : string;
   mode : mode;
+  (* Profiler attribution, fixed at submission: the whole item charges
+     to [site] except [split_cost] of it, which charges to
+     [split_site].  One work item, two ledger rows — splitting into two
+     queued items instead would let interrupt work preempt between
+     them and perturb the deterministic schedule. *)
+  site : int;
+  split_site : int;
+  split_cost : Simtime.t;
   k : unit -> unit;
 }
 
@@ -22,6 +64,7 @@ type t = {
   mutable last_mode : mode;
   mutable last_cell : int ref;
   mutable busy_total : Simtime.t;
+  sites : Simtime.t array;  (* n_sites cells; sums to busy_total *)
   (* One reusable completion timer: the CPU runs at most one item at a
      time, so every slice re-arms the same record — no per-item closure
      or handle allocation. *)
@@ -76,8 +119,33 @@ and complete t =
   | None -> ()
   | Some item ->
       charge t item.proc item.mode item.duration;
+      (* Attribute every charged cycle to a profiler site; split items
+         divide one duration across two sites, so the site ledger sums
+         to busy_total exactly. *)
+      let d = item.duration in
+      let sc = item.split_cost in
+      if sc > 0 then begin
+        t.sites.(item.split_site) <- t.sites.(item.split_site) + sc;
+        t.sites.(item.site) <- t.sites.(item.site) + (d - sc)
+      end
+      else t.sites.(item.site) <- t.sites.(item.site) + d;
       item.k ();
       start_next t
+
+let site_charged t s = t.sites.(site_index s)
+let sites_total t = Array.fold_left ( + ) 0 t.sites
+
+let sites_json t =
+  let b = Buffer.create 128 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\": %d" (site_name s) t.sites.(site_index s)))
+    all_sites;
+  Buffer.add_string b (Printf.sprintf ", \"total\": %d}" t.busy_total);
+  Buffer.contents b
 
 let create ~sim ~name =
   let t =
@@ -93,23 +161,52 @@ let create ~sim ~name =
       last_mode = Sys;
       last_cell = no_cell;
       busy_total = 0;
+      sites = Array.make n_sites 0;
       timer = Sim.timer sim ignore;
     }
   in
   Sim.set_fn t.timer (fun () -> complete t);
+  (* Per-CPU profiler row: cycles by site, plus the total it must sum
+     to.  CPU names are unique per host/shard, so replace semantics
+     only retire rows from stale testbeds reusing the same name. *)
+  Obs.table ~section:"prof" ~name (fun () -> sites_json t);
   t
 
 let submit t queue item =
   Queue.push item queue;
   match t.running with None -> start_next t | Some _ -> ()
 
-let execute t ~proc ~mode duration k =
-  submit t t.normal_q { duration; proc; mode; k }
+let execute t ~proc ~mode ?(site = Other) ?split duration k =
+  let split_site, split_cost =
+    match split with
+    | None -> (0, 0)
+    | Some (s, c) ->
+        let c = if c < 0 then 0 else if c > duration then duration else c in
+        (site_index s, c)
+  in
+  submit t t.normal_q
+    { duration; proc; mode; site = site_index site; split_site; split_cost; k }
 
-let execute_intr t duration k =
+let execute_intr t ?(site = Intr) ?split duration k =
   (* Charged to whoever is current at raise time — the paper's mis-charging. *)
   let victim = current_proc t in
-  submit t t.intr_q { duration; proc = victim; mode = Sys; k }
+  let split_site, split_cost =
+    match split with
+    | None -> (0, 0)
+    | Some (s, c) ->
+        let c = if c < 0 then 0 else if c > duration then duration else c in
+        (site_index s, c)
+  in
+  submit t t.intr_q
+    {
+      duration;
+      proc = victim;
+      mode = Sys;
+      site = site_index site;
+      split_site;
+      split_cost;
+      k;
+    }
 
 let charged t ~proc ~mode =
   match Hashtbl.find_opt t.buckets (proc, mode) with
@@ -131,4 +228,5 @@ let reset_accounting t =
   Hashtbl.reset t.buckets;
   (* The memoised cell points into the dropped table: invalidate it. *)
   t.last_cell <- no_cell;
-  t.busy_total <- 0
+  t.busy_total <- 0;
+  Array.fill t.sites 0 n_sites 0

@@ -15,7 +15,25 @@ type t
 
 type mode = User | Sys
 
+(** Profiler site: a static taxonomy of where charged cycles go.
+    Every work item carries one (optionally split across two — see
+    {!execute}), so the per-site ledger sums to {!busy} exactly. *)
+type site =
+  | Checksum  (** data-touching checksum/verify reads *)
+  | Copy  (** data-touching copies (tx append, rx copy-out, staging) *)
+  | Header  (** per-packet protocol header processing *)
+  | Demux  (** flow-table lookup / shard steering *)
+  | Intr  (** interrupt dispatch, doorbells, descriptor posts *)
+  | Timer  (** watchdogs, poll timers, RTO machinery *)
+  | Socket  (** socket-layer bookkeeping and VM-pin work *)
+  | Other  (** anything not yet attributed (apps, idle soakers) *)
+
+val site_name : site -> string
+val all_sites : site list
+
 val create : sim:Sim.t -> name:string -> t
+(** Also registers the CPU's profiler row as Obs table
+    [prof/<name>]: [{"checksum": n, ..., "total": busy}]. *)
 
 val name : t -> string
 
@@ -25,19 +43,42 @@ val set_idle_proc : t -> string -> unit
     Defaults to ["idle"]. *)
 
 val execute :
-  t -> proc:string -> mode:mode -> Simtime.t -> (unit -> unit) -> unit
+  t ->
+  proc:string ->
+  mode:mode ->
+  ?site:site ->
+  ?split:site * Simtime.t ->
+  Simtime.t ->
+  (unit -> unit) ->
+  unit
 (** [execute t ~proc ~mode d k] queues [d] of CPU work charged to
-    [(proc, mode)], then calls [k] when it completes. *)
+    [(proc, mode)], then calls [k] when it completes.  [?site] (default
+    [Other]) attributes the cycles for the profiler; [?split:(s, c)]
+    attributes [c] of the duration to [s] and the rest to [site] —
+    still one work item, so mixed-cost charges (header + checksum) are
+    profiled without perturbing the event schedule. *)
 
-val execute_intr : t -> Simtime.t -> (unit -> unit) -> unit
+val execute_intr :
+  t -> ?site:site -> ?split:site * Simtime.t -> Simtime.t -> (unit -> unit) -> unit
 (** Interrupt-context work: runs ahead of normal work and is charged as
-    [Sys] to the process that was current when the interrupt was raised. *)
+    [Sys] to the process that was current when the interrupt was raised.
+    [?site] defaults to [Intr]. *)
 
 val charged : t -> proc:string -> mode:mode -> Simtime.t
 (** Total time charged to a bucket so far. *)
 
 val busy : t -> Simtime.t
 (** Total busy time (sum over all buckets). *)
+
+val site_charged : t -> site -> Simtime.t
+(** Cycles attributed to a profiler site so far. *)
+
+val sites_total : t -> Simtime.t
+(** Sum over all profiler sites — equal to {!busy} by construction
+    (machine-checked in the test suite). *)
+
+val sites_json : t -> string
+(** The [prof/<name>] table row: per-site cycles plus ["total"]. *)
 
 val procs : t -> string list
 (** All process names with a nonzero bucket. *)

@@ -57,30 +57,33 @@ let enter t i =
   Mbuf.Pool.set_current i;
   Bufpool.set_current Bufpool.shared i
 
-let in_proc_on t ~shard ~proc ?(mode = Cpu.Sys) cost k =
-  if Array.length t.shards = 1 then Cpu.execute t.cpu ~proc ~mode cost k
+let in_proc_on t ~shard ~proc ?(mode = Cpu.Sys) ?site ?split cost k =
+  if Array.length t.shards = 1 then
+    Cpu.execute t.cpu ~proc ~mode ?site ?split cost k
   else
-    Cpu.execute t.shards.(shard).Shard.cpu ~proc ~mode cost (fun () ->
+    Cpu.execute t.shards.(shard).Shard.cpu ~proc ~mode ?site ?split cost
+      (fun () ->
         let prev = t.cur_shard in
         enter t shard;
         k ();
         enter t prev)
 
-let in_intr_on t ~shard cost k =
-  if Array.length t.shards = 1 then Cpu.execute_intr t.cpu cost k
+let in_intr_on t ~shard ?site ?split cost k =
+  if Array.length t.shards = 1 then Cpu.execute_intr t.cpu ?site ?split cost k
   else
-    Cpu.execute_intr t.shards.(shard).Shard.cpu cost (fun () ->
+    Cpu.execute_intr t.shards.(shard).Shard.cpu ?site ?split cost (fun () ->
         let prev = t.cur_shard in
         enter t shard;
         k ();
         enter t prev)
 
-let in_proc t ~proc ?(mode = Cpu.Sys) cost k =
-  if Array.length t.shards = 1 then Cpu.execute t.cpu ~proc ~mode cost k
-  else in_proc_on t ~shard:t.cur_shard ~proc ~mode cost k
+let in_proc t ~proc ?(mode = Cpu.Sys) ?site ?split cost k =
+  if Array.length t.shards = 1 then
+    Cpu.execute t.cpu ~proc ~mode ?site ?split cost k
+  else in_proc_on t ~shard:t.cur_shard ~proc ~mode ?site ?split cost k
 
-let in_intr t cost k =
-  if Array.length t.shards = 1 then Cpu.execute_intr t.cpu cost k
-  else in_intr_on t ~shard:t.cur_shard cost k
+let in_intr t ?site ?split cost k =
+  if Array.length t.shards = 1 then Cpu.execute_intr t.cpu ?site ?split cost k
+  else in_intr_on t ~shard:t.cur_shard ?site ?split cost k
 
 let after t d k = Sim.after t.sim d k

@@ -41,19 +41,36 @@ val shards : t -> Shard.t array
 val current_shard : t -> int
 
 val in_proc :
-  t -> proc:string -> ?mode:Cpu.mode -> Simtime.t -> (unit -> unit) -> unit
+  t ->
+  proc:string ->
+  ?mode:Cpu.mode ->
+  ?site:Cpu.site ->
+  ?split:Cpu.site * Simtime.t ->
+  Simtime.t ->
+  (unit -> unit) ->
+  unit
 (** Charge CPU time to a process bucket, then continue.  [mode] defaults
-    to [Sys] (protocol work).  Runs on the current shard's CPU. *)
+    to [Sys] (protocol work).  Runs on the current shard's CPU.
+    [?site]/[?split] attribute the cycles for the profiler (see
+    {!Cpu.execute}). *)
 
-val in_intr : t -> Simtime.t -> (unit -> unit) -> unit
+val in_intr :
+  t ->
+  ?site:Cpu.site ->
+  ?split:Cpu.site * Simtime.t ->
+  Simtime.t ->
+  (unit -> unit) ->
+  unit
 (** Interrupt-context work: preempts, charged to whoever is running on
-    the current shard's CPU. *)
+    the current shard's CPU.  [?site] defaults to [Cpu.Intr]. *)
 
 val in_proc_on :
   t ->
   shard:int ->
   proc:string ->
   ?mode:Cpu.mode ->
+  ?site:Cpu.site ->
+  ?split:Cpu.site * Simtime.t ->
   Simtime.t ->
   (unit -> unit) ->
   unit
@@ -61,7 +78,14 @@ val in_proc_on :
     continuation runs, that shard is the current shard — interior
     charges and pool traffic it triggers stay on the same shard. *)
 
-val in_intr_on : t -> shard:int -> Simtime.t -> (unit -> unit) -> unit
+val in_intr_on :
+  t ->
+  shard:int ->
+  ?site:Cpu.site ->
+  ?split:Cpu.site * Simtime.t ->
+  Simtime.t ->
+  (unit -> unit) ->
+  unit
 (** Like {!in_intr} but on an explicit shard's CPU; see {!in_proc_on}. *)
 
 val after : t -> Simtime.t -> (unit -> unit) -> Sim.handle

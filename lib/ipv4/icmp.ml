@@ -47,12 +47,13 @@ let send t ~dst ~typ ~code ~word ~payload =
   let m = build ~typ ~code ~word ~payload in
   (* An in-kernel sender: per-packet protocol cost plus the (tiny) host
      checksum, charged to the kernel. *)
-  let cost =
-    Memcost.per_packet t.host.Host.profile
-    + Memcost.checksum_read t.host.Host.profile ~locality:Memcost.Cold
-        (Mbuf.chain_len m)
+  let csum =
+    Memcost.checksum_read t.host.Host.profile ~locality:Memcost.Cold
+      (Mbuf.chain_len m)
   in
-  Host.in_proc t.host ~proc:"kernel.icmp" cost (fun () ->
+  let cost = Memcost.per_packet t.host.Host.profile + csum in
+  Host.in_proc t.host ~proc:"kernel.icmp" ~site:Cpu.Header
+    ~split:(Cpu.Checksum, csum) cost (fun () ->
       match Ipv4.output t.ip ~proto:Ipv4_header.proto_icmp ~dst m with
       | Ok _ -> ()
       | Error _ -> ())
@@ -80,7 +81,7 @@ let flatten t m k =
   Mbuf.copy_into_raw m ~off:0 ~len:n b ~dst_off:0;
   Mbuf.free m;
   if has_outboard then
-    Host.in_proc t.host ~proc:"kernel.icmp"
+    Host.in_proc t.host ~proc:"kernel.icmp" ~site:Cpu.Copy
       (Memcost.copy t.host.Host.profile ~locality:Memcost.Cold n)
       (fun () -> k b)
   else k b

@@ -262,7 +262,7 @@ let forward t pkt (hdr : Ipv4_header.t) =
           Mbuf.copy_from pkt ~off:0 ~len:Ipv4_header.size hbytes ~src_off:0;
           t.s_forwarded <- t.s_forwarded + 1;
           (* Forwarding work is charged here: one per-packet cost. *)
-          Host.in_proc t.host ~proc:"kernel.forward"
+          Host.in_proc t.host ~proc:"kernel.forward" ~site:Cpu.Header
             (Memcost.per_packet t.host.Host.profile) (fun () ->
               iface.Netif.output iface pkt ~next_hop)
         end
@@ -305,7 +305,7 @@ let input t (_iface : Netif.t) pkt =
             Memcost.copy t.host.Host.profile ~locality:Memcost.Cold
               (Mbuf.pkt_len pkt)
           in
-          Host.in_intr t.host cost (fun () ->
+          Host.in_intr t.host ~site:Cpu.Copy cost (fun () ->
               match Ip_frag.input t.frag ~hdr pkt with
               | None -> ()
               | Some (hdr, datagram) ->

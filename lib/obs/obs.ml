@@ -38,6 +38,27 @@ module Histogram = struct
   let reset t =
     Array.fill t.counts 0 buckets 0;
     t.total <- 0
+
+  (* Continuous-rank quantile with log-linear interpolation inside the
+     containing bucket: all we kept of each sample is its log2 bucket, so
+     the estimate assumes samples spread geometrically across [2^i,
+     2^(i+1)).  Bucket 0 (values <= 1) interpolates linearly over [0, 2).
+     The overflow bucket extrapolates with the same 2x width. *)
+  let quantile t q =
+    if t.total = 0 then None
+    else
+      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      let r = q *. float_of_int (t.total - 1) in
+      let i = ref 0 and cum = ref 0 in
+      while float_of_int (!cum + t.counts.(!i)) <= r do
+        cum := !cum + t.counts.(!i);
+        incr i
+      done;
+      let n = t.counts.(!i) in
+      let frac = (r -. float_of_int !cum +. 0.5) /. float_of_int n in
+      let frac = if frac > 1. then 1. else frac in
+      if !i = 0 then Some (2.0 *. frac)
+      else Some (float_of_int (1 lsl !i) *. (2.0 ** frac))
 end
 
 type metric =
@@ -47,8 +68,8 @@ type metric =
   | M_table of (unit -> string)
 
 (* Registry: keyed (section, name); replace semantics so per-instance
-   subsystems re-register freely. Insertion order of sections/names is
-   preserved for stable JSON output. *)
+   subsystems re-register freely. Export order is sorted (sections, then
+   names) so JSON output is deterministic. *)
 let tbl : (string * string, metric) Hashtbl.t = Hashtbl.create 64
 let order : (string * string) list ref = ref []
 
@@ -72,7 +93,13 @@ let histogram ~section ~name =
 let table ~section ~name f = register ~section ~name (M_table f)
 let find ~section ~name = Hashtbl.find_opt tbl (section, name)
 
-let ordered () = List.rev !order
+(* Sorted, not insertion-ordered: JSON export (and any golden test or
+   registry diff built on it) must not depend on module-init order. *)
+let ordered () =
+  List.sort
+    (fun (s1, n1) (s2, n2) ->
+      match String.compare s1 s2 with 0 -> String.compare n1 n2 | c -> c)
+    !order
 
 let sections () =
   let seen = Hashtbl.create 16 in

@@ -52,6 +52,14 @@ module Histogram : sig
 
   val bucket_count : t -> int -> int
   val reset : t -> unit
+
+  val quantile : t -> float -> float option
+  (** [quantile t q] estimates the [q]-quantile ([0. <= q <= 1.],
+      clamped) of the observed samples under the continuous-rank
+      convention [r = q * (count - 1)], interpolating log-linearly
+      within the containing log2 bucket (linearly in bucket 0, which
+      holds values [<= 1]).  [None] when the histogram is empty.  The
+      estimate is off by at most one bucket width (a factor of 2). *)
 end
 
 (** What a registered metric is. *)
@@ -73,13 +81,17 @@ val histogram : section:string -> name:string -> Histogram.t
 val table : section:string -> name:string -> (unit -> string) -> unit
 
 val find : section:string -> name:string -> metric option
+
 val sections : unit -> string list
+(** Registered section names, sorted. *)
 
 val to_json : ?sections:string list -> unit -> string
 (** Export the registry (or just the named sections) as a JSON object
     [{section: {name: value, ...}, ...}]. Counters export as ints, gauges
     as floats, histograms as [{count; buckets: [[lo; hi; n], ...]}] with
-    empty buckets elided, tables as their verbatim JSON fragment. *)
+    empty buckets elided, tables as their verbatim JSON fragment.
+    Sections and names are emitted in sorted order, so the output is
+    independent of registration order. *)
 
 val reset : unit -> unit
 (** Reset every registered counter and histogram (gauges and tables read

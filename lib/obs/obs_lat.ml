@@ -1,0 +1,44 @@
+(* Per-flow latency histograms, process-global under section "lat".
+
+   These are module-level (not per-host) on purpose: the registry's
+   replace semantics would otherwise let the last-created host instance
+   shadow its peer's histograms, and a latency distribution is
+   meaningful merged across both ends of a testbed anyway.  Callers
+   stamp a start time on the sim clock and observe the delta (ns) at
+   the completion event; observing is one array bump, alloc-free. *)
+
+let conn_setup_ns = Obs.histogram ~section:"lat" ~name:"conn_setup_ns"
+let write_ack_ns = Obs.histogram ~section:"lat" ~name:"write_ack_ns"
+let rx_copyout_ns = Obs.histogram ~section:"lat" ~name:"rx_copyout_ns"
+let rtt_ns = Obs.histogram ~section:"lat" ~name:"rtt_ns"
+
+let all =
+  [
+    ("conn_setup_ns", conn_setup_ns);
+    ("write_ack_ns", write_ack_ns);
+    ("rx_copyout_ns", rx_copyout_ns);
+    ("rtt_ns", rtt_ns);
+  ]
+
+let reset () = List.iter (fun (_, h) -> Obs.Histogram.reset h) all
+
+let quantile_field h q =
+  match Obs.Histogram.quantile h q with
+  | Some v -> Printf.sprintf "%.1f" v
+  | None -> "null"
+
+let quantiles_json h =
+  Printf.sprintf "{\"count\": %d, \"p50\": %s, \"p90\": %s, \"p99\": %s}"
+    (Obs.Histogram.count h) (quantile_field h 0.5) (quantile_field h 0.9)
+    (quantile_field h 0.99)
+
+let summary_json () =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": %s" name (quantiles_json h)))
+    all;
+  Buffer.add_char b '}';
+  Buffer.contents b

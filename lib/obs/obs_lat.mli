@@ -1,0 +1,37 @@
+(** Per-flow latency histograms (section ["lat"] in the Obs registry).
+
+    Process-global log2 histograms of simulated-clock latencies, in
+    nanoseconds.  The instrumented layers (TCP, sockets, the copy-out
+    path) stamp a start time and observe the delta when the completion
+    event fires; both hosts of a testbed share the same histograms. *)
+
+val conn_setup_ns : Obs.Histogram.t
+(** Active open: [connect] (SYN sent) to ESTABLISHED; passive open:
+    SYN received to ESTABLISHED. *)
+
+val write_ack_ns : Obs.Histogram.t
+(** [Socket.write] accepting a byte range to the ACK covering it
+    (single-slot sampling per connection, Karn-style: only one write is
+    timed at a time and retransmitted ranges are discarded). *)
+
+val rx_copyout_ns : Obs.Histogram.t
+(** Receive copy-out: work item posted to the copy engine to delivery
+    into the application buffer. *)
+
+val rtt_ns : Obs.Histogram.t
+(** TCP RTT samples, as fed to the RTO estimator. *)
+
+val all : (string * Obs.Histogram.t) list
+(** The four histograms with their registry names. *)
+
+val reset : unit -> unit
+(** Reset all four histograms (bench harnesses call this after warm-up
+    so percentiles cover only measured iterations). *)
+
+val quantiles_json : Obs.Histogram.t -> string
+(** [{"count": n, "p50": x, "p90": y, "p99": z}] — quantiles [null]
+    when the histogram is empty. *)
+
+val summary_json : unit -> string
+(** JSON object mapping each latency site name to its
+    {!quantiles_json}. *)

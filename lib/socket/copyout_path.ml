@@ -13,7 +13,8 @@ type ctx = {
   on_pin_fallback : int -> unit;
 }
 
-let charge ctx cost k = Host.in_proc ctx.host ~proc:ctx.proc cost k
+let charge ?(site = Cpu.Socket) ctx cost k =
+  Host.in_proc ctx.host ~proc:ctx.proc ~site cost k
 let profile ctx = ctx.host.Host.profile
 
 (* Pin + map a region for DMA, fallibly: [Ok cost] when wired, [Error
@@ -42,7 +43,7 @@ let unwire ctx region =
 let host_copy_seg ctx mb ~seg ~dst ~release =
   ctx.on_kernel_copy seg;
   let cost = Memcost.copy (profile ctx) ~locality:Memcost.Cold seg in
-  charge ctx cost (fun () ->
+  charge ~site:Cpu.Copy ctx cost (fun () ->
       (match Mbuf.view mb ~off:0 ~len:seg with
       | Some (b, pos) ->
           Obs_ledger.touch Obs_ledger.Sock_rx_copy Obs_ledger.Copy seg;
@@ -70,9 +71,13 @@ let copyout_seg ctx ~copy_out mb ~seg ~dst ~release =
          engine idles for exactly that long between back-to-back
          copy-outs. *)
       let post () =
+        let t0 = Sim.now ctx.host.Host.sim in
         copy_out mb ~off:0 ~len:seg
           ~dst:(Netif.To_user (ctx.space, dst))
-          ~on_done:(fun () -> charge ctx (unwire ctx dst) release)
+          ~on_done:(fun () ->
+            Obs.Histogram.observe Obs_lat.rx_copyout_ns
+              (Simtime.sub (Sim.now ctx.host.Host.sim) t0);
+            charge ctx (unwire ctx dst) release)
       in
       if vm_cost = Simtime.zero then post ()
       else charge ctx vm_cost post
@@ -80,11 +85,14 @@ let copyout_seg ctx ~copy_out mb ~seg ~dst ~release =
       ctx.on_pin_fallback seg;
       let stage = Bufpool.get Bufpool.shared seg in
       charge ctx wasted (fun () ->
+          let t0 = Sim.now ctx.host.Host.sim in
           copy_out mb ~off:0 ~len:seg
             ~dst:(Netif.To_kernel (stage, 0))
             ~on_done:(fun () ->
+              Obs.Histogram.observe Obs_lat.rx_copyout_ns
+                (Simtime.sub (Sim.now ctx.host.Host.sim) t0);
               let cost = Memcost.copy (profile ctx) ~locality:Memcost.Cold seg in
-              charge ctx cost (fun () ->
+              charge ~site:Cpu.Copy ctx cost (fun () ->
                   Obs_ledger.touch Obs_ledger.Sock_rx_copy Obs_ledger.Copy seg;
                   Region.blit_from_bytes stage ~src_off:0 dst ~dst_off:0
                     ~len:seg;

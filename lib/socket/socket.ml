@@ -169,8 +169,9 @@ let create ~host ~space ~proc ?(paths = default_paths) pcb =
 (* Syscall-side costs run on the CPU of the shard owning the connection
    (explicit: callbacks waking blocked readers/writers arrive from timer
    or interrupt context, where shard inheritance would misattribute). *)
-let charge t cost k =
-  Host.in_proc_on t.host ~shard:(Tcp.pcb_shard t.pcb) ~proc:t.proc cost k
+let charge ?(site = Cpu.Socket) t cost k =
+  Host.in_proc_on t.host ~shard:(Tcp.pcb_shard t.pcb) ~proc:t.proc ~site cost
+    k
 
 let block_writer t k =
   t.s <- { t.s with write_blocks = t.s.write_blocks + 1 };
@@ -301,7 +302,7 @@ let write_copy t region k =
         let copy_cost =
           Memcost.copy (profile t) ~locality:Memcost.Cold chunk
         in
-        charge t copy_cost (fun () ->
+        charge ~site:Cpu.Copy t copy_cost (fun () ->
             let buf = Bytes.create chunk in
             Obs_ledger.touch Obs_ledger.Sock_tx_copy Obs_ledger.Copy chunk;
             Region.blit_to_bytes region ~src_off:off buf ~dst_off:0 ~len:chunk;

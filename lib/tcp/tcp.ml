@@ -162,6 +162,11 @@ type pcb = {
   mutable rttvar : Simtime.t;
   mutable rto : Simtime.t;
   mutable rtt_timing : (Tcp_seq.t * Simtime.t) option;
+  (* Latency instrumentation (Obs_lat): one timed write at a time
+     (Karn-style, discarded on retransmit), and the pcb-creation stamp
+     for the SYN->ESTABLISHED histogram (-1 once observed). *)
+  mutable wr_timing : (Tcp_seq.t * Simtime.t) option;
+  mutable setup_t0 : Simtime.t;
   (* ack policy *)
   mutable ack_pending : bool;
   mutable need_ack_now : bool;
@@ -445,7 +450,8 @@ let emit pcb ~seq ~flags ~options ~(payload : Mbuf.t option) =
             (* The host checksum pass is charged to whoever is running
                on the owning shard's CPU (process context on writes,
                interrupt on ack-driven sends). *)
-            Host.in_intr_on pcb.tcp.hst ~shard:pcb.shard csum_cost send
+            Host.in_intr_on pcb.tcp.hst ~shard:pcb.shard ~site:Cpu.Checksum
+              csum_cost send
           else send ();
           Ok ()
 
@@ -485,7 +491,17 @@ let enter_time_wait pcb =
 
 (* ---------- retransmission timer ---------- *)
 
+(* Connection-setup latency: pcb creation (connect's SYN / the
+   listener's SYN arrival) to ESTABLISHED.  Observed at most once. *)
+let observe_conn_setup pcb =
+  if pcb.setup_t0 >= 0 then begin
+    Obs.Histogram.observe Obs_lat.conn_setup_ns
+      (Simtime.sub (Sim.now pcb.tcp.hst.Host.sim) pcb.setup_t0);
+    pcb.setup_t0 <- -1
+  end
+
 let update_rtt pcb sample =
+  Obs.Histogram.observe Obs_lat.rtt_ns sample;
   if pcb.srtt = 0 then begin
     pcb.srtt <- sample;
     pcb.rttvar <- sample / 2
@@ -524,6 +540,7 @@ and rto_fire pcb =
       (* Back off, rewind, and resend (go-back-N; Karn: discard timing). *)
       pcb.rto <- min pcb.tcp.cfg.rto_max (2 * pcb.rto);
       pcb.rtt_timing <- None;
+      pcb.wr_timing <- None;
       if pcb.st = Syn_sent then begin
         pcb.snd_nxt <- pcb.iss;
         send_control pcb ~flags:[ Tcp_header.SYN ] ()
@@ -536,7 +553,8 @@ and rto_fire pcb =
       else begin
         pcb.snd_nxt <- pcb.snd_una;
         pcb.fin_sent <- false;
-        pump pcb ~intr:true
+        (* RTO-driven retransmission: profile as timer machinery. *)
+        pump pcb ~intr:true ~site:Cpu.Timer
       end
       end
   | Closed | Listen | Fin_wait_2 | Time_wait -> ()
@@ -735,14 +753,15 @@ and advance_state_on_fin_sent pcb =
 (* The single transmission pump: serializes per-packet CPU charging and
    segment emission.  [intr] selects interrupt-context charging (ACK- and
    timer-driven sends) versus process context ([proc]). *)
-and pump ?(proc = "kernel") ?(intr = false) pcb =
+and pump ?(proc = "kernel") ?(intr = false) ?(site = Cpu.Header) pcb =
   if not pcb.pumping then begin
     pcb.pumping <- true;
     let charge cost k =
       (* Explicit shard: timer-driven pumps run outside any shard
          context, so inheritance would misattribute them. *)
-      if intr then Host.in_intr_on pcb.tcp.hst ~shard:pcb.shard cost k
-      else Host.in_proc_on pcb.tcp.hst ~shard:pcb.shard ~proc cost k
+      if intr then
+        Host.in_intr_on pcb.tcp.hst ~shard:pcb.shard ~site cost k
+      else Host.in_proc_on pcb.tcp.hst ~shard:pcb.shard ~proc ~site cost k
     in
     let rec loop () =
       match decide pcb with
@@ -906,6 +925,7 @@ let process_ack pcb (hdr : Tcp_header.t) =
         Obs.Counter.incr agg_fast_retransmits;
         pcb.recover <- pcb.snd_max;
         pcb.rtt_timing <- None;
+        pcb.wr_timing <- None;
         let old_nxt = pcb.snd_nxt in
         pcb.snd_nxt <- pcb.snd_una;
         (match decide pcb with
@@ -926,6 +946,13 @@ let process_ack pcb (hdr : Tcp_header.t) =
     | Some (seq, t0) when Tcp_seq.ge ack seq ->
         update_rtt pcb (Simtime.sub (Sim.now pcb.tcp.hst.Host.sim) t0);
         pcb.rtt_timing <- None
+    | Some _ | None -> ());
+    (* Write-to-ACK latency, same Karn discipline. *)
+    (match pcb.wr_timing with
+    | Some (seq, t0) when Tcp_seq.ge ack seq ->
+        Obs.Histogram.observe Obs_lat.write_ack_ns
+          (Simtime.sub (Sim.now pcb.tcp.hst.Host.sim) t0);
+        pcb.wr_timing <- None
     | Some _ | None -> ());
     (* Release acknowledged data; the SYN/FIN occupy sequence space but not
        queue space. *)
@@ -1052,6 +1079,7 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
           pcb.snd_wl1 <- seq;
           pcb.snd_wl2 <- hdr.Tcp_header.ack;
           pcb.st <- Established;
+          observe_conn_setup pcb;
           cancel_rexmt pcb;
           Mbuf.free chain;
           send_ack_now pcb;
@@ -1069,6 +1097,7 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
           pcb.snd_wl1 <- seq;
           pcb.snd_wl2 <- hdr.Tcp_header.ack;
           pcb.st <- Established;
+          observe_conn_setup pcb;
           cancel_rexmt pcb;
           (* Notify the acceptor. *)
           pcb.on_established ();
@@ -1192,6 +1221,8 @@ let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
       rttvar = 0;
       rto = tcp.cfg.rto_init;
       rtt_timing = None;
+      wr_timing = None;
+      setup_t0 = Sim.now tcp.hst.Host.sim;
       ack_pending = false;
       need_ack_now = false;
       dupacks = 0;
@@ -1261,7 +1292,8 @@ let input tcp ~src ~dst seg =
               if payload_len > 0 then Memcost.per_packet tcp.hst.Host.profile
               else Memcost.ack tcp.hst.Host.profile
             in
-            Host.in_intr_on tcp.hst ~shard:pcb.shard (base_cost + csum_cost)
+            Host.in_intr_on tcp.hst ~shard:pcb.shard ~site:Cpu.Header
+              ~split:(Cpu.Checksum, csum_cost) (base_cost + csum_cost)
               (fun () ->
                 (* Strip the TCP header, keep descriptor metadata. *)
                 Mbuf.adj_head seg hdr_size;
@@ -1285,7 +1317,7 @@ let input tcp ~src ~dst seg =
                 hdr.Tcp_header.window lsl pcb.snd_wscale;
               pcb.on_established <- (fun () -> on_accept pcb);
               Mbuf.free seg;
-              Host.in_intr_on tcp.hst ~shard:pcb.shard
+              Host.in_intr_on tcp.hst ~shard:pcb.shard ~site:Cpu.Header
                 (Memcost.ack tcp.hst.Host.profile) (fun () ->
                   send_control pcb
                     ~flags:[ Tcp_header.SYN; Tcp_header.ACK ]
@@ -1373,6 +1405,13 @@ let sosend_append pcb ~proc chain =
       Tcp_sendq.append ~merge_descriptors:merge pcb.sendq chain;
       Obs_trace.emit Obs_trace.Sendq_append ~a:appended
         ~b:(Tcp_sendq.length pcb.sendq);
+      (* Time this write to the ACK covering its last byte (one write
+         timed at a time; dropped on retransmit like rtt_timing). *)
+      if pcb.wr_timing = None then
+        pcb.wr_timing <-
+          Some
+            ( Tcp_seq.add pcb.snd_una (Tcp_sendq.length pcb.sendq),
+              Sim.now pcb.tcp.hst.Host.sim );
       pump pcb ~proc;
       Ok ()
   | st ->

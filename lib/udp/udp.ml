@@ -118,7 +118,8 @@ let input t ~src ~dst dgram =
             let cost =
               Memcost.per_packet t.hst.Host.profile + csum_cost
             in
-            Host.in_intr t.hst cost (fun () ->
+            Host.in_intr t.hst ~site:Cpu.Header
+              ~split:(Cpu.Checksum, csum_cost) cost (fun () ->
                 Mbuf.adj_head dgram Udp_header.size;
                 t.s <-
                   {
@@ -245,7 +246,8 @@ let sendto t ~proc ?(checksum = true) ~src_port ~dst payload =
             bytes_sent = t.s.bytes_sent + payload_len;
           };
         let cost = Memcost.per_packet t.hst.Host.profile + csum_cost in
-        Host.in_proc t.hst ~proc cost (fun () ->
+        Host.in_proc t.hst ~proc ~site:Cpu.Header
+          ~split:(Cpu.Checksum, csum_cost) cost (fun () ->
             match
               Ipv4.output t.ip ~proto:Ipv4_header.proto_udp ~src
                 ~dst:dst.addr dgram

@@ -29,7 +29,13 @@ Machine-independent invariants are checked unconditionally:
     copy-out/auto-DMA overlap non-zero);
   * the packet tracer's overhead on ttcp-1M (traced twin row vs the
     untraced one) stays per-event — a ratio past 1.5x means tracing
-    leaked onto a per-byte path.
+    leaked onto a per-byte path;
+  * the rpc and ttcp-1M rows must carry per-flow latency percentiles
+    ("lat" section, populated from the Obs log2 histograms): at least
+    one histogram sampled, and every sampled histogram reporting
+    p50/p99 with p99 >= p50 — a missing section means the
+    instrumentation fell off the datapath, an inverted pair means the
+    quantile interpolation broke.
 
 When MICRO (a BENCH_micro.json) is given, the timer-core rows are gated
 too: the O(1)-wheel claim is held as a machine-independent ratio inside
@@ -80,6 +86,20 @@ def load(path):
 def normalized(data):
     anchor = data[ANCHOR]["ns_per_run"]
     return {k: v["ns_per_run"] / anchor for k, v in data.items()}
+
+
+def spread(row):
+    """Half the min-max span of the per-iteration samples, relative to
+    the median — the context a drift warning needs before anyone chases
+    a wall-clock number on a shared box."""
+    samples = row.get("ns_samples")
+    if not samples or len(samples) < 2:
+        return ""
+    med = samples[len(samples) // 2]
+    if med <= 0:
+        return ""
+    half_span = (samples[-1] - samples[0]) / 2.0 / med
+    return f" [samples ±{half_span:.0%} over {len(samples)} iters]"
 
 
 def micro_gate(base_micro, micro_path, failures, warnings):
@@ -351,6 +371,43 @@ def main(baseline_path, current_path, micro_path=None):
         if "routing" not in row:
             failures.append(f"{key}: missing routing section")
 
+    # Hard invariant: per-flow latency percentiles on the rpc and
+    # ttcp-1M rows.  The "lat" section is sourced from the Obs log2
+    # histograms (connection setup, write->ACK, rx copy-out, RTT); a
+    # row that lost it means the instrumentation fell off the
+    # datapath, and a sampled histogram whose p99 dips below its p50
+    # means the quantile interpolation is broken.
+    lat_rows = [k for k in cur if k.startswith("rpc-") or k.startswith("ttcp-1M-")]
+    for key in sorted(lat_rows):
+        if key.endswith("-faulty"):
+            continue
+        lat = cur[key].get("lat")
+        if lat is None:
+            failures.append(f"{key}: missing lat section")
+            continue
+        sampled = 0
+        for hname, h in sorted(lat.items()):
+            count = h.get("count", 0)
+            if count <= 0:
+                continue
+            sampled += 1
+            p50, p99 = h.get("p50"), h.get("p99")
+            if p50 is None or p99 is None:
+                failures.append(
+                    f"{key}: lat.{hname} sampled {count} but missing "
+                    "p50/p99 fields"
+                )
+            elif p99 < p50:
+                failures.append(
+                    f"{key}: lat.{hname} p99 {p99} < p50 {p50} — "
+                    "quantile interpolation broke"
+                )
+        if sampled == 0:
+            failures.append(
+                f"{key}: lat section has no sampled histogram — latency "
+                "instrumentation fell off the datapath"
+            )
+
     # Hard invariants on the fault-injection row.  Its throughput is
     # exempt from the drift gate below (recovery work — retransmissions,
     # SDMA reposts, exhaustion fallbacks — varies legitimately), but the
@@ -446,8 +503,10 @@ def main(baseline_path, current_path, micro_path=None):
         # binary, so drift cannot be a hard failure.  The hard gates are
         # the machine-independent invariants above — exact simulated
         # throughputs, the data-touch ledger, and the same-run ratios.
+        # A warned row carries its per-iteration sample spread so the
+        # reader can tell load spikes from a real shift.
         if abs(drift) > TOLERANCE:
-            warnings.append(line)
+            warnings.append(line + spread(cur[key]))
         else:
             print(f"  ok   {line}")
 
