@@ -775,6 +775,59 @@ let run_target = function
         exit 1
       end
       else Printf.printf "  soak ok (%d seeds)\n" (List.length reports)
+  | "server" ->
+      (* Overload-robustness macro scenario: the 100K-accept mixed server
+         (RPC churn over 4 bulk flows), clean then under SYN flood.  Both
+         rows must drain exactly to baseline; the flood row must keep the
+         bulk flows at >= 0.8x the clean aggregate while the shed AND
+         cookie counters engage — scripts/bench_gate.py --server holds
+         all of it to hard gates. *)
+      let target = 100_000 in
+      let t0 = Unix.gettimeofday () in
+      let clean = Exp_server.run ~target () in
+      Exp_server.print clean;
+      Obs_lat.reset ();
+      let flood = Exp_server.run ~flood:true ~target () in
+      Exp_server.print flood;
+      let wall = Unix.gettimeofday () -. t0 in
+      let row (r : Exp_server.result) =
+        Printf.sprintf
+          "{ \"flood\": %b, \"ok\": %b, \"target\": %d, \"accepted\": %d, \
+           \"rpc_completed\": %d, \"client_retries\": %d, \"bulk_mbit\": \
+           %.3f, \"syn_rcvd\": %d, \"cookies_sent\": %d, \
+           \"cookies_validated\": %d, \"sheds\": %d, \"accept_p50_us\": %s, \
+           \"accept_p99_us\": %s, \"leaks\": %d, \"elapsed_s\": %.3f, \
+           \"events\": %d }"
+          r.Exp_server.flood r.Exp_server.ok r.Exp_server.target
+          r.Exp_server.accepted r.Exp_server.rpc_completed
+          r.Exp_server.client_retries r.Exp_server.bulk_mbit
+          r.Exp_server.syn_rcvd r.Exp_server.cookies_sent
+          r.Exp_server.cookies_validated r.Exp_server.sheds
+          (match r.Exp_server.accept_p50_us with
+          | Some v -> Printf.sprintf "%.3f" v
+          | None -> "null")
+          (match r.Exp_server.accept_p99_us with
+          | Some v -> Printf.sprintf "%.3f" v
+          | None -> "null")
+          (List.length r.Exp_server.leaks)
+          r.Exp_server.elapsed_s r.Exp_server.events
+      in
+      let file = out_path "BENCH_server.json" in
+      let oc = open_out file in
+      Printf.fprintf oc "{ \"wall_s\": %.3f, \"rows\": [ %s, %s ] }\n" wall
+        (row clean) (row flood);
+      close_out oc;
+      let rf = out_path "BENCH_server_obs.json" in
+      let oc = open_out rf in
+      output_string oc (Obs.to_json ~sections:[ "conn"; "lat"; "sim" ] ());
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "\n  wrote %s and %s (%.1f s wall)\n" file rf wall;
+      if not (clean.Exp_server.ok && flood.Exp_server.ok) then begin
+        Printf.printf "  server FAILED\n";
+        exit 1
+      end
+      else Printf.printf "  server ok (clean + flood)\n"
   | t ->
       Printf.eprintf "unknown target %S\n" t;
       exit 2
@@ -785,7 +838,7 @@ let all_targets =
   paper_targets
   @ [ "alignment"; "pincache"; "autodma"; "smallwrite"; "interop"; "incast";
       "allpairs"; "scaling"; "netmem"; "serverapi"; "rpc"; "window";
-      "micro"; "macro"; "soak" ]
+      "micro"; "macro"; "soak"; "server" ]
 
 let () =
   Tracelog.init_from_env ();

@@ -78,6 +78,10 @@ val stop : t -> handle -> unit
 val armed : handle -> bool
 (** True while a deadline is pending (armed and not yet fired). *)
 
+val dbg_handle : handle -> string
+(** Debug: where the timer lives (heap/ready/level-N/idle), its deadline
+    and seq — for post-mortem dumps of stuck timers. *)
+
 val periodic : t -> every:Simtime.t -> (unit -> unit) -> handle
 (** A self-re-arming timer: fires every [every], starting one period
     from now.  {!stop} pauses it; {!rearm} restarts it.  The re-arm
@@ -106,3 +110,6 @@ val run : ?until:Simtime.t -> ?max_events:int -> t -> unit
 
 val step : t -> bool
 (** Fires the single earliest event.  [false] when the queue is empty. *)
+
+val dbg_locate : t -> handle -> string
+(** Debug: physically locate an armed timer inside the wheel. *)

@@ -286,3 +286,38 @@ let cancels t = t.n_cancels
 let cascades t = t.n_cascades
 let near_rejects t = t.n_near
 let far_rejects t = t.n_far
+
+(* Debug: physically locate [tm] by scanning every slot and the ready
+   list; report cursor and per-level counts. *)
+let dbg_locate t tm =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "cursor=%d (t=%dns) pending=%d ready=%d counts=[%s] "
+       t.now_tick (t.now_tick lsl t.tick_bits) t.n_pending t.n_ready
+       (String.concat ";" (Array.to_list (Array.map string_of_int t.counts))));
+  let found = ref false in
+  for l = 0 to t.nlevels - 1 do
+    for i = 0 to t.mask do
+      let s = t.slots.(l).(i) in
+      let cur = ref s.next in
+      while !cur != s do
+        if !cur == tm then begin
+          found := true;
+          let dtick = tm.deadline asr t.tick_bits in
+          Buffer.add_string b
+            (Printf.sprintf
+               "linked L%d[%d] dtick=%d rel=%d place_idx=%d" l i dtick
+               (dtick - t.now_tick)
+               ((dtick asr (l * t.slot_bits)) land t.mask))
+        end;
+        cur := !cur.next
+      done
+    done
+  done;
+  let cur = ref t.ready.next in
+  while !cur != t.ready do
+    if !cur == tm then begin found := true; Buffer.add_string b "in-ready" end;
+    cur := !cur.next
+  done;
+  if not !found then Buffer.add_string b "NOT-LINKED";
+  Buffer.contents b

@@ -117,3 +117,6 @@ val cancels : t -> int
 val cascades : t -> int
 val near_rejects : t -> int
 val far_rejects : t -> int
+
+val dbg_locate : t -> timer -> string
+(** Debug: scan all slots/ready for physical membership of a timer. *)

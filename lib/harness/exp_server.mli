@@ -1,0 +1,49 @@
+(** The 100K-flow mixed server scenario (overload robustness).
+
+    Host B serves short RPC connections on a bounded listener (accept
+    queue, SYN queue, cookies) through the {!Sockpoll} readiness loop
+    while four long-lived bulk flows stream alongside; host A churns
+    [concurrency] closed-loop RPC clients until the server has accepted
+    [target] connections.  The flood variant arms [tcp.synflood] and
+    [conn.accept_full] to verify the admission machinery protects the
+    established (bulk) flows.  Every run must drain timers, mbufs,
+    frames and netmem pages exactly back to baseline. *)
+
+type leak = { metric : string; baseline : float; final : float }
+
+type result = {
+  flood : bool;
+  target : int;
+  accepted : int;
+  rpc_completed : int;
+  client_retries : int;
+  bulk_mbit : float;
+  syn_rcvd : int;
+  syn_queued : int;
+  synack_rexmits : int;
+  syn_timeouts : int;
+  flood_injected : int;
+  cookies_sent : int;
+  cookies_validated : int;
+  cookies_rejected : int;
+  sheds : int;
+  shed_pressure : int;
+  shed_accept : int;
+  shed_penalty : int;
+  accept_overflows : int;
+  accept_p50_us : float option;
+  accept_p99_us : float option;
+  elapsed_s : float;
+  events : int;
+  leaks : leak list;
+  ok : bool;
+}
+
+val run :
+  ?flood:bool -> ?seed:int -> ?target:int -> ?concurrency:int -> unit -> result
+(** Defaults: no flood, seed 42, target 100_000 accepts, 256 concurrent
+    churn clients.  Run the clean and flood variants in separate
+    processes or reset {!Obs_lat} between them when comparing latency
+    histograms. *)
+
+val print : result -> unit

@@ -11,6 +11,7 @@ let conn_setup_ns = Obs.histogram ~section:"lat" ~name:"conn_setup_ns"
 let write_ack_ns = Obs.histogram ~section:"lat" ~name:"write_ack_ns"
 let rx_copyout_ns = Obs.histogram ~section:"lat" ~name:"rx_copyout_ns"
 let rtt_ns = Obs.histogram ~section:"lat" ~name:"rtt_ns"
+let accept_ns = Obs.histogram ~section:"lat" ~name:"accept_ns"
 
 let all =
   [
@@ -18,6 +19,7 @@ let all =
     ("write_ack_ns", write_ack_ns);
     ("rx_copyout_ns", rx_copyout_ns);
     ("rtt_ns", rtt_ns);
+    ("accept_ns", accept_ns);
   ]
 
 let reset () = List.iter (fun (_, h) -> Obs.Histogram.reset h) all

@@ -21,12 +21,16 @@ val rx_copyout_ns : Obs.Histogram.t
 val rtt_ns : Obs.Histogram.t
 (** TCP RTT samples, as fed to the RTO estimator. *)
 
+val accept_ns : Obs.Histogram.t
+(** Listener accept queue residency: connection promoted to ESTABLISHED
+    to the application's [Tcp.accept] dequeuing it. *)
+
 val all : (string * Obs.Histogram.t) list
-(** The four histograms with their registry names. *)
+(** The histograms with their registry names. *)
 
 val reset : unit -> unit
-(** Reset all four histograms (bench harnesses call this after warm-up
-    so percentiles cover only measured iterations). *)
+(** Reset all histograms (bench harnesses call this after warm-up so
+    percentiles cover only measured iterations). *)
 
 val quantiles_json : Obs.Histogram.t -> string
 (** [{"count": n, "p50": x, "p90": y, "p99": z}] — quantiles [null]

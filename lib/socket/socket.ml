@@ -80,6 +80,10 @@ type t = {
   mutable rx_observations : int;
       (* delivered chains whose cost fed the policy's rx tables *)
   mutable closed : bool;
+  mutable event_hook : (unit -> unit) option;
+      (* readiness edge notification for {!Sockpoll}: fired whenever the
+         pcb reports readable / sendable / closed, after the socket's own
+         wakeups ran (so level checks observe the post-wakeup state) *)
   mutable s : stats;
 }
 
@@ -90,6 +94,8 @@ let pcb t = t.pcb
 let stats t = t.s
 let pin_cache t = t.cache
 let path_policy t = t.policy
+let set_event_hook t f = t.event_hook <- Some f
+let notify_event t = match t.event_hook with Some f -> f () | None -> ()
 
 let create ~host ~space ~proc ?(paths = default_paths) pcb =
   let cache =
@@ -120,6 +126,7 @@ let create ~host ~space ~proc ?(paths = default_paths) pcb =
       last_tx_faults = 0;
       rx_observations = 0;
       closed = false;
+      event_hook = None;
       s = zero_stats;
     }
   in
@@ -135,17 +142,19 @@ let create ~host ~space ~proc ?(paths = default_paths) pcb =
   | None -> ());
   Tcp.set_callbacks pcb
     ~on_readable:(fun () ->
-      match t.reader_waiting with
+      (match t.reader_waiting with
       | Some k ->
           t.reader_waiting <- None;
           k ()
-      | None -> ())
+      | None -> ());
+      notify_event t)
     ~on_sendable:(fun () ->
       (* Wake every parked writer: each re-checks the space it needs, so
          a spurious wake only costs a recheck. *)
       let woken = Queue.create () in
       Queue.transfer t.writers_waiting woken;
-      Queue.iter (fun k -> k ()) woken)
+      Queue.iter (fun k -> k ()) woken;
+      notify_event t)
     ~on_closed:(fun () ->
       (* Wake anyone blocked so the simulation cannot wedge. *)
       let notifies = t.pending_notifies in
@@ -162,7 +171,8 @@ let create ~host ~space ~proc ?(paths = default_paths) pcb =
       | None -> ());
       let woken = Queue.create () in
       Queue.transfer t.writers_waiting woken;
-      Queue.iter (fun k -> k ()) woken)
+      Queue.iter (fun k -> k ()) woken;
+      notify_event t)
     ();
   t
 
@@ -459,6 +469,28 @@ let eof_state t =
   | Tcp.Listen | Tcp.Syn_sent | Tcp.Syn_received | Tcp.Established
   | Tcp.Fin_wait_1 | Tcp.Fin_wait_2 ->
       false
+
+(* ---------------- readiness (level-triggered, for Sockpoll) ------- *)
+
+let readable t =
+  Tcp.recv_available t.pcb > 0
+  || t.closed
+  || (match Tcp.state t.pcb with
+     | Tcp.Close_wait | Tcp.Closing | Tcp.Last_ack | Tcp.Time_wait
+     | Tcp.Closed ->
+         true (* EOF (or pending data followed by EOF) never blocks *)
+     | Tcp.Listen | Tcp.Syn_sent | Tcp.Syn_received | Tcp.Established
+     | Tcp.Fin_wait_1 | Tcp.Fin_wait_2 ->
+         false)
+
+let writable t =
+  (not t.closed)
+  &&
+  match Tcp.state t.pcb with
+  | Tcp.Established | Tcp.Close_wait -> Tcp.snd_space t.pcb > 0
+  | _ -> false
+
+let is_closed t = t.closed || Tcp.state t.pcb = Tcp.Closed
 
 (* Move one received chain into the user region starting at [dst_off].
    Continuation gets called once every piece (sync copies and async DMA

@@ -100,6 +100,23 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val close : t -> unit
 
+(** {1 Readiness (level-triggered, consumed by {!Sockpoll})} *)
+
+val readable : t -> bool
+(** Data is queued for the application, or the stream has ended — a
+    [read] would complete without parking. *)
+
+val writable : t -> bool
+(** The connection accepts data and the send buffer has room — a small
+    [write] would complete without parking. *)
+
+val is_closed : t -> bool
+
+val set_event_hook : t -> (unit -> unit) -> unit
+(** Install the readiness edge notification: fired after any pcb
+    readable / sendable / closed callback has run the socket's own
+    wakeups.  One hook per socket (the poller); last install wins. *)
+
 val listen :
   stack_tcp:Tcp.t ->
   host:Host.t ->

@@ -1,0 +1,57 @@
+(** Epoll-shaped readiness multiplexing for sockets and listeners.
+
+    One poller drives an arbitrary number of sockets ({!Socket.t}) and
+    listeners ({!Tcp.listener}) with O(ready) cost per {!wait}: items
+    enqueue themselves on an internal ready list when their readiness
+    hook fires (edge), and [wait] filters that list against the
+    level-triggered predicates ({!Socket.readable}, {!Socket.writable},
+    {!Tcp.listener_pending}) so callers never see stale events and a
+    still-ready item is reported again on the next wait without a new
+    edge — epoll's level-triggered contract.
+
+    Single-waiter by design: the simulated server's event loop is one
+    process.  [wait] parks its continuation when nothing is ready and
+    the next readiness edge resumes it. *)
+
+type interest = { want_read : bool; want_write : bool; want_accept : bool }
+
+val read_write : interest
+val accept_only : interest
+
+type item = Sock of Socket.t | Listener of Tcp.listener
+
+type entry
+(** Registration handle; stable for the item's lifetime. *)
+
+type event = {
+  ev_item : item;
+  ev_data : int;  (** the cookie passed at registration *)
+  ev_readable : bool;
+  ev_writable : bool;
+  ev_acceptable : bool;
+  ev_closed : bool;
+      (** reported regardless of interest so dead sockets are reaped *)
+}
+
+type t
+
+val create : unit -> t
+val registered : t -> int
+
+val add_socket : t -> ?interest:interest -> data:int -> Socket.t -> entry
+(** Register a socket (default interest {!read_write}); installs the
+    socket's event hook.  Reports an immediate event if already ready. *)
+
+val add_listener : t -> ?interest:interest -> data:int -> Tcp.listener -> entry
+(** Register a listener for accept readiness. *)
+
+val remove : t -> entry -> unit
+(** Unregister.  O(1): the entry is tombstoned and dropped from the
+    ready list lazily. *)
+
+val wait : t -> (event list -> unit) -> unit
+(** Deliver the current ready set, or park the continuation until at
+    least one item becomes ready.  At most one waiter at a time. *)
+
+val poll : t -> event list
+(** Non-blocking {!wait}: the current ready set, possibly empty. *)

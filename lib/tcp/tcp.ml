@@ -39,6 +39,9 @@ type config = {
   single_copy : bool;
   coalesce_descriptors : bool;
   max_rexmt : int;
+  keepalive_idle : Simtime.t;
+  keepalive_intvl : Simtime.t;
+  keepalive_probes : int;
 }
 
 let default_config =
@@ -57,6 +60,9 @@ let default_config =
     single_copy = true;
     coalesce_descriptors = false;
     max_rexmt = 12;
+    keepalive_idle = 0;
+    keepalive_intvl = Simtime.ms 100.;
+    keepalive_probes = 4;
   }
 
 type pcb_stats = {
@@ -90,6 +96,46 @@ let agg_fast_retransmits = Obs.counter ~section:"tcp" ~name:"fast_retransmits"
 
 let agg_csum_failures_rx =
   Obs.counter ~section:"tcp" ~name:"csum_failures_rx"
+
+(* Connection-plane telemetry (section "conn"): every admission decision
+   the listener makes — queued, promoted, shed, cookied, reaped — is
+   published process-globally, so the overload benches and the gate
+   assert on evidence (sheds and cookies actually happened) rather than
+   on throughput alone. *)
+let conn_syn_rcvd = Obs.counter ~section:"conn" ~name:"syn_rcvd"
+let conn_syn_queued = Obs.counter ~section:"conn" ~name:"syn_queued"
+let conn_syn_dup = Obs.counter ~section:"conn" ~name:"syn_dup"
+let conn_synack_rexmits = Obs.counter ~section:"conn" ~name:"synack_rexmits"
+let conn_syn_timeouts = Obs.counter ~section:"conn" ~name:"syn_timeouts"
+let conn_syn_drop_full = Obs.counter ~section:"conn" ~name:"syn_drop_full"
+let conn_cookies_sent = Obs.counter ~section:"conn" ~name:"cookies_sent"
+
+let conn_cookies_validated =
+  Obs.counter ~section:"conn" ~name:"cookies_validated"
+
+let conn_cookies_rejected =
+  Obs.counter ~section:"conn" ~name:"cookies_rejected"
+
+let conn_promoted = Obs.counter ~section:"conn" ~name:"promoted"
+let conn_accept_queued = Obs.counter ~section:"conn" ~name:"accept_queued"
+let conn_accepted = Obs.counter ~section:"conn" ~name:"accepted"
+
+let conn_accept_overflow =
+  Obs.counter ~section:"conn" ~name:"accept_overflow"
+
+let conn_shed_pressure = Obs.counter ~section:"conn" ~name:"shed_pressure"
+let conn_shed_accept = Obs.counter ~section:"conn" ~name:"shed_accept"
+let conn_shed_penalty = Obs.counter ~section:"conn" ~name:"shed_penalty"
+let conn_flood_injected = Obs.counter ~section:"conn" ~name:"flood_injected"
+
+let conn_keepalive_probes =
+  Obs.counter ~section:"conn" ~name:"keepalive_probes"
+
+let conn_keepalive_drops =
+  Obs.counter ~section:"conn" ~name:"keepalive_drops"
+
+let conn_listen_drained = Obs.counter ~section:"conn" ~name:"listen_drained"
+let conn_port_lookups = Obs.counter ~section:"conn" ~name:"port_lookups"
 
 let zero_stats =
   {
@@ -157,6 +203,8 @@ type pcb = {
   delack_timer : Sim.handle;
   persist_timer : Sim.handle;
   time_wait_timer : Sim.handle;
+  keep_timer : Sim.handle;
+  mutable keep_probes : int;
   (* RTT estimation (Jacobson/Karn) *)
   mutable srtt : Simtime.t;  (* 0 = no sample yet *)
   mutable rttvar : Simtime.t;
@@ -209,15 +257,72 @@ and t = {
   tabs : pcb Flowtab.t array;
       (* per-shard demux: (lport, raddr, rport) -> pcb, O(1) via the
          RSS flow hash (shard = hash mod shard_count) *)
-  mutable listeners : (int * (pcb -> unit)) list;
+  ports : listener Flowtab.t array;
+      (* per-shard O(1) listening-port table (the Flowtab shape again,
+         keyed on the wildcard tuple (port, any, 0)); every shard holds
+         every listener, so a SYN is admitted entirely on the shard its
+         tuple hashes to.  Replaces the old O(n) assoc-list scan. *)
   mutable next_port : int;
   mutable next_iss : int;
   iss_rng : Rng.t;
       (* per-instance stream salting ISS bumps so a 4-tuple reopened
          inside time-wait cannot land on a colliding sequence range *)
+  mutable pressure_fn : unit -> float;
+      (* memory-pressure signal in [0,1] (mbuf/netmem occupancy), wired
+         by the harness; near 1.0 the listener sheds all new work *)
+  penalty : float array;
+      (* per-shard admission penalty, Path_policy-shaped: multiplicative
+         bump on SYN-queue overflow, slow decay on each admission *)
+  sat_tick : int array;
+      (* per-shard count of SYNs that arrived while the SYN queue was
+         saturated — the penalty's rate-limit alternates on its parity *)
+  flood_rng : Rng.t;
+      (* forged-tuple stream for the tcp.synflood fault site; separate
+         from iss_rng so arming a flood never shifts legacy ISS draws *)
+  cookie_secret : int;
   staging : Bytes.t;
       (* preallocated header-decode staging for the straddling-segment
          slow path in [input] *)
+}
+
+(* A half-open connection: the compact record a SYN creates instead of a
+   full pcb.  A handful of words versus the pcb's dozens plus five timer
+   handles, a send queue and a reassembly buffer — the point of the
+   bounded SYN queue is that a flood occupies these, never pcbs. *)
+and half_open = {
+  ho_laddr : Inaddr.t;
+  ho_raddr : Inaddr.t;
+  ho_lport : int;
+  ho_rport : int;
+  ho_flow_hash : int;
+  ho_shard : int;
+  ho_iss : Tcp_seq.t;
+  ho_irs : Tcp_seq.t;
+  ho_mss : int;  (* effective MSS: our default min the peer's offer *)
+  ho_wscale : int;  (* peer's offered shift, -1 = not offered *)
+  ho_created : Simtime.t;
+  mutable ho_deadline : Simtime.t;
+  mutable ho_rexmits : int;
+  ho_forged : bool;  (* injected by the synflood site: will never ACK *)
+}
+
+and listener = {
+  l_tcp : t;
+  l_port : int;
+  l_rst_on_full : bool;  (* RST (vs silently drop) on accept overflow *)
+  l_cookies : bool;  (* stateless fallback when the SYN queue saturates *)
+  mutable l_on_accept : (pcb -> unit) option;
+      (* auto-accept callback (the legacy [listen] API); [None] means
+         completed connections queue for [accept] *)
+  mutable l_on_acceptable : unit -> unit;
+  l_q : (half_open, pcb * Simtime.t) Listenq.t;
+  l_acc_shard : int array;  (* accept-queue occupancy per owning shard *)
+  l_reaper : Sim.handle;
+      (* one timer for every half-open behind this port: armed only
+         while the SYN table is non-empty, so an idle or clean-handshake
+         listener schedules nothing *)
+  mutable l_closed : bool;
+  mutable l_cookies_sent : int;
 }
 
 let config t = t.cfg
@@ -240,9 +345,28 @@ let pcb_shard pcb = pcb.shard
 
 let flows_per_shard t = Array.map Flowtab.length t.tabs
 let active_flows t = Array.fold_left (fun a tab -> a + Flowtab.length tab) 0 t.tabs
+let iter_flows t f = Array.iter (fun tab -> Flowtab.iter f tab) t.tabs
+
+let set_pressure_fn tcp f = tcp.pressure_fn <- f
 
 (* Demux key packing for the per-shard flow tables. *)
 let key_a ~lport ~rport = (lport lsl 16) lor rport
+
+(* Listening ports reuse the Flowtab machinery with the wildcard tuple
+   (port, any, 0): same open addressing, same O(1) lookup/insert/remove. *)
+let port_hash port = Flow_hash.hash ~raddr:Inaddr.any ~lport:port ~rport:0
+let port_ka port = key_a ~lport:port ~rport:0
+let port_kb = Flow_hash.addr_bits Inaddr.any
+
+let find_listener tcp ~shard ~port =
+  Obs.Counter.incr conn_port_lookups;
+  Flowtab.find tcp.ports.(shard) ~hash:(port_hash port) ~ka:(port_ka port)
+    ~kb:port_kb
+
+(* Half-open key within one listener's SYN table: remote address bits
+   and remote port (the local tuple is fixed per listener). *)
+let half_open_key ~raddr ~rport =
+  (Flow_hash.addr_bits raddr lsl 16) lor rport
 
 let set_callbacks pcb ?on_readable ?on_sendable ?on_closed () =
   (match on_readable with Some f -> pcb.on_readable <- f | None -> ());
@@ -256,11 +380,16 @@ let post_rx_cost pcb ~bucket ~uio_us ~copy_us =
     Some (Tcp_header.Rx_cost { bucket; uio_us; copy_us })
 
 let pp_pcb fmt pcb =
-  Format.fprintf fmt "tcp[%a:%d->%a:%d %s una=%d nxt=%d q=%d wnd=%d]"
+  Format.fprintf fmt
+    "tcp[%a:%d->%a:%d %s una=%d nxt=%d max=%d q=%d wnd=%d shift=%d dup=%d \
+     rec=%d pump=%b rexmt=%s persist=%s keep=%s]"
     Inaddr.pp pcb.local_addr pcb.lport Inaddr.pp pcb.raddr pcb.rport
-    (state_to_string pcb.st) pcb.snd_una pcb.snd_nxt
+    (state_to_string pcb.st) pcb.snd_una pcb.snd_nxt pcb.snd_max
     (Tcp_sendq.length pcb.sendq)
-    pcb.snd_wnd
+    pcb.snd_wnd pcb.rexmt_shift pcb.dupacks pcb.recover pcb.pumping
+    (Sim.dbg_handle pcb.rexmt_timer)
+    (Sim.dbg_handle pcb.persist_timer)
+    (Sim.dbg_handle pcb.keep_timer)
 
 (* ---------- timers ---------- *)
 
@@ -472,6 +601,7 @@ let remove_pcb pcb =
   cancel_delack pcb;
   cancel_persist pcb;
   Sim.stop (sim_of pcb) pcb.time_wait_timer;
+  Sim.stop (sim_of pcb) pcb.keep_timer;
   Tcp_sendq.clear pcb.sendq;
   List.iter Mbuf.free pcb.rcvq;
   pcb.rcvq <- [];
@@ -866,6 +996,46 @@ let verify_checksum pcb seg =
       if not ok then Obs.Counter.incr agg_csum_failures_rx;
       (ok, cost)
 
+(* Checksum verification for a segment with no pcb yet (a listener's
+   handshake ACK): the same arithmetic, ledger touches and trace
+   emission as [verify_checksum], with the connection-constant pseudo
+   base recomputed from the addresses (it is src/dst-commutative) and
+   the fresh-pcb receive working-set hint ([cfg.rcv_buf]).  Returns
+   (ok, host_cost, hardware_verified). *)
+let verify_checksum_raw tcp ~laddr ~raddr seg =
+  let seg_len = Mbuf.pkt_len seg in
+  let base =
+    Inet_csum.pseudo_header ~src:laddr ~dst:raddr
+      ~proto:Ipv4_header.proto_tcp ~len:0
+  in
+  let pseudo = Inet_csum.add_u16 base seg_len in
+  match seg.Mbuf.pkthdr with
+  | Some { Mbuf.rx_csum = Some rx; _ } ->
+      let skipped_len = max 0 rx.Csum_offload.rx_start in
+      let skipped =
+        if skipped_len = 0 then Inet_csum.zero
+        else begin
+          Obs_ledger.touch Obs_ledger.Tcp_rx_csum Obs_ledger.Sum
+            (min skipped_len seg_len);
+          Mbuf.checksum seg ~off:0 ~len:(min skipped_len seg_len)
+        end
+      in
+      Obs_trace.emit Obs_trace.Rx_adjust ~a:seg_len ~b:skipped_len;
+      let ok = Csum_offload.rx_verify rx ~skipped ~pseudo in
+      if not ok then Obs.Counter.incr agg_csum_failures_rx;
+      (ok, 0, true)
+  | Some _ | None ->
+      Obs_ledger.touch Obs_ledger.Tcp_rx_csum Obs_ledger.Sum seg_len;
+      let sum = Mbuf.checksum seg ~off:0 ~len:seg_len in
+      let ok = Inet_csum.is_valid (Inet_csum.add pseudo sum) in
+      let cost =
+        Memcost.checksum_read tcp.hst.Host.profile
+          ~locality:(Memcost.Working_set tcp.cfg.rcv_buf)
+          seg_len
+      in
+      if not ok then Obs.Counter.incr agg_csum_failures_rx;
+      (ok, cost, false)
+
 (* ---------- ack policy on data receipt ---------- *)
 
 let schedule_ack pcb =
@@ -891,6 +1061,43 @@ let delack_fire pcb =
     pcb.ack_pending <- false;
     send_ack_now pcb
   end
+
+(* ---------- keepalive (idle-flow reaping) ---------- *)
+
+(* Refresh the idle timer and forget probe history.  One compare when
+   the feature is off (keepalive_idle = 0, the default): the legacy fast
+   path pays a single branch per received segment. *)
+let keepalive_touch pcb =
+  if pcb.tcp.cfg.keepalive_idle > 0 then begin
+    pcb.keep_probes <- 0;
+    match pcb.st with
+    | Established | Close_wait | Fin_wait_1 | Fin_wait_2 ->
+        Sim.rearm (sim_of pcb) pcb.keep_timer pcb.tcp.cfg.keepalive_idle
+    | _ -> ()
+  end
+
+let keep_fire pcb =
+  match pcb.st with
+  | Established | Close_wait | Fin_wait_1 | Fin_wait_2 ->
+      if pcb.keep_probes >= pcb.tcp.cfg.keepalive_probes then begin
+        (* The peer stopped answering: reap the flow so idle state stays
+           bounded (best-effort RST, BSD's ETIMEDOUT drop). *)
+        Obs.Counter.incr conn_keepalive_drops;
+        send_control pcb ~flags:[ Tcp_header.RST; Tcp_header.ACK ] ();
+        to_closed pcb
+      end
+      else begin
+        pcb.keep_probes <- pcb.keep_probes + 1;
+        Obs.Counter.incr conn_keepalive_probes;
+        (* Classic probe: a bare ACK one byte below snd_nxt — already
+           acknowledged sequence space, so a live peer must answer. *)
+        ignore
+          (emit pcb
+             ~seq:(Tcp_seq.add pcb.snd_nxt (-1))
+             ~flags:[ Tcp_header.ACK ] ~options:[] ~payload:None);
+        Sim.rearm (sim_of pcb) pcb.keep_timer pcb.tcp.cfg.keepalive_intvl
+      end
+  | _ -> ()
 
 (* ---------- input processing ---------- *)
 
@@ -1010,7 +1217,16 @@ let apply_rx_cost_options pcb (hdr : Tcp_header.t) =
 (* Handle an in-window data payload (chain trimmed to payload only). *)
 let rec process_data pcb ~seq chain =
   let len = Mbuf.chain_len chain in
-  if len = 0 then Mbuf.free chain
+  if len = 0 then begin
+    Mbuf.free chain;
+    (* An empty segment from old sequence space is a keepalive probe (or
+       a stale duplicate): answer it so the prober sees life.  In-order
+       pure ACKs carry [seq = rcv_nxt] and stay on the free-only path. *)
+    if Tcp_seq.lt seq pcb.rcv_nxt then begin
+      pcb.need_ack_now <- true;
+      schedule_ack pcb
+    end
+  end
   else begin
     let d = Tcp_seq.diff seq pcb.rcv_nxt in
     if d = 0 then begin
@@ -1052,6 +1268,7 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
     Tcp_header.pp hdr (Mbuf.chain_len chain) (state_to_string pcb.st)
     pcb.rcv_nxt;
   pcb.stats <- { pcb.stats with segs_rcvd = pcb.stats.segs_rcvd + 1 };
+  keepalive_touch pcb;
   apply_rx_cost_options pcb hdr;
   let seq = hdr.Tcp_header.seq in
   let has f = Tcp_header.has f hdr in
@@ -1081,6 +1298,7 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
           pcb.st <- Established;
           observe_conn_setup pcb;
           cancel_rexmt pcb;
+          keepalive_touch pcb;
           Mbuf.free chain;
           send_ack_now pcb;
           pcb.on_established ();
@@ -1099,6 +1317,7 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
           pcb.st <- Established;
           observe_conn_setup pcb;
           cancel_rexmt pcb;
+          keepalive_touch pcb;
           (* Notify the acceptor. *)
           pcb.on_established ();
           (* The handshake ACK may carry data. *)
@@ -1165,19 +1384,27 @@ let segment_arrived pcb (hdr : Tcp_header.t) chain =
 
 (* ---------- demux and pcb creation ---------- *)
 
-let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
-  let flow_hash = Flow_hash.hash ~raddr ~lport ~rport in
-  let shard = Flow_hash.shard ~count:tcp.shard_count flow_hash in
+(* Advance by the classic 64000 plus a flow-salted pseudo-random offset:
+   a 4-tuple reopened while its predecessor sits in time-wait starts
+   outside the old sequence range instead of a predictable 64000 ahead.
+   Sequence numbers never influence event timing, so this does not
+   perturb the deterministic traces.  The listener draws at SYN arrival
+   (the same stream point where the old code built its pcb), then passes
+   the value into [make_pcb ~iss] at promotion. *)
+let draw_iss tcp ~flow_hash =
   let iss = tcp.next_iss in
-  (* Advance by the classic 64000 plus a flow-salted pseudo-random
-     offset: a 4-tuple reopened while its predecessor sits in time-wait
-     starts outside the old sequence range instead of a predictable
-     64000 ahead.  Sequence numbers never influence event timing, so
-     this does not perturb the deterministic traces. *)
   tcp.next_iss <-
     Tcp_seq.norm
       (tcp.next_iss + 64000
       + ((flow_hash lxor Rng.int tcp.iss_rng 0x40000000) land 0xffff));
+  iss
+
+let make_pcb ?iss tcp ~local_addr ~lport ~raddr ~rport =
+  let flow_hash = Flow_hash.hash ~raddr ~lport ~rport in
+  let shard = Flow_hash.shard ~count:tcp.shard_count flow_hash in
+  let iss =
+    match iss with Some i -> i | None -> draw_iss tcp ~flow_hash
+  in
   (* Preencode the connection-constant header fields; seq/ack/flags/
      window/checksum are patched per segment (urgent stays 0). *)
   let tpl = Bytes.make Tcp_header.base_size '\000' in
@@ -1217,6 +1444,8 @@ let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
       delack_timer = Sim.timer tcp.hst.Host.sim ignore;
       persist_timer = Sim.timer tcp.hst.Host.sim ignore;
       time_wait_timer = Sim.timer tcp.hst.Host.sim ignore;
+      keep_timer = Sim.timer tcp.hst.Host.sim ignore;
+      keep_probes = 0;
       srtt = 0;
       rttvar = 0;
       rto = tcp.cfg.rto_init;
@@ -1250,6 +1479,7 @@ let make_pcb tcp ~local_addr ~lport ~raddr ~rport =
   Sim.set_fn pcb.delack_timer (fun () -> delack_fire pcb);
   Sim.set_fn pcb.persist_timer (fun () -> persist_fire pcb);
   Sim.set_fn pcb.time_wait_timer (fun () -> to_closed pcb);
+  Sim.set_fn pcb.keep_timer (fun () -> keep_fire pcb);
   Flowtab.add tcp.tabs.(shard) ~hash:flow_hash ~ka:(key_a ~lport ~rport)
     ~kb:(Flow_hash.addr_bits raddr) pcb;
   pcb
@@ -1259,6 +1489,475 @@ let lookup tcp ~lport ~raddr ~rport =
   Flowtab.find
     tcp.tabs.(Flow_hash.shard ~count:tcp.shard_count h)
     ~hash:h ~ka:(key_a ~lport ~rport) ~kb:(Flow_hash.addr_bits raddr)
+
+(* ---------- connection plane: raw control segments ---------- *)
+
+(* Emit a control segment for a connection that has no pcb: the
+   listener's SYN-ACK (half-open admission, cookie fallback) and the RST
+   on accept-queue overflow.  Host-checksummed with the same arithmetic
+   as [emit]'s control path, so the wire bytes match what a Syn_received
+   pcb used to send. *)
+let emit_raw tcp ~laddr ~raddr ~lport ~rport ~seq ~ack ~flags ~options
+    ~window =
+  let hdr_len = Tcp_header.base_size + Tcp_header.options_size options in
+  let hdr =
+    Tcp_header.make ~flags ~window ~options ~src_port:lport ~dst_port:rport
+      ~seq ~ack ()
+  in
+  let hbytes = Bytes.create hdr_len in
+  Tcp_header.encode hdr ~csum:0 hbytes ~off:0;
+  let base =
+    Inet_csum.pseudo_header ~src:laddr ~dst:raddr
+      ~proto:Ipv4_header.proto_tcp ~len:0
+  in
+  let pseudo = Inet_csum.add_u16 base hdr_len in
+  let hdr_sum = Inet_csum.of_bytes ~len:hdr_len hbytes in
+  let total =
+    Inet_csum.add pseudo
+      (Inet_csum.concat ~first_len:hdr_len hdr_sum Inet_csum.zero)
+  in
+  Bytes.set_uint16_be hbytes Tcp_header.csum_field_offset
+    (Inet_csum.finish total);
+  let seg = Mbuf.of_bytes ~pkthdr:true ~len:hdr_len hbytes in
+  match
+    Ipv4.output tcp.ip ~proto:Ipv4_header.proto_tcp ~src:laddr ~dst:raddr
+      seg
+  with
+  | Ok _ -> ()
+  | Error _ -> ()
+
+(* The window a fresh SYN-ACK advertises: the full receive buffer,
+   scaled only when the peer offered window scaling (exactly what
+   [window_field] computed on a just-initialized Syn_received pcb). *)
+let synack_window cfg ~wscale_on =
+  let shift = if wscale_on then wanted_wscale cfg else 0 in
+  min (cfg.rcv_buf lsr shift) 0xffff
+
+(* ---------- SYN cookies (stateless fallback) ---------- *)
+
+(* When the SYN table saturates, encode everything needed to rebuild the
+   connection into the ISS we send: 28 keyed-hash bits binding the
+   4-tuple and the client's ISN, plus 3 bits indexing a small MSS table.
+   The handshake ACK returns the cookie in its ack field; validation
+   recomputes the hash.  No host state exists until then. *)
+let cookie_mss_table = [| 536; 1460; 4312; 8960; 16384; 32768; 43688; 65160 |]
+
+let cookie_mss_index mss =
+  let idx = ref 0 in
+  Array.iteri (fun i m -> if m <= mss then idx := i) cookie_mss_table;
+  !idx
+
+let cookie_hash tcp ~raddr ~lport ~rport ~irs =
+  Hashtbl.hash
+    (tcp.cookie_secret, Flow_hash.addr_bits raddr, lport, rport, (irs : int))
+  land 0x0fff_ffff
+
+let cookie_iss tcp ~raddr ~lport ~rport ~irs ~mss =
+  Tcp_seq.norm
+    ((cookie_hash tcp ~raddr ~lport ~rport ~irs lsl 3)
+    lor cookie_mss_index mss)
+
+let cookie_validate tcp ~raddr ~lport ~rport ~irs ~iss =
+  let h = cookie_hash tcp ~raddr ~lport ~rport ~irs in
+  if iss lsr 3 = h then Some cookie_mss_table.(iss land 7) else None
+
+(* ---------- connection plane: SYN queue + promotion ---------- *)
+
+let send_synack tcp _l ho =
+  let opts =
+    Tcp_header.Mss ho.ho_mss
+    :: (if tcp.cfg.window_scaling then
+          [ Tcp_header.Window_scale (wanted_wscale tcp.cfg) ]
+        else [])
+  in
+  emit_raw tcp ~laddr:ho.ho_laddr ~raddr:ho.ho_raddr ~lport:ho.ho_lport
+    ~rport:ho.ho_rport ~seq:ho.ho_iss
+    ~ack:(Tcp_seq.add ho.ho_irs 1)
+    ~flags:[ Tcp_header.SYN; Tcp_header.ACK ]
+    ~options:opts
+    ~window:(synack_window tcp.cfg ~wscale_on:(ho.ho_wscale >= 0))
+
+(* The half-open reaper: one timer per listener, armed only while its
+   SYN table is non-empty (a clean handshake stops it before it ever
+   fires).  Expired real entries get their SYN-ACK retransmitted with
+   exponential backoff up to [max_synack_rexmt], then time out; forged
+   flood entries just time out. *)
+let reaper_tick = Simtime.ms 50.
+
+(* Rexmit schedule 10/20/40/80/160/320 ms (rto_init doublings): a
+   half-open lives ~630 ms before timing out — long enough that a
+   sustained flood keeps the SYN queue saturated, short enough that the
+   table drains promptly when the flood stops. *)
+let max_synack_rexmt = 5
+
+let arm_reaper tcp l =
+  if not (Sim.armed l.l_reaper) then
+    Sim.rearm tcp.hst.Host.sim l.l_reaper reaper_tick
+
+let maybe_stop_reaper tcp l =
+  if Listenq.syn_count l.l_q = 0 then Sim.stop tcp.hst.Host.sim l.l_reaper
+
+let reaper_fire tcp l =
+  if (not l.l_closed) && Listenq.syn_count l.l_q > 0 then begin
+    let now = Sim.now tcp.hst.Host.sim in
+    let expired = ref [] in
+    Listenq.syn_iter
+      (fun key ho ->
+        if now >= ho.ho_deadline then expired := (key, ho) :: !expired)
+      l.l_q;
+    List.iter
+      (fun (key, ho) ->
+        (* Forged entries are NOT special-cased: the server cannot tell
+           a spoofed SYN from a slow client, so it pays the same
+           SYN-ACK retransmit schedule for both — that occupancy is
+           what makes a SYN flood a flood. *)
+        if ho.ho_rexmits >= max_synack_rexmt then begin
+          Listenq.syn_remove l.l_q key;
+          Obs.Counter.incr conn_syn_timeouts
+        end
+        else begin
+          ho.ho_rexmits <- ho.ho_rexmits + 1;
+          ho.ho_deadline <- now + (tcp.cfg.rto_init * (1 lsl ho.ho_rexmits));
+          Obs.Counter.incr conn_synack_rexmits;
+          Obs.Counter.incr agg_retransmits;
+          Host.in_intr_on tcp.hst ~shard:ho.ho_shard ~site:Cpu.Timer
+            (Memcost.ack tcp.hst.Host.profile) (fun () ->
+              send_synack tcp l ho)
+        end)
+      !expired;
+    if Listenq.syn_count l.l_q > 0 then
+      Sim.rearm tcp.hst.Host.sim l.l_reaper reaper_tick
+  end
+
+(* The synflood fault site fired: ride [n] forged SYNs on spoofed
+   tuples into the listener ahead of the real one.  The server cannot
+   tell them apart, so each is admitted like a genuine SYN: it occupies
+   a SYN slot, charges the interrupt, and is answered with a SYN-ACK
+   (routed nowhere useful — the source is spoofed).  No ACK ever
+   arrives; the reaper's full retransmit schedule is what frees them,
+   and that occupancy is the attack. *)
+let inject_forged_syns tcp l ~laddr n =
+  let now = Sim.now tcp.hst.Host.sim in
+  for _ = 1 to n do
+    let raddr =
+      Inaddr.v 172 16 (Rng.int tcp.flood_rng 256) (1 + Rng.int tcp.flood_rng 254)
+    in
+    (* Spoofed source ports stay below the ephemeral range (10000+): the
+       testbed's default route delivers our SYN-ACKs to the peer host,
+       and a colliding tuple would corrupt one of its live outbound
+       connections — a real flood's SYN-ACKs go to third parties. *)
+    let rport = 1024 + Rng.int tcp.flood_rng 8900 in
+    let flow_hash = Flow_hash.hash ~raddr ~lport:l.l_port ~rport in
+    let shard = Flow_hash.shard ~count:tcp.shard_count flow_hash in
+    Obs.Counter.incr conn_syn_rcvd;
+    if Listenq.syn_full l.l_q then begin
+      tcp.penalty.(shard) <- Float.min 8. (tcp.penalty.(shard) *. 2.);
+      Obs.Counter.incr conn_syn_drop_full
+    end
+    else begin
+      let ho =
+        {
+          ho_laddr = laddr;
+          ho_raddr = raddr;
+          ho_lport = l.l_port;
+          ho_rport = rport;
+          ho_flow_hash = flow_hash;
+          ho_shard = shard;
+          ho_iss = Tcp_seq.norm (Rng.int tcp.flood_rng 0x40000000);
+          ho_irs = 0;
+          ho_mss = 536;
+          ho_wscale = -1;
+          ho_created = now;
+          ho_deadline = now + tcp.cfg.rto_init;
+          ho_rexmits = 0;
+          ho_forged = true;
+        }
+      in
+      ignore (Listenq.syn_add l.l_q (half_open_key ~raddr ~rport) ho : bool);
+      Obs.Counter.incr conn_flood_injected;
+      arm_reaper tcp l;
+      Host.in_intr_on tcp.hst ~shard ~site:Cpu.Header
+        (Memcost.ack tcp.hst.Host.profile)
+        (fun () -> send_synack tcp l ho)
+    end
+  done
+
+(* Promote a completed handshake into a full pcb — the only moment the
+   listener allocates connection state.  Field setup mirrors the old
+   Syn_received path exactly: option folding as [apply_syn_options],
+   window/una/nxt from the handshake ACK, acceptor notified before the
+   ACK's payload is processed.  [rexmits]/[verified_hw] reconstruct the
+   stats the pcb would have accumulated had it existed since the SYN. *)
+let establish_server_pcb tcp l ~laddr ~raddr ~lport ~rport ~iss ~irs ~mss
+    ~wscale ~created ~rexmits ~verified_hw (hdr : Tcp_header.t) chain =
+  match lookup tcp ~lport ~raddr ~rport with
+  | Some pcb ->
+      (* A duplicate (cookie) ACK raced an earlier promotion that was
+         still queued behind its interrupt charge: the tuple is already
+         established — never create a second pcb for it. *)
+      Mbuf.free chain;
+      pcb
+  | None ->
+  let pcb = make_pcb ~iss tcp ~local_addr:laddr ~lport ~raddr ~rport in
+  pcb.stats <-
+    {
+      zero_stats with
+      segs_sent = 1 + rexmits;
+      segs_rcvd = 1;
+      csum_host_tx = 1 + rexmits;
+      retransmits = rexmits;
+      rto_fires = rexmits;
+      csum_hw_verified_rx = (if verified_hw then 1 else 0);
+      csum_host_verified_rx = (if verified_hw then 0 else 1);
+    };
+  pcb.setup_t0 <- created;
+  pcb.st <- Established;
+  pcb.irs <- irs;
+  pcb.rcv_nxt <- Tcp_seq.add irs 1;
+  pcb.mss_val <- min pcb.mss_val mss;
+  if wscale >= 0 && tcp.cfg.window_scaling then begin
+    pcb.snd_wscale <- wscale;
+    pcb.rcv_wscale <- wanted_wscale tcp.cfg
+  end;
+  (* The SYN-ACK consumed one sequence number before this pcb existed. *)
+  pcb.snd_nxt <- Tcp_seq.add iss 1;
+  pcb.snd_max <- pcb.snd_nxt;
+  pcb.rcv_adv <- Tcp_seq.add pcb.rcv_nxt (rcv_space pcb);
+  pcb.snd_una <- hdr.Tcp_header.ack;
+  if Tcp_seq.lt pcb.snd_nxt pcb.snd_una then pcb.snd_nxt <- pcb.snd_una;
+  pcb.snd_max <- Tcp_seq.max pcb.snd_max pcb.snd_nxt;
+  pcb.snd_wnd <- hdr.Tcp_header.window lsl pcb.snd_wscale;
+  pcb.snd_wl1 <- hdr.Tcp_header.seq;
+  pcb.snd_wl2 <- hdr.Tcp_header.ack;
+  Obs.Counter.incr conn_promoted;
+  observe_conn_setup pcb;
+  keepalive_touch pcb;
+  (match l.l_on_accept with
+  | Some cb ->
+      Obs.Counter.incr conn_accepted;
+      cb pcb
+  | None ->
+      if Listenq.acc_push l.l_q (pcb, Sim.now tcp.hst.Host.sim) then begin
+        Obs.Counter.incr conn_accept_queued;
+        l.l_acc_shard.(pcb.shard) <- l.l_acc_shard.(pcb.shard) + 1;
+        l.l_on_acceptable ()
+      end
+      else begin
+        (* The overflow check runs before promotion; this is the
+           belt-and-braces path for a race with the fault site. *)
+        Obs.Counter.incr conn_accept_overflow;
+        send_control pcb ~flags:[ Tcp_header.RST; Tcp_header.ACK ] ();
+        to_closed pcb
+      end);
+  (* The handshake ACK may carry data. *)
+  process_data pcb ~seq:hdr.Tcp_header.seq chain;
+  pcb
+
+(* A SYN (without ACK) reached a listener: admission control, then a
+   compact half-open — never a pcb.  Shedding order: memory pressure
+   first (protect established flows), then this shard's accept-queue
+   share (the app is not draining), then the SYN queue bound (penalty
+   bump, cookie fallback).  Every path frees the segment; the admitted
+   path charges exactly what the old code charged (one ack-cost
+   interrupt covering the SYN-ACK emission). *)
+let syn_arrived tcp l ~laddr ~raddr ~lport ~rport ~flow_hash ~shard
+    (hdr : Tcp_header.t) seg =
+  Obs.Counter.incr conn_syn_rcvd;
+  let key = half_open_key ~raddr ~rport in
+  let irs = hdr.Tcp_header.seq in
+  (* Fold the peer's options the way [apply_syn_options] would have. *)
+  let mss_offer = ref (default_mss tcp ~dst:raddr) in
+  let wscale = ref (-1) in
+  List.iter
+    (fun o ->
+      match o with
+      | Tcp_header.Mss m -> mss_offer := min !mss_offer m
+      | Tcp_header.Window_scale s -> wscale := s
+      | Tcp_header.Rx_cost _ -> ())
+    hdr.Tcp_header.options;
+  match Listenq.syn_find l.l_q key with
+  | Some ho when not ho.ho_forged ->
+      (* Duplicate SYN: our SYN-ACK was lost or is late.  Resend it (the
+         per-pcb rexmt timer used to do this). *)
+      Obs.Counter.incr conn_syn_dup;
+      Mbuf.free seg;
+      Host.in_intr_on tcp.hst ~shard ~site:Cpu.Header
+        (Memcost.ack tcp.hst.Host.profile) (fun () -> send_synack tcp l ho)
+  | Some _ | None ->
+      let pressure = tcp.pressure_fn () in
+      if pressure >= 0.9 then begin
+        Obs.Counter.incr conn_shed_pressure;
+        Mbuf.free seg
+      end
+      else if
+        let b = Listenq.backlog l.l_q in
+        b <> max_int
+        && l.l_acc_shard.(shard) > 2 * max 1 (b / tcp.shard_count)
+      then begin
+        (* This shard's accept backlog share is saturated: shed before
+           promoting more work onto a CPU the app is not draining. *)
+        Obs.Counter.incr conn_shed_accept;
+        Mbuf.free seg
+      end
+      else if Listenq.syn_full l.l_q then begin
+        let p = Float.min 8. (tcp.penalty.(shard) *. 2.) in
+        tcp.penalty.(shard) <- p;
+        tcp.sat_tick.(shard) <- tcp.sat_tick.(shard) + 1;
+        (* Saturation is answered statelessly (a cookie) when the
+           listener allows it — that path stores nothing, so starving
+           genuine clients to protect it would be backwards.  The shard
+           penalty instead RATE-LIMITS the stateless responder: once the
+           shard has been overflowing persistently (p pinned at the
+           cap), every other SYN is shed to bound the interrupt load of
+           answering a flood at line rate. *)
+        if (not l.l_cookies) || (p >= 6. && tcp.sat_tick.(shard) land 1 = 0)
+        then begin
+          (if l.l_cookies then Obs.Counter.incr conn_shed_penalty
+           else Obs.Counter.incr conn_syn_drop_full);
+          Mbuf.free seg
+        end
+        else begin
+          (* Stateless fallback: answer without storing anything. *)
+          Obs.Counter.incr conn_cookies_sent;
+          l.l_cookies_sent <- l.l_cookies_sent + 1;
+          let iss = cookie_iss tcp ~raddr ~lport ~rport ~irs ~mss:!mss_offer in
+          let mss_echo = cookie_mss_table.(cookie_mss_index !mss_offer) in
+          Mbuf.free seg;
+          Host.in_intr_on tcp.hst ~shard ~site:Cpu.Header
+            (Memcost.ack tcp.hst.Host.profile) (fun () ->
+              emit_raw tcp ~laddr ~raddr ~lport ~rport ~seq:iss
+                ~ack:(Tcp_seq.add irs 1)
+                ~flags:[ Tcp_header.SYN; Tcp_header.ACK ]
+                ~options:[ Tcp_header.Mss mss_echo ]
+                ~window:(synack_window tcp.cfg ~wscale_on:false))
+        end
+      end
+      else begin
+        tcp.penalty.(shard) <- Float.max 1. (tcp.penalty.(shard) *. 0.98);
+        let iss = draw_iss tcp ~flow_hash in
+        let now = Sim.now tcp.hst.Host.sim in
+        let ho =
+          {
+            ho_laddr = laddr;
+            ho_raddr = raddr;
+            ho_lport = lport;
+            ho_rport = rport;
+            ho_flow_hash = flow_hash;
+            ho_shard = shard;
+            ho_iss = iss;
+            ho_irs = irs;
+            ho_mss = !mss_offer;
+            ho_wscale = !wscale;
+            ho_created = now;
+            ho_deadline = now + tcp.cfg.rto_init;
+            ho_rexmits = 0;
+            ho_forged = false;
+          }
+        in
+        ignore (Listenq.syn_add l.l_q key ho : bool);
+        Obs.Counter.incr conn_syn_queued;
+        arm_reaper tcp l;
+        Mbuf.free seg;
+        Host.in_intr_on tcp.hst ~shard ~site:Cpu.Header
+          (Memcost.ack tcp.hst.Host.profile) (fun () -> send_synack tcp l ho)
+      end
+
+(* An ACK matching a half-open: verify, charge, and promote — the same
+   cost structure the old Syn_received pcb paid for its handshake ACK. *)
+let handshake_ack tcp l ho ~key (hdr : Tcp_header.t) seg ~payload_len
+    ~hdr_size =
+  match verify_checksum_raw tcp ~laddr:ho.ho_laddr ~raddr:ho.ho_raddr seg with
+  | false, _, _ -> Mbuf.free seg
+  | true, csum_cost, verified_hw ->
+      let base_cost =
+        if payload_len > 0 then Memcost.per_packet tcp.hst.Host.profile
+        else Memcost.ack tcp.hst.Host.profile
+      in
+      (* Claim the half-open NOW, before the charged closure runs: a
+         reaper-retransmitted SYN-ACK can elicit a second handshake ACK
+         that would otherwise find the entry still present and promote
+         the same tuple twice. *)
+      let rst = Tcp_header.has Tcp_header.RST hdr in
+      let promotes = (not rst) && Tcp_seq.gt hdr.Tcp_header.ack ho.ho_iss in
+      if rst || promotes then begin
+        Listenq.syn_remove l.l_q key;
+        maybe_stop_reaper tcp l
+      end;
+      Host.in_intr_on tcp.hst ~shard:ho.ho_shard ~site:Cpu.Header
+        ~split:(Cpu.Checksum, csum_cost) (base_cost + csum_cost) (fun () ->
+          Mbuf.adj_head seg hdr_size;
+          if rst then Mbuf.free seg
+          else if promotes then begin
+            if
+              l.l_on_accept = None
+              && (Listenq.acc_full l.l_q || Fault.fire "conn.accept_full")
+            then begin
+              Obs.Counter.incr conn_accept_overflow;
+              if l.l_rst_on_full then
+                emit_raw tcp ~laddr:ho.ho_laddr ~raddr:ho.ho_raddr
+                  ~lport:ho.ho_lport ~rport:ho.ho_rport
+                  ~seq:hdr.Tcp_header.ack
+                  ~ack:(Tcp_seq.add ho.ho_irs 1)
+                  ~flags:[ Tcp_header.RST; Tcp_header.ACK ]
+                  ~options:[] ~window:0;
+              Mbuf.free seg
+            end
+            else
+              ignore
+                (establish_server_pcb tcp l ~laddr:ho.ho_laddr
+                   ~raddr:ho.ho_raddr ~lport:ho.ho_lport ~rport:ho.ho_rport
+                   ~iss:ho.ho_iss ~irs:ho.ho_irs ~mss:ho.ho_mss
+                   ~wscale:ho.ho_wscale ~created:ho.ho_created
+                   ~rexmits:ho.ho_rexmits ~verified_hw hdr seg
+                  : pcb)
+          end
+          else
+            (* Stale ACK below our ISS: drop, as the old code did. *)
+            Mbuf.free seg)
+
+(* An ACK matching no half-open while cookies are outstanding: it may
+   carry a cookie we minted statelessly.  Validation is pure arithmetic;
+   only a valid cookie pays the promotion charge. *)
+let cookie_ack tcp l ~laddr ~raddr ~lport ~rport ~shard (hdr : Tcp_header.t)
+    seg ~payload_len ~hdr_size =
+  let irs = Tcp_seq.add hdr.Tcp_header.seq (-1) in
+  let iss = Tcp_seq.add hdr.Tcp_header.ack (-1) in
+  match cookie_validate tcp ~raddr ~lport ~rport ~irs ~iss with
+  | None ->
+      Obs.Counter.incr conn_cookies_rejected;
+      Mbuf.free seg
+  | Some mss -> (
+      match verify_checksum_raw tcp ~laddr ~raddr seg with
+      | false, _, _ -> Mbuf.free seg
+      | true, csum_cost, verified_hw ->
+          Obs.Counter.incr conn_cookies_validated;
+          let base_cost =
+            if payload_len > 0 then Memcost.per_packet tcp.hst.Host.profile
+            else Memcost.ack tcp.hst.Host.profile
+          in
+          Host.in_intr_on tcp.hst ~shard ~site:Cpu.Header
+            ~split:(Cpu.Checksum, csum_cost) (base_cost + csum_cost)
+            (fun () ->
+              Mbuf.adj_head seg hdr_size;
+              if
+                l.l_on_accept = None
+                && (Listenq.acc_full l.l_q || Fault.fire "conn.accept_full")
+              then begin
+                Obs.Counter.incr conn_accept_overflow;
+                if l.l_rst_on_full then
+                  emit_raw tcp ~laddr ~raddr ~lport ~rport
+                    ~seq:hdr.Tcp_header.ack ~ack:(Tcp_seq.add irs 1)
+                    ~flags:[ Tcp_header.RST; Tcp_header.ACK ]
+                    ~options:[] ~window:0;
+                Mbuf.free seg
+              end
+              else
+                ignore
+                  (establish_server_pcb tcp l ~laddr ~raddr ~lport ~rport
+                     ~iss ~irs ~mss ~wscale:(-1)
+                     ~created:(Sim.now tcp.hst.Host.sim) ~rexmits:0
+                     ~verified_hw hdr seg
+                    : pcb)))
 
 let input tcp ~src ~dst seg =
   let seg = Mbuf.pullup seg Tcp_header.base_size in
@@ -1300,32 +1999,45 @@ let input tcp ~src ~dst seg =
                 segment_arrived pcb hdr seg)
           end
       | None -> (
-          (* Listener? *)
-          match
-            List.assoc_opt hdr.Tcp_header.dst_port tcp.listeners
-          with
-          | Some on_accept when Tcp_header.has Tcp_header.SYN hdr ->
-              let pcb =
-                make_pcb tcp ~local_addr:dst ~lport:hdr.Tcp_header.dst_port
-                  ~raddr:src ~rport:hdr.Tcp_header.src_port
-              in
-              pcb.st <- Syn_received;
-              pcb.irs <- hdr.Tcp_header.seq;
-              pcb.rcv_nxt <- Tcp_seq.add hdr.Tcp_header.seq 1;
-              apply_syn_options pcb hdr;
-              pcb.snd_wnd <-
-                hdr.Tcp_header.window lsl pcb.snd_wscale;
-              pcb.on_established <- (fun () -> on_accept pcb);
-              Mbuf.free seg;
-              Host.in_intr_on tcp.hst ~shard:pcb.shard ~site:Cpu.Header
-                (Memcost.ack tcp.hst.Host.profile) (fun () ->
-                  send_control pcb
-                    ~flags:[ Tcp_header.SYN; Tcp_header.ACK ]
-                    ())
-          | Some _ | None ->
+          (* No pcb: the connection plane.  O(1) port lookup on the
+             shard the tuple hashes to, then the bounded SYN/accept
+             machinery. *)
+          let lport = hdr.Tcp_header.dst_port
+          and rport = hdr.Tcp_header.src_port in
+          let flow_hash = Flow_hash.hash ~raddr:src ~lport ~rport in
+          let shard = Flow_hash.shard ~count:tcp.shard_count flow_hash in
+          match find_listener tcp ~shard ~port:lport with
+          | None ->
               (* No socket: drop (a full RST generator is not needed for
                  the experiments). *)
-              Mbuf.free seg))
+              Mbuf.free seg
+          | Some l ->
+              if
+                Tcp_header.has Tcp_header.SYN hdr
+                && not (Tcp_header.has Tcp_header.ACK hdr)
+              then begin
+                (* Fault site: a firing consult rides forged SYNs in
+                   ahead of the real one. *)
+                (match Fault.fire_at "tcp.synflood" ~bound:8 with
+                | Some n -> inject_forged_syns tcp l ~laddr:dst (n + 1)
+                | None -> ());
+                syn_arrived tcp l ~laddr:dst ~raddr:src ~lport ~rport
+                  ~flow_hash ~shard hdr seg
+              end
+              else if Tcp_header.has Tcp_header.ACK hdr then begin
+                match Listenq.syn_find l.l_q (half_open_key ~raddr:src ~rport)
+                with
+                | Some ho ->
+                    handshake_ack tcp l ho
+                      ~key:(half_open_key ~raddr:src ~rport)
+                      hdr seg ~payload_len ~hdr_size
+                | None ->
+                    if l.l_cookies && l.l_cookies_sent > 0 then
+                      cookie_ack tcp l ~laddr:dst ~raddr:src ~lport ~rport
+                        ~shard hdr seg ~payload_len ~hdr_size
+                    else Mbuf.free seg
+              end
+              else Mbuf.free seg))
 
 let create ~ip ~config =
   let hst = Ipv4.host ip in
@@ -1337,10 +2049,15 @@ let create ~ip ~config =
       cfg = config;
       shard_count;
       tabs = Array.init shard_count (fun _ -> Flowtab.create ());
-      listeners = [];
+      ports = Array.init shard_count (fun _ -> Flowtab.create ());
       next_port = 10000;
       next_iss = 1000;
       iss_rng = Rng.create ~seed:(0x1995 lxor Hashtbl.hash hst.Host.name);
+      pressure_fn = (fun () -> 0.);
+      penalty = Array.make shard_count 1.0;
+      sat_tick = Array.make shard_count 0;
+      flood_rng = Rng.create ~seed:(0xf100d lxor Hashtbl.hash hst.Host.name);
+      cookie_secret = 0x5ca1ab1e lxor Hashtbl.hash hst.Host.name;
       staging = Bytes.create 64;
     }
   in
@@ -1357,10 +2074,68 @@ let create ~ip ~config =
 
 let set_initial_sequence tcp iss = tcp.next_iss <- Tcp_seq.norm iss
 
+(* ---------- listener API ---------- *)
+
+let create_listener tcp ~port ?(backlog = 1024) ?(syn_backlog = 512)
+    ?(rst_on_full = true) ?(cookies = true) ?on_accept () =
+  (match
+     Flowtab.find tcp.ports.(0) ~hash:(port_hash port) ~ka:(port_ka port)
+       ~kb:port_kb
+   with
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Tcp.listen: port %d in use" port)
+  | None -> ());
+  let l =
+    {
+      l_tcp = tcp;
+      l_port = port;
+      l_rst_on_full = rst_on_full;
+      l_cookies = cookies;
+      l_on_accept = on_accept;
+      l_on_acceptable = (fun () -> ());
+      l_q = Listenq.create ~syn_backlog ~backlog;
+      l_acc_shard = Array.make tcp.shard_count 0;
+      l_reaper = Sim.timer tcp.hst.Host.sim ignore;
+      l_closed = false;
+      l_cookies_sent = 0;
+    }
+  in
+  Sim.set_fn l.l_reaper (fun () -> reaper_fire tcp l);
+  Array.iter
+    (fun tab ->
+      Flowtab.add tab ~hash:(port_hash port) ~ka:(port_ka port) ~kb:port_kb
+        l)
+    tcp.ports;
+  l
+
+(* The legacy single-argument API: unbounded accept (auto-accept
+   callback), a generous SYN queue, silent drop on overflow — the
+   pre-overload-plane behaviour existing callers rely on. *)
 let listen tcp ~port ~on_accept =
-  if List.mem_assoc port tcp.listeners then
-    invalid_arg (Printf.sprintf "Tcp.listen: port %d in use" port);
-  tcp.listeners <- (port, on_accept) :: tcp.listeners
+  ignore
+    (create_listener tcp ~port ~backlog:max_int ~syn_backlog:4096
+       ~rst_on_full:false ~cookies:false ~on_accept ()
+      : listener)
+
+let accept l =
+  match Listenq.acc_pop l.l_q with
+  | None -> None
+  | Some (pcb, t0) ->
+      l.l_acc_shard.(pcb.shard) <- l.l_acc_shard.(pcb.shard) - 1;
+      Obs.Counter.incr conn_accepted;
+      Obs.Histogram.observe Obs_lat.accept_ns
+        (Simtime.sub (Sim.now l.l_tcp.hst.Host.sim) t0);
+      Some pcb
+
+let listener_pending l = Listenq.acc_count l.l_q
+let listener_half_open l = Listenq.syn_count l.l_q
+let listener_port l = l.l_port
+let set_on_acceptable l f = l.l_on_acceptable <- f
+
+let half_open_info l ~raddr ~rport =
+  match Listenq.syn_find l.l_q (half_open_key ~raddr ~rport) with
+  | Some ho -> Some (ho.ho_iss, ho.ho_rexmits)
+  | None -> None
 
 let connect tcp ?src_port ~dst ~dst_port ?(on_established = fun () -> ()) ()
     =
@@ -1368,7 +2143,12 @@ let connect tcp ?src_port ~dst ~dst_port ?(on_established = fun () -> ()) ()
     match src_port with
     | Some p -> p
     | None ->
-        tcp.next_port <- tcp.next_port + 1;
+        (* Ephemeral range 10001..59999 with wraparound: a server-scale
+           client can open far more connections than the range holds, as
+           long as earlier ones have left the flow table (time-wait
+           shadowing replaces entries, so reuse during drain is safe). *)
+        tcp.next_port <-
+          (if tcp.next_port >= 59999 then 10000 else tcp.next_port + 1);
         tcp.next_port
   in
   let local_addr =
@@ -1502,6 +2282,35 @@ let abort pcb =
   | Closed | Listen | Syn_sent | Time_wait -> ());
   to_closed pcb
 
+(* Closing a listener drains both queues: half-open records are freed
+   outright (nothing was allocated beyond the record), and completed
+   connections nobody accepted are RST and torn down — an exact
+   occupancy drain, not a leak of orphan pcbs. *)
+let close_listener l =
+  if not l.l_closed then begin
+    let tcp = l.l_tcp in
+    l.l_closed <- true;
+    Sim.stop tcp.hst.Host.sim l.l_reaper;
+    Listenq.syn_drain
+      (fun _ho -> Obs.Counter.incr conn_listen_drained)
+      l.l_q;
+    Listenq.acc_drain
+      (fun (pcb, _t0) ->
+        Obs.Counter.incr conn_listen_drained;
+        l.l_acc_shard.(pcb.shard) <- l.l_acc_shard.(pcb.shard) - 1;
+        abort pcb)
+      l.l_q;
+    Array.iter
+      (fun tab ->
+        Flowtab.remove tab ~hash:(port_hash l.l_port) ~ka:(port_ka l.l_port)
+          ~kb:port_kb)
+      tcp.ports
+  end
+
+let unlisten tcp ~port =
+  match find_listener tcp ~shard:0 ~port with
+  | Some l -> close_listener l
+  | None -> ()
 
 let pp_stats fmt (s : pcb_stats) =
   Format.fprintf fmt

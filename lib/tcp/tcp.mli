@@ -65,6 +65,14 @@ type config = {
   max_rexmt : int;
       (** consecutive RTO expirations before the connection is dropped
           (BSD's TCP_MAXRXTSHIFT); default 12 *)
+  keepalive_idle : Simtime.t;
+      (** idle time before keepalive probing starts; 0 disables the
+          keepalive machinery entirely (the default — one branch per
+          received segment) *)
+  keepalive_intvl : Simtime.t;
+      (** interval between unanswered keepalive probes *)
+  keepalive_probes : int;
+      (** unanswered probes before the flow is reaped (RST + close) *)
 }
 
 val default_config : config
@@ -89,8 +97,71 @@ val host : t -> Host.t
 
 (** {1 Connection management} *)
 
+type listener
+(** A listening port: bounded SYN (half-open) queue + bounded accept
+    queue, per-shard O(1) port demux, overload shedding, optional
+    SYN-cookie stateless fallback.  A SYN allocates a compact half-open
+    record; a full pcb exists only once the handshake completes. *)
+
 val listen : t -> port:int -> on_accept:(pcb -> unit) -> unit
-(** [on_accept] fires when a connection reaches Established. *)
+(** Legacy auto-accept API: [on_accept] fires when a connection reaches
+    Established.  Equivalent to {!create_listener} with an unbounded
+    accept queue, a 4096-entry SYN queue, silent drop on overflow and no
+    cookies.  Raises [Invalid_argument] if the port is in use. *)
+
+val create_listener :
+  t ->
+  port:int ->
+  ?backlog:int ->
+  ?syn_backlog:int ->
+  ?rst_on_full:bool ->
+  ?cookies:bool ->
+  ?on_accept:(pcb -> unit) ->
+  unit ->
+  listener
+(** Full-control listen.  [backlog] (default 1024) bounds the accept
+    queue, [syn_backlog] (default 512) the half-open table.
+    [rst_on_full] (default true) answers accept-queue overflow with an
+    RST instead of a silent drop.  [cookies] (default true) enables the
+    stateless SYN-cookie fallback when the SYN queue saturates.  When
+    [on_accept] is given, completed connections are handed to it
+    directly (auto-accept); otherwise they wait in the accept queue for
+    {!accept}.  Raises [Invalid_argument] if the port is in use. *)
+
+val accept : listener -> pcb option
+(** Pop the next established-but-unaccepted connection, observing its
+    queue residency in the [lat.accept_ns] histogram.  The pcb may
+    already have been reset by the peer while queued — check {!state}. *)
+
+val close_listener : listener -> unit
+(** Stop listening and drain: half-open records are freed, queued
+    unaccepted connections are RST and torn down, the port is released.
+    Connections already delivered via [on_accept]/{!accept} are
+    untouched. *)
+
+val unlisten : t -> port:int -> unit
+(** {!close_listener} by port number; no-op if nobody listens there. *)
+
+val listener_pending : listener -> int
+(** Established connections waiting in the accept queue. *)
+
+val listener_half_open : listener -> int
+(** Half-open (SYN-received) entries currently held. *)
+
+val listener_port : listener -> int
+
+val set_on_acceptable : listener -> (unit -> unit) -> unit
+(** Callback fired whenever a connection is appended to the accept
+    queue — the readiness hook the socket poll layer builds on. *)
+
+val half_open_info : listener -> raddr:Inaddr.t -> rport:int -> (int * int) option
+(** Testing hook: the (iss, synack_rexmits) of the half-open entry for a
+    remote tuple, if one is held. *)
+
+val set_pressure_fn : t -> (unit -> float) -> unit
+(** Install the memory-pressure signal ([0..1], e.g. mbuf/netmem pool
+    occupancy).  At or above 0.9 listeners shed every new SYN
+    ([conn.shed_pressure]) so established flows keep their buffers. *)
 
 val connect :
   t ->
@@ -203,6 +274,10 @@ val active_flows : t -> int
 
 val flows_per_shard : t -> int array
 (** Per-shard demux-table occupancy. *)
+
+val iter_flows : t -> (pcb -> unit) -> unit
+(** Visit every open connection (includes time-wait residents); do not
+    add or remove flows from inside the callback. *)
 
 val pp_pcb : Format.formatter -> pcb -> unit
 val pp_stats : Format.formatter -> pcb_stats -> unit

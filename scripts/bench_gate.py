@@ -57,8 +57,15 @@ Soak mode (bench_gate.py --soak BENCH_soak.json --budget-s N) gates the
 fault-storm soak's wall clock: all seeds ok and wall_s <= N, with the
 dispatched event count reported so the 5x-volume claim is auditable.
 
+Server mode (bench_gate.py --server BENCH_server.json --budget-s N)
+gates the 100K-flow mixed-server scenario: both rows (clean and SYN
+flood) hit the accept target with zero occupancy leaks, the flood row
+keeps the bulk flows at >= 0.8x the clean throughput with the shed and
+cookie counters both engaged, and the combined wall clock fits N.
+
 Usage: bench_gate.py BASELINE CURRENT [MICRO]
        bench_gate.py --soak SOAK_JSON --budget-s SECONDS
+       bench_gate.py --server SERVER_JSON --budget-s SECONDS
 """
 
 import json
@@ -201,6 +208,82 @@ def soak_gate(soak_path, budget_s):
             print(f"  FAIL {f_}", file=sys.stderr)
         sys.exit(1)
     print("\nsoak gate ok")
+
+
+def server_gate(server_path, budget_s):
+    """Hard gates for the 100K-flow mixed-server scenario (clean + flood).
+
+    - both rows hit the accept target and drain exactly to baseline;
+    - the flood row keeps bulk throughput >= 0.8x the clean row (the
+      established flows must not starve while the listener is attacked);
+    - the flood row's shed AND cookie counters are both non-zero (the
+      admission machinery actually engaged, rather than the flood being
+      absorbed by queue capacity);
+    - the accept-queue residency histogram was sampled;
+    - combined wall clock stays inside the CI budget.
+    """
+    with open(server_path) as f:
+        rep = json.load(f)
+    failures = []
+    rows = rep.get("rows", [])
+    if len(rows) != 2:
+        failures.append(f"expected 2 rows (clean + flood), got {len(rows)}")
+        rows = []
+    clean = next((r for r in rows if not r.get("flood")), None)
+    flood = next((r for r in rows if r.get("flood")), None)
+    for name, row in (("clean", clean), ("flood", flood)):
+        if row is None:
+            failures.append(f"missing {name} row")
+            continue
+        if not row.get("ok", False):
+            failures.append(f"{name} row reported failure")
+        if row.get("accepted", 0) < row.get("target", 1):
+            failures.append(
+                f"{name} accepted {row.get('accepted', 0)} < target "
+                f"{row.get('target', 0)}"
+            )
+        if row.get("leaks", 1) != 0:
+            failures.append(f"{name} row leaked {row.get('leaks')} metrics")
+        if row.get("accept_p99_us") is None:
+            failures.append(f"{name} accept-residency histogram not sampled")
+        print(
+            f"  {name}: accepted {row.get('accepted', 0)}, bulk "
+            f"{row.get('bulk_mbit', 0.0):.1f} Mbit/s, sheds "
+            f"{row.get('sheds', 0)}, cookies {row.get('cookies_sent', 0)}, "
+            f"leaks {row.get('leaks', '?')}"
+        )
+    if clean and flood:
+        floor = 0.8 * clean.get("bulk_mbit", 0.0)
+        if flood.get("bulk_mbit", 0.0) < floor:
+            failures.append(
+                f"flood bulk {flood.get('bulk_mbit', 0.0):.1f} Mbit/s below "
+                f"0.8x clean ({floor:.1f})"
+            )
+        else:
+            print(
+                f"  flood bulk {flood.get('bulk_mbit', 0.0):.1f} Mbit/s >= "
+                f"0.8x clean ({floor:.1f})"
+            )
+        if flood.get("sheds", 0) <= 0:
+            failures.append("flood row shed nothing: admission control idle")
+        if flood.get("cookies_sent", 0) <= 0:
+            failures.append("flood row sent no SYN cookies: fallback idle")
+    wall = rep.get("wall_s")
+    if wall is None:
+        failures.append("server report missing wall_s")
+    elif wall > budget_s:
+        failures.append(
+            f"server wall clock {wall:.1f} s exceeds the {budget_s:.0f} s "
+            f"budget"
+        )
+    else:
+        print(f"  server wall clock {wall:.1f} s within {budget_s:.0f} s budget")
+    if failures:
+        print(f"\n{len(failures)} server gate failure(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  FAIL {f_}", file=sys.stderr)
+        sys.exit(1)
+    print("\nserver gate ok")
 
 
 def main(baseline_path, current_path, micro_path=None):
@@ -523,6 +606,12 @@ def main(baseline_path, current_path, micro_path=None):
 if __name__ == "__main__":
     if len(sys.argv) == 5 and sys.argv[1] == "--soak" and sys.argv[3] == "--budget-s":
         soak_gate(sys.argv[2], float(sys.argv[4]))
+    elif (
+        len(sys.argv) == 5
+        and sys.argv[1] == "--server"
+        and sys.argv[3] == "--budget-s"
+    ):
+        server_gate(sys.argv[2], float(sys.argv[4]))
     elif len(sys.argv) == 3:
         main(sys.argv[1], sys.argv[2])
     elif len(sys.argv) == 4:

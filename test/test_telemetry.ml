@@ -253,7 +253,22 @@ let test_profile_and_latency_single_shard () =
   check_bool "sender CPU did attributable work" true (Cpu.busy cpu > 0);
   check_bool "checksum site charged on the rx verify path" true
     (Cpu.site_charged cpu Cpu.Checksum >= 0);
-  (* Connection setup, write->ACK, rx copy-out and RTT all fired. *)
+  (* One accept-queue round trip so the accept_ns histogram samples. *)
+  let tcp_b = tb.Testbed.b.Testbed.stack.Netstack.tcp in
+  let l = Tcp.create_listener tcp_b ~port:7001 () in
+  let peer =
+    Tcp.connect tb.Testbed.a.Testbed.stack.Netstack.tcp ~dst:Testbed.addr_b
+      ~dst_port:7001 ()
+  in
+  Sim.run ~until:(Simtime.add (Sim.now tb.Testbed.sim) (Simtime.ms 50.))
+    tb.Testbed.sim;
+  (match Tcp.accept l with
+  | Some pcb ->
+      Tcp.abort pcb;
+      Tcp.abort peer;
+      Tcp.close_listener l
+  | None -> Alcotest.fail "accept queue empty after handshake");
+  (* Connection setup, write->ACK, rx copy-out, RTT and accept fired. *)
   assert_lat_populated ()
 
 let test_profile_exact_when_sharded () =
